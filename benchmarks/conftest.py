@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+The functional benchmarks need trained networks; training happens once
+per configuration and is cached on disk (``.workbench_cache/``), so the
+first benchmark run pays the training cost and later runs are fast.
+
+Every benchmark writes the table/figure it regenerates to
+``benchmarks/results/<name>.txt`` so the reproduction artefacts persist
+regardless of pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Workbench, WorkbenchConfig, chosen_configuration, standard_sweep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Laptop-scale training budget (DESIGN.md §5).  Chosen so the paper's
+#: accuracy ordering emerges clearly: BNN < Model A < Model B < Model C.
+#: The DMU operating threshold is selected for a ~30% rerun ratio, the
+#: same accuracy/throughput balancing the paper performs around Fig. 5.
+BENCH_CONFIG = WorkbenchConfig(
+    num_train=2400,
+    num_test=600,
+    bnn_scale=0.15,
+    host_scale=0.25,
+    bnn_epochs=10,
+    host_epochs=18,
+    host_lr=0.001,
+    target_rerun_ratio=0.30,
+)
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    wb = Workbench(BENCH_CONFIG, cache_dir=REPO_ROOT / ".workbench_cache")
+    wb.prepare_all()
+    return wb
+
+
+@pytest.fixture(scope="session")
+def design_points():
+    return standard_sweep()
+
+
+@pytest.fixture(scope="session")
+def chosen_design():
+    return chosen_configuration()
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it for -s runs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)

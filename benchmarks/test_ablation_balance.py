@@ -1,0 +1,23 @@
+"""Ablation: rate balancing vs uniform folding at comparable PE budget."""
+
+from conftest import save_result
+
+from repro.experiments.ablations import run_balance_ablation
+
+
+def test_balance_ablation(benchmark):
+    result = benchmark.pedantic(run_balance_ablation, rounds=3, iterations=1)
+    save_result(
+        "ablation_balance",
+        (
+            "Ablation: rate balancing (Section III-A)\n"
+            f"balanced: {result.balanced_fps:8.1f} img/s with {result.balanced_total_pe} PEs\n"
+            f"uniform:  {result.uniform_fps:8.1f} img/s with {result.uniform_total_pe} PEs\n"
+            f"speedup from balancing: {result.speedup:.2f}x"
+        ),
+    )
+
+    # Rate balancing is why the paper assesses Eq. (3)/(4) per layer: at a
+    # comparable compute budget, the uniform design is bottlenecked by its
+    # heaviest layer and loses throughput.
+    assert result.speedup > 1.2

@@ -1,0 +1,28 @@
+"""Ablation: batch-size effect on throughput and latency (Section III)."""
+
+from conftest import save_result
+
+from repro.core.report import render_table
+from repro.experiments.ablations import run_batch_size_sweep
+
+
+def test_batch_size_ablation(benchmark):
+    rows = benchmark.pedantic(run_batch_size_sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["batch size", "img/s", "avg batch latency (s)"],
+        [[r.batch_size, f"{r.images_per_second:.1f}", f"{r.average_batch_latency:.4f}"] for r in rows],
+        title="Ablation: batch size (paper Section III claim)",
+    )
+    save_result("ablation_batch_size", text)
+
+    # "Changing batch size does not have a significant effect on
+    # multi-precision features": throughput varies by < 15% across a 32x
+    # range of batch sizes.
+    rates = [r.images_per_second for r in rows]
+    assert max(rates) / min(rates) < 1.15
+
+    # "...with higher batch sizes, the latency of an image to pass through
+    # the multi-precision system increases": strictly increasing latency.
+    latencies = [r.average_batch_latency for r in rows]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > 3 * latencies[0]

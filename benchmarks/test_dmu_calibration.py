@@ -1,0 +1,28 @@
+"""DMU confidence quality: calibration and discrimination diagnostics."""
+
+from conftest import save_result
+
+from repro.core.calibration import auroc, calibration_report
+
+
+def test_dmu_confidence_quality(benchmark, workbench):
+    scores = workbench.test_scores
+
+    def analyze():
+        conf = workbench.dmu.confidence(scores.scores)
+        return (
+            calibration_report(conf, scores.correct),
+            auroc(conf, scores.correct),
+        )
+
+    report, discrimination = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    save_result(
+        "dmu_calibration",
+        report.format() + f"\nAUROC (confidence vs correctness) = {discrimination:.3f}",
+    )
+
+    # The DMU must be genuinely informative about BNN correctness —
+    # otherwise the whole cascade mechanism degenerates to random reruns.
+    assert discrimination > 0.6
+    # And roughly calibrated: average confidence/accuracy gap bounded.
+    assert report.expected_calibration_error < 0.25

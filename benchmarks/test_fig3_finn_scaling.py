@@ -1,0 +1,31 @@
+"""Regenerates Fig. 3: performance/area vs total PE count (naive BRAM)."""
+
+from conftest import save_result
+
+from repro.experiments.fig34 import run_fig3
+
+
+def test_fig3_scaling_sweep(benchmark, design_points):
+    result = benchmark.pedantic(lambda: run_fig3(design_points), rounds=3, iterations=1)
+    save_result("fig3_finn_scaling", result.format() + "\n\n" + result.chart())
+    rows = result.rows
+
+    # Shape criterion: throughput grows with the total PE count.
+    fps = [r.obtained_fps for r in rows]
+    assert fps == sorted(fps)
+    assert fps[-1] / fps[0] > 10  # an order of magnitude across the sweep
+
+    # Obtained never exceeds expected; gap grows with parallelism.
+    gaps = [1 - r.obtained_fps / r.expected_fps for r in rows]
+    assert all(0 <= g < 0.25 for g in gaps)
+    assert gaps[-1] > gaps[0]
+
+    # Paper's Fig. 3 band: BRAM utilization is high everywhere (the reason
+    # the partitioning optimization matters) and LUTs scale with PEs.
+    assert all(45.0 <= r.bram_pct <= 105.0 for r in rows)
+    luts = [r.lut_pct for r in rows]
+    assert luts == sorted(luts)
+    assert luts[-1] > 80.0
+
+    # The paper's anchor: some configuration reaches ~430 img/s.
+    assert any(abs(r.obtained_fps - 430) / 430 < 0.1 for r in rows)

@@ -1,0 +1,28 @@
+"""Regenerates Fig. 5: DMU accuracy and F̄S / FS̄ vs Softmax threshold."""
+
+import numpy as np
+from conftest import save_result
+
+from repro.experiments.fig5_table2 import run_fig5
+
+
+def test_fig5_threshold_sweep(benchmark, workbench):
+    result = benchmark.pedantic(lambda: run_fig5(workbench), rounds=1, iterations=1)
+    save_result("fig5_threshold_sweep", result.format() + "\n\n" + result.chart())
+    cats = result.categories
+
+    # Fig. 5's shape on the training set: over thresholds 0.5 -> 1.0,
+    # F̄S (missed BNN errors) decreases while FS̄ (wasted reruns) increases.
+    fbar_s = [c.fbar_s for c in cats]
+    f_sbar = [c.f_sbar for c in cats]
+    assert all(a >= b - 1e-12 for a, b in zip(fbar_s, fbar_s[1:]))
+    assert all(a <= b + 1e-12 for a, b in zip(f_sbar, f_sbar[1:]))
+
+    # The rerun ratio therefore grows monotonically with the threshold.
+    ratios = [c.rerun_ratio for c in cats]
+    assert all(a <= b + 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    # The DMU carries real signal: at every threshold its accuracy beats
+    # the trivial accept-everything baseline by construction of training.
+    baseline = workbench.train_scores.classifier_accuracy
+    assert max(c.dmu_accuracy for c in cats) > baseline

@@ -1,0 +1,37 @@
+"""Benchmarks the paper's future-work projections (Section IV)."""
+
+from conftest import save_result
+
+from repro.experiments.future_work import (
+    format_armv8,
+    format_mixed_precision,
+    run_armv8_projection,
+    run_mixed_precision_sweep,
+)
+
+
+def test_armv8_host_projection(benchmark):
+    rows = benchmark.pedantic(run_armv8_projection, rounds=3, iterations=1)
+    save_result("future_armv8_projection", format_armv8(rows))
+
+    # "The results in the tested configuration are limited by the overall
+    # low throughput achieved in the weak Cortex A9 processors": every
+    # host/cascade rate improves substantially on ARMv8+NEON.
+    for r in rows:
+        assert r.host_speedup > 2.0
+        assert r.a53_cascade_fps > 1.5 * r.a9_cascade_fps
+
+
+def test_mixed_precision_sweep(benchmark):
+    rows = benchmark.pedantic(run_mixed_precision_sweep, rounds=3, iterations=1)
+    save_result("future_mixed_precision", format_mixed_precision(rows))
+
+    by_label = {r.label: r for r in rows}
+    # Storage grows monotonically with precision at equal latency targets;
+    # the fully binarised design is the only one with generous headroom.
+    assert by_label["W1A1"].bram_pct < by_label["W2A2"].bram_pct < by_label["W4A4"].bram_pct
+    assert by_label["W1A1"].fits_device
+    assert not by_label["W8A8"].fits_device
+    # Beyond some precision the device can no longer sustain the target
+    # rate (throughput collapse) — the quantitative case for binarisation.
+    assert by_label["W8A8"].obtained_fps < 0.25 * by_label["W1A1"].obtained_fps

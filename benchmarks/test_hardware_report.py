@@ -1,0 +1,26 @@
+"""Per-engine hardware report + DRC for the chosen configuration."""
+
+from conftest import save_result
+
+from repro.finn import check_design, hardware_report
+
+
+def test_hardware_report_chosen_config(benchmark, chosen_design):
+    report = benchmark.pedantic(
+        lambda: hardware_report(chosen_design.balance), rounds=3, iterations=1
+    )
+    drc = check_design(chosen_design.balance, required_fps=60)
+    save_result(
+        "hardware_report_chosen_config", report.format() + "\n\n" + drc.format()
+    )
+
+    # The chosen configuration passes the design-rule checks on the
+    # ZC702 at the real-time requirement the paper quotes (60 fps).
+    assert drc.ok, drc.format()
+
+    # Storage-efficiency story (Fraser et al.'s observation): naive BRAM
+    # allocation leaves a large fraction of allocated storage unused.
+    naive = hardware_report(chosen_design.balance, partitioned=False)
+    assert naive.resources.storage_efficiency < 0.85
+    # Partitioning strictly improves or maintains total BRAM.
+    assert report.resources.total_brams <= naive.resources.total_brams

@@ -1,0 +1,25 @@
+"""Regenerates Table I: the FINN engines of the CNV network."""
+
+from conftest import save_result
+
+from repro.experiments import table1
+from repro.finn import finn_cnv_specs
+
+
+def test_table1_finn_layers(benchmark, chosen_design):
+    result = benchmark.pedantic(
+        lambda: table1.run(chosen_design), rounds=3, iterations=1
+    )
+    save_result("table1_finn_layers", result.format())
+
+    # Table I structure: 6 conv engines (64,64,128,128,256,256) + 3 FCs.
+    assert [r.layer for r in result.rows] == [s.name for s in finn_cnv_specs()]
+    assert [r.weight_rows for r in result.rows[:6]] == [64, 64, 128, 128, 256, 256]
+    assert all(r.weight_rows % r.pe == 0 for r in result.rows)
+    assert all(r.weight_cols % r.simd == 0 for r in result.rows)
+    # Threshold widths: 24-bit first stage, 16-bit inner, none last.
+    assert result.rows[0].threshold_bits == 24
+    assert result.rows[-1].threshold_bits is None
+    # Rate balancing: no engine exceeds the bottleneck by construction and
+    # the bottleneck matches the reported cycle counts.
+    assert max(r.cycles for r in result.rows) == result.design.balance.bottleneck_cycles

@@ -1,0 +1,23 @@
+"""Regenerates Table III: the three host network topologies."""
+
+from conftest import save_result
+
+from repro.experiments import table3
+
+
+def test_table3_host_models(benchmark):
+    result = benchmark.pedantic(table3.run, rounds=3, iterations=1)
+    save_result("table3_host_models", result.format())
+
+    by_name = {r.model: r for r in result.rows}
+    a, b, c = by_name["Model A"], by_name["Model B"], by_name["Model C"]
+
+    # Table III topologies at full width.
+    assert a.conv_channels == [32, 32, 64] and a.dense_layers == 1
+    assert b.conv_channels == [192, 160, 96, 192, 192, 192, 192, 192, 10]
+    assert c.conv_channels == [96, 96, 96, 192, 192, 192, 192, 192, 10]
+    assert b.dense_layers == 0 and c.dense_layers == 0  # global-pool heads
+
+    # Model A is the light/fast classifier of the paper.
+    assert a.params < b.params and a.params < c.params
+    assert a.mflops_per_image < b.mflops_per_image < c.mflops_per_image

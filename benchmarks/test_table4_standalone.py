@@ -1,0 +1,35 @@
+"""Regenerates Table IV: standalone accuracy and rate of A/B/C and FINN."""
+
+from conftest import save_result
+
+from repro.experiments import table4
+
+
+def test_table4_standalone(benchmark, workbench, chosen_design):
+    result = benchmark.pedantic(
+        lambda: table4.run(workbench, chosen_design), rounds=1, iterations=1
+    )
+    save_result("table4_standalone", result.format())
+    a = result.row("Model A")
+    b = result.row("Model B")
+    c = result.row("Model C")
+    finn = result.row("FINN (FPGA)")
+
+    # Rate shape (who wins, by what factor): FINN >> A >> B ~ C.
+    assert finn.images_per_second > 10 * a.images_per_second
+    assert a.images_per_second > 5 * b.images_per_second
+    assert abs(b.images_per_second / c.images_per_second - 1) < 0.5
+    # Rates are anchored/predicted by the calibrated model: A and B exact,
+    # C within 15% of the paper's 3.09.
+    assert abs(a.images_per_second - 29.68) < 0.01
+    assert abs(b.images_per_second - 3.63) < 0.01
+    assert abs(c.images_per_second - c.paper_images_per_second) / c.paper_images_per_second < 0.15
+
+    # Accuracy shape: the binarized network trails every float model
+    # ("its accuracy falls short of even a simple floating-point network
+    # such as Model A").
+    assert finn.accuracy < a.accuracy
+    assert finn.accuracy < b.accuracy
+    assert finn.accuracy < c.accuracy
+    # All models are well above the 10-class chance level.
+    assert finn.accuracy > 0.3

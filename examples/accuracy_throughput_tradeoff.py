@@ -1,0 +1,77 @@
+"""Accuracy/throughput frontier of the multi-precision system.
+
+Sweeps the DMU threshold (the paper's single tuning knob, Section III-B)
+and reports, for each setting, the cascade's measured accuracy on the
+synthetic test set and its simulated throughput — the trade-off curve the
+paper describes qualitatively around Fig. 5.
+
+Reuses the shared workbench cache, so the first run trains the networks
+(~5-10 minutes) and subsequent runs are instant.
+
+Run:  python examples/accuracy_throughput_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.core import MultiPrecisionPipeline
+from repro.core.report import render_table
+from repro.data import normalize_to_pm1
+from repro.experiments import Workbench, WorkbenchConfig, chosen_configuration
+from repro.hetero import FPGAExecutor, HostExecutor, simulate_cascade
+from repro.host import analyze_network, paper_calibrated_model
+from repro.models import build_model_a
+
+THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.84, 0.9, 0.95, 0.99)
+
+
+def main() -> None:
+    # Same budget as benchmarks/conftest.py, so the disk cache is shared.
+    config = WorkbenchConfig(
+        num_train=2400, num_test=600, bnn_epochs=10, host_epochs=18,
+        host_lr=0.001, target_rerun_ratio=0.30,
+    )
+    wb = Workbench(config)
+    print("training / loading workbench models ...")
+    wb.prepare_all()
+
+    design = chosen_configuration()
+    fpga = FPGAExecutor.from_pipeline(design.performance_partitioned)
+    t_fp = paper_calibrated_model().seconds_per_image(
+        analyze_network(build_model_a(scale=1.0))
+    )
+    host = HostExecutor(seconds_per_image=t_fp)
+
+    folded = wb.folded_bnn
+    images = wb.splits.test.images
+    labels = wb.splits.test.labels
+    bnn_images = normalize_to_pm1(images)
+
+    rows = []
+    for thr in THRESHOLDS:
+        pipeline = MultiPrecisionPipeline(folded, wb.dmu, wb.host_net("model_a"), threshold=thr)
+        result = pipeline.classify(images, bnn_images=bnn_images)
+        sim = simulate_cascade(
+            fpga, host, images.shape[0], batch_size=100, rerun_mask=result.rerun_mask
+        )
+        rows.append(
+            [
+                f"{thr:.2f}",
+                f"{100 * result.accuracy(labels):.1f}%",
+                f"{100 * result.rerun_ratio:.1f}%",
+                f"{sim.images_per_second:.1f}",
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            ["DMU threshold", "cascade accuracy", "rerun ratio", "img/s (simulated)"],
+            rows,
+            title=f"Accuracy/throughput frontier (Model A & FINN, "
+            f"BNN alone: {100 * wb.bnn_accuracy:.1f}%)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

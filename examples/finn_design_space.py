@@ -1,0 +1,50 @@
+"""FINN hardware design-space exploration on the ZC702.
+
+Reproduces the Section III-A scaling analysis without training anything:
+rate-balances the CNV network for a range of throughput targets, prints
+the Fig. 3 (naive BRAM) and Fig. 4 (block-partitioned) sweeps, and applies
+the paper's selection rule to pick the working configuration.
+
+Run:  python examples/finn_design_space.py      (instant — analytical)
+"""
+
+from repro.experiments import chosen_configuration, standard_sweep
+from repro.experiments.fig34 import run_fig3, run_fig4
+from repro.experiments.table1 import run as run_table1
+from repro.finn import ZC702_CLOCK_HZ
+
+
+def main() -> None:
+    points = standard_sweep()
+    print(run_fig3(points).format())
+    print()
+    print(run_fig4(points).format())
+    print()
+
+    chosen = chosen_configuration()
+    perf = chosen.performance_partitioned
+    res = chosen.resources_partitioned
+    print(
+        f"chosen configuration: {chosen.total_pe} total PEs, "
+        f"{perf.obtained_fps:.0f} img/s obtained "
+        f"({perf.expected_fps:.0f} expected), "
+        f"BRAM {100 * res.bram_utilization:.0f}%, "
+        f"LUT {100 * res.lut_utilization:.0f}% "
+        f"(paper: 32 PEs, 430 img/s, BRAM 65%)"
+    )
+    print()
+    print(run_table1(chosen).format())
+    print()
+    print("per-engine foldings and bottleneck:")
+    bottleneck = chosen.balance.bottleneck
+    for engine in chosen.balance.engines:
+        marker = "  <-- bottleneck" if engine is bottleneck else ""
+        print(
+            f"  {engine.spec.name:6s} P={engine.pe:3d} S={engine.simd:3d} "
+            f"CC={engine.cycles_per_image:9d} "
+            f"({ZC702_CLOCK_HZ / engine.cycles_per_image:8.1f} img/s alone){marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Quickstart: build, train and run a multi-precision CNN cascade.
+
+Trains a small binarized (FINN-style) network and a floating-point host
+network on the synthetic CIFAR-10 substitute, trains the Decision-Making
+Unit on the BNN's training-set scores, then runs the cascade and reports
+the paper's headline quantities: BNN accuracy vs cascade accuracy, the
+rerun ratio, and the Eq. (1) throughput estimate.
+
+Run:  python examples/quickstart.py          (~2-3 minutes, pure numpy)
+"""
+
+import numpy as np
+
+from repro.bnn import clip_weights, fold_network
+from repro.core import MultiPrecisionPipeline, estimate, threshold_sweep, train_dmu
+from repro.data import build_score_dataset, normalize_to_pm1, synthetic_cifar10
+from repro.models import build_finn_cnv, build_model_a
+from repro.nn import Adam, SoftmaxCrossEntropy, SquaredHinge, Trainer
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    print("1. generating synthetic CIFAR-10 (offline substitute) ...")
+    splits = synthetic_cifar10(num_train=1600, num_test=400, seed=0)
+
+    print("2. training the binarized FINN CNV network (scale 0.15) ...")
+    bnn = build_finn_cnv(scale=0.15, rng=rng)
+    bnn_trainer = Trainer(
+        bnn, SquaredHinge(), Adam(bnn.params(), lr=0.003, post_update=clip_weights), rng=rng
+    )
+    x_pm1 = normalize_to_pm1(splits.train.images)
+    bnn_trainer.fit(x_pm1, splits.train.labels, epochs=6, batch_size=64)
+
+    print("3. folding BatchNorm+sign into FINN thresholds (deployment form) ...")
+    folded = fold_network(bnn, num_classes=10)
+    test_pm1 = normalize_to_pm1(splits.test.images)
+    bnn_acc = float((folded.predict(test_pm1) == splits.test.labels).mean())
+    print(f"   BNN test accuracy: {100 * bnn_acc:.1f}%")
+
+    print("4. training the floating-point host network (Model A, scale 0.25) ...")
+    host = build_model_a(scale=0.25, rng=rng)
+    host_trainer = Trainer(host, SoftmaxCrossEntropy(), Adam(host.params(), lr=1e-3), rng=rng)
+    host_trainer.fit(splits.train.images, splits.train.labels, epochs=14, batch_size=64)
+    host_acc = host_trainer.evaluate(splits.test.images, splits.test.labels)
+    print(f"   host test accuracy: {100 * host_acc:.1f}%")
+
+    print("5. training the DMU on the BNN's training-set scores ...")
+    train_scores = build_score_dataset(
+        folded.class_scores(x_pm1), splits.train.labels
+    )
+    dmu = train_dmu(train_scores, rng=rng)
+    # Pick the threshold whose training rerun ratio is ~30% — the paper's
+    # accuracy/throughput balancing around Fig. 5.
+    sweep = threshold_sweep(dmu, train_scores, np.linspace(0.05, 0.95, 46))
+    dmu.threshold = min(sweep, key=lambda c: abs(c.rerun_ratio - 0.30)).threshold
+    print(f"   selected threshold {dmu.threshold:.2f} "
+          f"(training rerun ratio ~30%)")
+
+    print("6. running the multi-precision cascade on the test set ...")
+    pipeline = MultiPrecisionPipeline(folded, dmu, host)
+    result = pipeline.classify(splits.test.images, bnn_images=test_pm1)
+    cascade_acc = result.accuracy(splits.test.labels)
+    print(f"   cascade accuracy:  {100 * cascade_acc:.1f}% "
+          f"(BNN alone: {100 * result.bnn_accuracy(splits.test.labels):.1f}%)")
+    print(f"   rerun ratio:       {100 * result.rerun_ratio:.1f}% of images re-inferred on host")
+
+    print("7. Eq. (1)/(2) estimate at the paper's full-width timings ...")
+    est = estimate(
+        t_fp=1 / 29.68,          # paper's Model A rate on the dual Cortex-A9
+        t_bnn=1 / 430.15,        # paper's chosen FINN configuration
+        acc_bnn=bnn_acc,
+        acc_fp=max(0.0, result.host_subset_accuracy(splits.test.labels)),
+        r_rerun=result.rerun_ratio,
+        r_rerun_err=0.0,
+    )
+    print(f"   multi-precision throughput ~= {est.images_per_second:.1f} img/s "
+          f"({est.bottleneck}-bound)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Real-time video-stream sizing for the multi-precision cascade.
+
+The paper motivates the 430 img/s FINN configuration with "60 fps required
+in most real-time video streaming applications".  This example uses the
+heterogeneous pipeline simulator to answer the deployment question: given
+a target frame rate, how large a rerun ratio (and hence DMU threshold
+aggressiveness) can each host model afford?
+
+Run:  python examples/video_stream_cascade.py   (instant — analytical)
+"""
+
+import numpy as np
+
+from repro.core.analytic import multi_precision_interval
+from repro.experiments import chosen_configuration
+from repro.hetero import FPGAExecutor, HostExecutor, simulate_cascade
+from repro.host import analyze_network, paper_calibrated_model
+from repro.models import build_model_a, build_model_b, build_model_c
+
+TARGET_FPS = 60.0
+STREAM_FRAMES = 3600  # one minute of 60 fps video
+BATCH = 100
+
+
+def max_rerun_ratio_for(target_fps: float, t_fp: float, t_bnn: float) -> float:
+    """Largest rerun ratio that still meets the frame-rate target (Eq. 1)."""
+    if 1.0 / t_bnn < target_fps:
+        return 0.0
+    # Eq. (1): host-bound interval = t_fp * r <= 1/target.
+    return min(1.0, 1.0 / (target_fps * t_fp))
+
+
+def main() -> None:
+    design = chosen_configuration()
+    fpga = FPGAExecutor.from_pipeline(design.performance_partitioned)
+    host_model = paper_calibrated_model()
+
+    print(f"FPGA configuration: {design.performance_partitioned.obtained_fps:.0f} img/s")
+    print(f"target stream rate: {TARGET_FPS:.0f} fps, {STREAM_FRAMES} frames\n")
+
+    builders = {
+        "Model A": build_model_a,
+        "Model B": build_model_b,
+        "Model C": build_model_c,
+    }
+    for name, builder in builders.items():
+        t_fp = host_model.seconds_per_image(analyze_network(builder(scale=1.0)))
+        r_max = max_rerun_ratio_for(TARGET_FPS, t_fp, fpga.interval_seconds)
+
+        # Validate the analytic sizing with the event simulator.
+        host = HostExecutor(seconds_per_image=t_fp)
+        achieved = []
+        for r in np.unique(np.clip([r_max * 0.8, r_max, min(1.0, r_max * 1.3)], 0, 1)):
+            sim = simulate_cascade(fpga, host, STREAM_FRAMES, BATCH, rerun_ratio=float(r))
+            achieved.append((float(r), sim.images_per_second))
+
+        print(f"{name}: t_fp = {t_fp * 1e3:.1f} ms/img "
+              f"(standalone {1 / t_fp:.2f} img/s)")
+        print(f"  max rerun ratio for {TARGET_FPS:.0f} fps (Eq. 1): {100 * r_max:.1f}%")
+        for r, fps in achieved:
+            ok = "meets" if fps >= TARGET_FPS else "MISSES"
+            eq1 = 1.0 / multi_precision_interval(t_fp, fpga.interval_seconds, r)
+            print(f"  simulated @ r={100 * r:5.1f}%: {fps:7.1f} img/s "
+                  f"(Eq.1: {eq1:7.1f})  -> {ok} target")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim: the build environment in this repo is offline and its
+setuptools predates PEP 517 wheel integration, so `pip install -e .` falls
+back to this file."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

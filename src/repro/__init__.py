@@ -1,0 +1,33 @@
+"""repro — reproduction of *Multi-Precision Convolutional Neural Networks
+on Heterogeneous Hardware* (Amiri, Hosseinabady, McIntosh-Smith,
+Nunez-Yanez — DATE 2018).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy CNN framework (the Caffe substitute).
+``repro.bnn``
+    Binarized layers, straight-through training, XNOR-popcount inference
+    and BatchNorm-to-threshold folding (the BinaryNet/FINN arithmetic).
+``repro.finn``
+    Analytical FINN FPGA hardware model: PE/SIMD engines, cycle counts
+    (paper Eqs. (3)-(4)), FPS (Eq. (5)), BRAM/LUT allocation and the block
+    array-partitioning optimization (Figs. 3-4).
+``repro.host``
+    ARM Cortex-A9 host performance model (Table IV rates).
+``repro.data``
+    Synthetic CIFAR-10-like dataset substrate.
+``repro.models``
+    Network zoo: FINN CNV (Table I) and host Models A/B/C (Table III).
+``repro.core``
+    The paper's contribution: DMU confidence unit, FS taxonomy,
+    analytic Eqs. (1)-(2), and the multi-precision cascade pipeline.
+``repro.hetero``
+    Discrete-event simulator of the FPGA/CPU pipelined execution (Fig. 2).
+``repro.experiments``
+    One runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

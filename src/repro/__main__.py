@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro <experiment> ...``."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Binarization primitives (BinaryNet, Courbariaux & Bengio 2016).
+
+The deterministic ``sign`` binarization used by BinaryNet/FINN maps to
+{-1, +1} with the convention ``sign(0) = +1`` (FINN encodes +1 as bit 1,
+0 as bit 0, and treats an exact zero as +1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.parameter import Parameter
+
+__all__ = ["binarize_sign", "ste_mask", "clip_weights"]
+
+
+def binarize_sign(x: np.ndarray) -> np.ndarray:
+    """Deterministic sign binarization to {-1.0, +1.0} with sign(0) = +1."""
+    return np.where(x >= 0.0, 1.0, -1.0)
+
+
+def ste_mask(x: np.ndarray) -> np.ndarray:
+    """Straight-through-estimator gradient mask for sign(x).
+
+    BinaryNet backpropagates through sign() as if it were hard-tanh:
+    gradient 1 inside [-1, 1], 0 outside (gradient cancellation).
+    """
+    return (np.abs(x) <= 1.0).astype(x.dtype)
+
+
+def clip_weights(param: Parameter) -> None:
+    """Post-update hook clipping latent real-valued weights to [-1, 1].
+
+    BinaryNet keeps real-valued 'latent' weights during training and clips
+    them after every optimizer step so they stay in the binarization range.
+    Bias-like 1-D parameters are left untouched.
+    """
+    if param.value.ndim >= 2 and param.name.endswith("weight"):
+        np.clip(param.value, -1.0, 1.0, out=param.value)

@@ -1,0 +1,127 @@
+"""Deployment serialization of folded BNNs.
+
+FINN ships a trained network as per-engine weight/threshold files baked
+into the bitstream.  This module provides the software equivalent: a
+single ``.npz`` artifact holding every stage's binary weight matrices and
+folded thresholds, loadable without the training-time network or its
+RNG state.  Round-tripping is bit-exact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .inference import FloatDenseHead, FoldedBNN, FoldedConv, FoldedDense, FoldedPool
+from .thresholding import ChannelThresholds
+
+__all__ = ["save_folded_bnn", "load_folded_bnn"]
+
+_FORMAT_VERSION = 1
+
+
+def _threshold_arrays(prefix: str, thr: ChannelThresholds | None, out: dict) -> None:
+    if thr is None:
+        return
+    out[f"{prefix}.tau"] = thr.tau
+    out[f"{prefix}.sign"] = thr.sign
+    out[f"{prefix}.constant"] = thr.constant
+
+
+def _load_thresholds(prefix: str, data: dict) -> ChannelThresholds | None:
+    key = f"{prefix}.tau"
+    if key not in data:
+        return None
+    return ChannelThresholds(
+        tau=data[f"{prefix}.tau"],
+        sign=data[f"{prefix}.sign"],
+        constant=data[f"{prefix}.constant"],
+    )
+
+
+def save_folded_bnn(net: FoldedBNN, path: str | Path) -> None:
+    """Serialize a folded network to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {
+        "__format__": np.array(_FORMAT_VERSION),
+        "__num_classes__": np.array(net.num_classes),
+        "__num_stages__": np.array(len(net.stages)),
+    }
+    kinds = []
+    for i, stage in enumerate(net.stages):
+        prefix = f"stage{i}"
+        if isinstance(stage, FoldedConv):
+            kinds.append("conv")
+            arrays[f"{prefix}.weight"] = stage.weight_matrix
+            arrays[f"{prefix}.meta"] = np.array(
+                [stage.kernel_size, stage.stride, stage.pad, stage.in_channels,
+                 int(stage.binary_input)]
+            )
+            _threshold_arrays(prefix, stage.thresholds, arrays)
+        elif isinstance(stage, FoldedDense):
+            kinds.append("dense")
+            arrays[f"{prefix}.weight"] = stage.weight_matrix
+            _threshold_arrays(prefix, stage.thresholds, arrays)
+            if stage.output_scale is not None:
+                arrays[f"{prefix}.scale"] = stage.output_scale
+                arrays[f"{prefix}.offset"] = stage.output_offset
+        elif isinstance(stage, FoldedPool):
+            kinds.append("pool")
+            arrays[f"{prefix}.meta"] = np.array([stage.window, stage.stride])
+        elif isinstance(stage, FloatDenseHead):
+            kinds.append("float_head")
+            arrays[f"{prefix}.weight"] = stage.weight
+            if stage.bias is not None:
+                arrays[f"{prefix}.bias"] = stage.bias
+        else:
+            raise TypeError(f"cannot serialize stage {type(stage).__name__}")
+    arrays["__kinds__"] = np.array(kinds)
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_folded_bnn(path: str | Path) -> FoldedBNN:
+    """Load a folded network previously written by :func:`save_folded_bnn`."""
+    data = dict(np.load(Path(path), allow_pickle=False))
+    version = int(data["__format__"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported folded-BNN format version {version}")
+    num_stages = int(data["__num_stages__"])
+    kinds = [str(k) for k in data["__kinds__"]]
+    if len(kinds) != num_stages:
+        raise ValueError("corrupt artifact: stage count mismatch")
+
+    stages = []
+    for i, kind in enumerate(kinds):
+        prefix = f"stage{i}"
+        if kind == "conv":
+            k, stride, pad, in_ch, binary_input = (int(v) for v in data[f"{prefix}.meta"])
+            stages.append(
+                FoldedConv(
+                    weight_matrix=data[f"{prefix}.weight"],
+                    kernel_size=k,
+                    stride=stride,
+                    pad=pad,
+                    in_channels=in_ch,
+                    thresholds=_load_thresholds(prefix, data),
+                    binary_input=bool(binary_input),
+                )
+            )
+        elif kind == "dense":
+            stages.append(
+                FoldedDense(
+                    weight_matrix=data[f"{prefix}.weight"],
+                    thresholds=_load_thresholds(prefix, data),
+                    output_scale=data.get(f"{prefix}.scale"),
+                    output_offset=data.get(f"{prefix}.offset"),
+                )
+            )
+        elif kind == "pool":
+            window, stride = (int(v) for v in data[f"{prefix}.meta"])
+            stages.append(FoldedPool(window=window, stride=stride))
+        elif kind == "float_head":
+            stages.append(
+                FloatDenseHead(data[f"{prefix}.weight"], data.get(f"{prefix}.bias"))
+            )
+        else:
+            raise ValueError(f"unknown stage kind {kind!r}")
+    return FoldedBNN(stages, num_classes=int(data["__num_classes__"]))

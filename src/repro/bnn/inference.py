@@ -1,0 +1,272 @@
+"""Folded BNN inference — the functional model of FINN's datapath.
+
+:func:`fold_network` converts a *trained* binarized Sequential (built from
+``BinaryConv2D``/``BinaryDense`` + ``BatchNorm`` + ``BinaryActivation`` +
+``MaxPool2D``/``Flatten`` layers) into a :class:`FoldedBNN` that runs the
+deployment arithmetic:
+
+* first layer: real-valued inputs times {-1,+1} weights ("regular
+  operations" in the paper), thresholded to {-1,+1};
+* inner layers: bit-packed XNOR-popcount integer accumulation followed by
+  integer threshold comparison;
+* last layer: XNOR-popcount accumulation with *no* activation — the raw
+  class scores, to which the trained BatchNorm affine is applied so scores
+  keep the scale the DMU was trained on.
+
+The folded network's class decisions are bit-exact equal to the eval-mode
+training network (verified by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers.batchnorm import BatchNorm
+from ..nn.layers.dense import Dense
+from ..nn.layers.flatten import Flatten
+from ..nn.layers.pool import MaxPool2D
+from ..nn.network import Sequential
+from .layers import BinaryActivation, BinaryConv2D, BinaryDense
+from .thresholding import ChannelThresholds, fold_batchnorm
+from .xnor import pack_pm1, xnor_popcount_matmul
+
+__all__ = [
+    "FoldedConv",
+    "FoldedDense",
+    "FoldedPool",
+    "FloatDenseHead",
+    "FoldedBNN",
+    "fold_network",
+]
+
+
+@dataclass
+class FoldedConv:
+    """A convolution engine: binary weights + thresholds."""
+
+    weight_matrix: np.ndarray  # (OD, ID*K*K) in {-1,+1}
+    kernel_size: int
+    stride: int
+    pad: int
+    in_channels: int
+    thresholds: ChannelThresholds
+    binary_input: bool
+    packed_weight: np.ndarray = field(init=False, repr=False)
+    fan_in: int = field(init=False)
+
+    def __post_init__(self):
+        self.packed_weight, self.fan_in = pack_pm1(self.weight_matrix)
+
+    @property
+    def out_channels(self) -> int:
+        return int(self.weight_matrix.shape[0])
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        k = self.kernel_size
+        oh = F.conv_output_size(x.shape[2], k, self.stride, self.pad)
+        ow = F.conv_output_size(x.shape[3], k, self.stride, self.pad)
+        cols = F.im2col(x, k, k, self.stride, self.pad)
+        if self.binary_input:
+            packed, bits = pack_pm1(cols)
+            acc = xnor_popcount_matmul(packed, self.packed_weight, bits).astype(np.float64)
+        else:
+            acc = cols @ self.weight_matrix.T
+        acc = acc.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        return self.thresholds.apply(acc, channel_axis=1)
+
+
+@dataclass
+class FoldedDense:
+    """A fully-connected engine: binary weights + thresholds or affine out."""
+
+    weight_matrix: np.ndarray  # (OD, ID) in {-1,+1}
+    thresholds: ChannelThresholds | None
+    output_scale: np.ndarray | None = None   # affine applied when not thresholding
+    output_offset: np.ndarray | None = None
+    packed_weight: np.ndarray = field(init=False, repr=False)
+    fan_in: int = field(init=False)
+
+    def __post_init__(self):
+        self.packed_weight, self.fan_in = pack_pm1(self.weight_matrix)
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight_matrix.shape[0])
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        packed, bits = pack_pm1(x)
+        acc = xnor_popcount_matmul(packed, self.packed_weight, bits).astype(np.float64)
+        if self.thresholds is not None:
+            return self.thresholds.apply(acc, channel_axis=1)
+        if self.output_scale is not None:
+            acc = acc * self.output_scale + self.output_offset
+        return acc
+
+
+@dataclass
+class FoldedPool:
+    """Max pooling over {-1,+1} maps — a boolean OR in FINN hardware."""
+
+    window: int
+    stride: int
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        pool = MaxPool2D(self.window, self.stride)
+        return pool.forward(x)
+
+
+@dataclass
+class FloatDenseHead:
+    """Full-precision output layer of a *partially-binarised* network.
+
+    The paper (Section II) notes FINN's non-binarised operations "can also
+    be extended to handle inputs and outputs in inner layers resulting in
+    a partially-binarised network".  This stage runs a regular float
+    affine layer over the binarized features — the common arrangement
+    where only the classifier head keeps full precision.
+    """
+
+    weight: np.ndarray            # (ID, OD) float
+    bias: np.ndarray | None
+
+    def __post_init__(self):
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be (in, out)")
+        if self.bias is not None and self.bias.shape != (self.weight.shape[1],):
+            raise ValueError("bias shape mismatch")
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight.shape[1])
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class FoldedBNN:
+    """Deployment-form binarized network (the FPGA's functional model)."""
+
+    def __init__(self, stages: list, num_classes: int = 10):
+        if not stages:
+            raise ValueError("folded network needs at least one stage")
+        self.stages = stages
+        self.num_classes = num_classes
+
+    def forward(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Raw output scores (N, out_features of the last engine)."""
+        outputs = []
+        for start in range(0, images.shape[0], batch_size):
+            x = images[start : start + batch_size]
+            for stage in self.stages:
+                if isinstance(stage, (FoldedDense, FloatDenseHead)) and x.ndim == 4:
+                    x = x.reshape(x.shape[0], -1)
+                x = stage(x)
+            outputs.append(x)
+        return np.concatenate(outputs, axis=0)
+
+    def class_scores(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Scores truncated to the real classes (FINN pads the last layer)."""
+        return self.forward(images, batch_size)[:, : self.num_classes]
+
+    def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        return self.class_scores(images, batch_size).argmax(axis=1)
+
+
+def _conv_weight_matrix(layer: BinaryConv2D) -> np.ndarray:
+    w = layer.binary_weight  # (OD, ID, K, K)
+    return w.reshape(w.shape[0], -1)
+
+
+def fold_network(net: Sequential, num_classes: int = 10) -> FoldedBNN:
+    """Fold a trained binarized Sequential into deployment form.
+
+    Recognized patterns (in order):
+
+    * ``BinaryConv2D, BatchNorm, BinaryActivation`` -> :class:`FoldedConv`
+    * ``BinaryDense, BatchNorm, BinaryActivation`` -> :class:`FoldedDense`
+    * ``BinaryDense, BatchNorm`` (terminal) -> affine-output FoldedDense
+    * ``Dense`` (regular, terminal) -> :class:`FloatDenseHead`
+      (partially-binarised network, Section II)
+    * ``MaxPool2D`` -> :class:`FoldedPool`
+    * ``Flatten`` -> implicit (handled at runtime)
+    """
+    stages: list = []
+    layers = list(net.layers)
+    i = 0
+    first_conv = True
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, BinaryConv2D):
+            bn, act = _expect_bn_act(layers, i, layer)
+            stages.append(
+                FoldedConv(
+                    weight_matrix=_conv_weight_matrix(layer),
+                    kernel_size=layer.kernel_size,
+                    stride=layer.stride,
+                    pad=layer.pad,
+                    in_channels=layer.in_channels,
+                    thresholds=fold_batchnorm(bn),
+                    binary_input=not first_conv,
+                )
+            )
+            first_conv = False
+            i += 3
+        elif isinstance(layer, BinaryDense):
+            if i + 2 < len(layers) and isinstance(layers[i + 2], BinaryActivation):
+                bn, _ = _expect_bn_act(layers, i, layer)
+                stages.append(
+                    FoldedDense(layer.binary_weight.T.copy(), fold_batchnorm(bn))
+                )
+                i += 3
+            elif i + 1 < len(layers) and isinstance(layers[i + 1], BatchNorm):
+                bn = layers[i + 1]
+                std = np.sqrt(bn.running_var.value + bn.eps)
+                scale = bn.gamma.value / std
+                offset = bn.beta.value - bn.gamma.value * bn.running_mean.value / std
+                stages.append(
+                    FoldedDense(
+                        layer.binary_weight.T.copy(),
+                        thresholds=None,
+                        output_scale=scale,
+                        output_offset=offset,
+                    )
+                )
+                i += 2
+            else:
+                stages.append(FoldedDense(layer.binary_weight.T.copy(), thresholds=None))
+                i += 1
+        elif isinstance(layer, MaxPool2D):
+            stages.append(FoldedPool(layer.window, layer.stride))
+            i += 1
+        elif isinstance(layer, Flatten):
+            i += 1
+        elif isinstance(layer, Dense) and i == len(layers) - 1:
+            bias = layer.bias.value.copy() if layer.bias is not None else None
+            stages.append(FloatDenseHead(layer.weight.value.copy(), bias))
+            i += 1
+        else:
+            raise TypeError(
+                f"fold_network cannot fold layer {type(layer).__name__}; "
+                "binarized networks must be built from BinaryConv2D/BinaryDense/"
+                "BatchNorm/BinaryActivation/MaxPool2D/Flatten, optionally with "
+                "a terminal full-precision Dense head"
+            )
+    return FoldedBNN(stages, num_classes=num_classes)
+
+
+def _expect_bn_act(layers, i, layer):
+    if i + 2 >= len(layers) or not isinstance(layers[i + 1], BatchNorm) or not isinstance(
+        layers[i + 2], BinaryActivation
+    ):
+        raise TypeError(
+            f"{type(layer).__name__} at position {i} must be followed by "
+            "BatchNorm and BinaryActivation"
+        )
+    return layers[i + 1], layers[i + 2]

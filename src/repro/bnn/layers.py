@@ -1,0 +1,124 @@
+"""Training-time binarized layers.
+
+These subclass the float layers from :mod:`repro.nn` and binarize the
+weights (and, for :class:`BinaryActivation`, the activations) in the
+forward pass while keeping real-valued latent weights for the optimizer —
+the straight-through-estimator recipe of BinaryNet, which is exactly the
+network family FINN deploys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import initializers
+from ..nn.layers.base import Layer
+from ..nn.layers.conv import Conv2D
+from ..nn.layers.dense import Dense
+from .binarize import binarize_sign, ste_mask
+
+__all__ = ["BinaryConv2D", "BinaryDense", "BinaryActivation"]
+
+
+class BinaryConv2D(Conv2D):
+    """Conv2D whose weights are binarized to {-1, +1} in forward.
+
+    Gradients pass straight through the binarization to the latent real
+    weights.  No bias: FINN folds all affine offsets into thresholds.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            pad=pad,
+            use_bias=False,
+            weight_init=initializers.glorot_uniform,
+            rng=rng,
+            name=name,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._latent = self.weight.value
+        self.weight.value = binarize_sign(self._latent)
+        try:
+            return super().forward(x)
+        finally:
+            self.weight.value = self._latent
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        # The cached im2col was computed with binarized weights; dW w.r.t.
+        # the binarized weight is passed straight through to the latent.
+        self._latent = self.weight.value
+        self.weight.value = binarize_sign(self._latent)
+        try:
+            return super().backward(grad)
+        finally:
+            self.weight.value = self._latent
+
+    @property
+    def binary_weight(self) -> np.ndarray:
+        """The deployed {-1, +1} weight tensor."""
+        return binarize_sign(self.weight.value)
+
+
+class BinaryDense(Dense):
+    """Dense layer with sign-binarized weights and straight-through grads."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(
+            in_features,
+            out_features,
+            use_bias=False,
+            weight_init=initializers.glorot_uniform,
+            rng=rng,
+            name=name,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._latent = self.weight.value
+        self.weight.value = binarize_sign(self._latent)
+        try:
+            return super().forward(x)
+        finally:
+            self.weight.value = self._latent
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self._latent = self.weight.value
+        self.weight.value = binarize_sign(self._latent)
+        try:
+            return super().backward(grad)
+        finally:
+            self.weight.value = self._latent
+
+    @property
+    def binary_weight(self) -> np.ndarray:
+        return binarize_sign(self.weight.value)
+
+
+class BinaryActivation(Layer):
+    """sign() activation with the hard-tanh straight-through gradient."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = ste_mask(x)
+        return binarize_sign(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask

@@ -1,0 +1,169 @@
+"""k-bit uniform quantization with straight-through training.
+
+The functional counterpart of :mod:`repro.finn.mixed_precision` (the
+paper's future-work direction): QNN-style layers whose weights and
+activations are quantized to ``k`` bits in the forward pass while
+gradients flow straight through to latent float parameters.  ``k = 1``
+degenerates exactly to the BinaryNet sign arithmetic.
+
+Quantizers follow DoReFa-Net conventions:
+
+* weights: ``q = 2 * quantize_unit((tanh(w) / (2 max|tanh(w)|)) + 0.5) - 1``
+  mapped to [-1, 1] on a symmetric grid of ``2^k - 1`` steps;
+* activations: clip to [0, 1], quantize to ``2^k - 1`` levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import initializers
+from ..nn.layers.base import Layer
+from ..nn.layers.conv import Conv2D
+from ..nn.layers.dense import Dense
+from .binarize import binarize_sign
+
+__all__ = [
+    "quantize_unit",
+    "quantize_weights",
+    "QuantizedConv2D",
+    "QuantizedDense",
+    "QuantizedActivation",
+]
+
+
+def quantize_unit(x: np.ndarray, bits: int) -> np.ndarray:
+    """Uniformly quantize values in [0, 1] to ``2^bits - 1`` steps."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if bits >= 32:
+        return x
+    levels = (1 << bits) - 1
+    return np.round(np.clip(x, 0.0, 1.0) * levels) / levels
+
+
+def quantize_weights(w: np.ndarray, bits: int) -> np.ndarray:
+    """DoReFa weight quantization to a symmetric [-1, 1] grid."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    if bits == 1:
+        return binarize_sign(w)
+    t = np.tanh(w)
+    denom = 2.0 * np.max(np.abs(t)) + 1e-12
+    unit = t / denom + 0.5
+    return 2.0 * quantize_unit(unit, bits) - 1.0
+
+
+class QuantizedConv2D(Conv2D):
+    """Conv2D with k-bit weights in forward, straight-through backward."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        weight_bits: int = 2,
+        stride: int = 1,
+        pad: int = 0,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        if weight_bits < 1:
+            raise ValueError("weight_bits must be >= 1")
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            pad=pad,
+            use_bias=False,
+            weight_init=initializers.glorot_uniform,
+            rng=rng,
+            name=name,
+        )
+        self.weight_bits = weight_bits
+
+    def _swap_in_quantized(self):
+        self._latent = self.weight.value
+        self.weight.value = quantize_weights(self._latent, self.weight_bits)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._swap_in_quantized()
+        try:
+            return super().forward(x)
+        finally:
+            self.weight.value = self._latent
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self._swap_in_quantized()
+        try:
+            return super().backward(grad)
+        finally:
+            self.weight.value = self._latent
+
+    @property
+    def quantized_weight(self) -> np.ndarray:
+        return quantize_weights(self.weight.value, self.weight_bits)
+
+
+class QuantizedDense(Dense):
+    """Dense layer with k-bit weights in forward, STE backward."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight_bits: int = 2,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        if weight_bits < 1:
+            raise ValueError("weight_bits must be >= 1")
+        super().__init__(
+            in_features,
+            out_features,
+            use_bias=False,
+            weight_init=initializers.glorot_uniform,
+            rng=rng,
+            name=name,
+        )
+        self.weight_bits = weight_bits
+
+    def _swap_in_quantized(self):
+        self._latent = self.weight.value
+        self.weight.value = quantize_weights(self._latent, self.weight_bits)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._swap_in_quantized()
+        try:
+            return super().forward(x)
+        finally:
+            self.weight.value = self._latent
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self._swap_in_quantized()
+        try:
+            return super().backward(grad)
+        finally:
+            self.weight.value = self._latent
+
+    @property
+    def quantized_weight(self) -> np.ndarray:
+        return quantize_weights(self.weight.value, self.weight_bits)
+
+
+class QuantizedActivation(Layer):
+    """Clip-to-[0,1] + k-bit quantization with a pass-through gradient."""
+
+    def __init__(self, bits: int = 2, name: str | None = None):
+        super().__init__(name)
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.bits = bits
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = ((x >= 0.0) & (x <= 1.0)).astype(x.dtype)
+        return quantize_unit(x, self.bits)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask

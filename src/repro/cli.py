@@ -1,0 +1,131 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates any table or figure of the paper from the terminal:
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig3 fig4
+    python -m repro table4 --train-budget full
+    python -m repro all
+
+Experiments that need trained networks share the on-disk workbench cache,
+so only the first invocation pays the numpy training cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .experiments import (
+    Workbench,
+    WorkbenchConfig,
+    chosen_configuration,
+    fig34,
+    fig5_table2,
+    standard_sweep,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+from .experiments.ablations import (
+    format_ablations,
+    run_batch_size_sweep,
+    run_eq1_validation,
+)
+
+__all__ = ["main", "TRAIN_BUDGETS"]
+
+#: Named training budgets for the functional experiments.
+TRAIN_BUDGETS = {
+    "micro": WorkbenchConfig(
+        num_train=300, num_test=120, bnn_scale=0.1, host_scale=0.15,
+        bnn_epochs=2, host_epochs=2,
+    ),
+    "bench": WorkbenchConfig(
+        num_train=2400, num_test=600, bnn_epochs=10, host_epochs=18,
+        bnn_scale=0.15, host_scale=0.25, host_lr=0.001,
+        target_rerun_ratio=0.30,
+    ),
+    "full": WorkbenchConfig(),
+}
+
+
+def _needs_workbench(name: str) -> bool:
+    return name in ("fig5", "table2", "table4", "table5")
+
+
+def _run_one(name: str, workbench: Workbench | None) -> str:
+    analytic: dict[str, Callable[[], str]] = {
+        "table1": lambda: table1.run(chosen_configuration()).format(),
+        "fig3": lambda: fig34.run_fig3(standard_sweep()).format(),
+        "fig4": lambda: fig34.run_fig4(standard_sweep()).format(),
+        "table3": lambda: table3.run().format(),
+        "ablations": lambda: format_ablations(
+            run_batch_size_sweep(), run_eq1_validation()
+        ),
+    }
+    if name in analytic:
+        return analytic[name]()
+    assert workbench is not None
+    trained: dict[str, Callable[[], str]] = {
+        "fig5": lambda: fig5_table2.run_fig5(workbench).format(),
+        "table2": lambda: fig5_table2.run_table2(workbench).format(),
+        "table4": lambda: table4.run(workbench).format(),
+        "table5": lambda: table5.run(workbench).format(),
+    }
+    return trained[name]()
+
+
+EXPERIMENTS = ("table1", "fig3", "fig4", "fig5", "table2", "table3", "table4", "table5", "ablations")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the DATE'18 multi-precision CNN paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(EXPERIMENTS)}), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--train-budget",
+        choices=sorted(TRAIN_BUDGETS),
+        default="bench",
+        help="training budget for experiments that need trained networks",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["list"]:
+        print("available experiments:", ", ".join(EXPERIMENTS))
+        return 0
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    workbench = None
+    if any(_needs_workbench(n) for n in names):
+        workbench = Workbench(TRAIN_BUDGETS[args.train_budget])
+        print(
+            f"preparing workbench (budget={args.train_budget}; "
+            "first run trains in numpy, later runs hit the cache) ...",
+            file=sys.stderr,
+        )
+        workbench.prepare_all()
+
+    for i, name in enumerate(names):
+        if i:
+            print()
+        print(_run_one(name, workbench))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The paper's contribution: the multi-precision CNN framework.
+
+* :mod:`repro.core.dmu` — the trainable Softmax/logistic Decision-Making
+  Unit and the FS/F̄S̄/F̄S/FS̄ taxonomy (Section III-B, Fig. 5, Table II).
+* :mod:`repro.core.analytic` — Eqs. (1) and (2).
+* :mod:`repro.core.pipeline` — the BNN + DMU + float-network cascade.
+"""
+
+from .ascii_chart import line_chart
+from .calibration import CalibrationReport, ReliabilityBin, auroc, calibration_report
+from .analytic import (
+    MultiPrecisionEstimate,
+    estimate,
+    host_timing_gain,
+    multi_precision_accuracy,
+    multi_precision_interval,
+)
+from .dmu import DecisionMakingUnit, DMUCategories, threshold_sweep, train_dmu
+from .pipeline import CascadeResult, MultiPrecisionPipeline
+from .report import format_percent, format_rate, render_table
+
+__all__ = [
+    "line_chart",
+    "CalibrationReport",
+    "ReliabilityBin",
+    "auroc",
+    "calibration_report",
+    "DecisionMakingUnit",
+    "DMUCategories",
+    "train_dmu",
+    "threshold_sweep",
+    "multi_precision_interval",
+    "multi_precision_accuracy",
+    "host_timing_gain",
+    "MultiPrecisionEstimate",
+    "estimate",
+    "MultiPrecisionPipeline",
+    "CascadeResult",
+    "render_table",
+    "format_percent",
+    "format_rate",
+]

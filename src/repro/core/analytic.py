@@ -1,0 +1,97 @@
+"""Closed-form performance/accuracy models — the paper's Eqs. (1) and (2).
+
+    t_multi/img  ~= max(t_fp/img * R_rerun, t_bnn/img)              (1)
+    Acc_multi    ~= Acc_bnn + Acc_fp * R_rerun - R_rerun_err        (2)
+
+with the host timing gain ``t_fp * (1 - R_rerun)`` per image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "multi_precision_interval",
+    "multi_precision_accuracy",
+    "host_timing_gain",
+    "MultiPrecisionEstimate",
+    "estimate",
+]
+
+
+def _check_ratio(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def multi_precision_interval(t_fp: float, t_bnn: float, r_rerun: float) -> float:
+    """Eq. (1): average per-image interval of the multi-precision system.
+
+    Parameters
+    ----------
+    t_fp:
+        Seconds per image of the floating-point network on the host.
+    t_bnn:
+        Seconds per image of the binarized network on the FPGA.
+    r_rerun:
+        Fraction of images re-processed on the host (0..1).
+    """
+    if t_fp <= 0 or t_bnn <= 0:
+        raise ValueError("per-image times must be positive")
+    _check_ratio("r_rerun", r_rerun)
+    return max(t_fp * r_rerun, t_bnn)
+
+
+def multi_precision_accuracy(
+    acc_bnn: float, acc_fp: float, r_rerun: float, r_rerun_err: float
+) -> float:
+    """Eq. (2): accuracy of the multi-precision system (0-1 scale).
+
+    ``r_rerun_err`` is the fraction of images initially classified
+    correctly by the BNN but re-processed (and thus exposed to host
+    error) due to DMU mistakes.  The paper notes the realized accuracy is
+    somewhat lower because the host sees a hard-to-classify subset.
+    """
+    _check_ratio("acc_bnn", acc_bnn)
+    _check_ratio("acc_fp", acc_fp)
+    _check_ratio("r_rerun", r_rerun)
+    _check_ratio("r_rerun_err", r_rerun_err)
+    return acc_bnn + acc_fp * r_rerun - r_rerun_err
+
+
+def host_timing_gain(t_fp: float, r_rerun: float) -> float:
+    """Per-image host time saved versus running everything on the host."""
+    if t_fp <= 0:
+        raise ValueError("t_fp must be positive")
+    _check_ratio("r_rerun", r_rerun)
+    return t_fp * (1.0 - r_rerun)
+
+
+@dataclass(frozen=True)
+class MultiPrecisionEstimate:
+    """Bundled Eq. (1)/(2) prediction for one configuration."""
+
+    interval_seconds: float
+    images_per_second: float
+    accuracy: float
+    bottleneck: str  # "host" or "fpga"
+
+
+def estimate(
+    t_fp: float,
+    t_bnn: float,
+    acc_bnn: float,
+    acc_fp: float,
+    r_rerun: float,
+    r_rerun_err: float,
+) -> MultiPrecisionEstimate:
+    """Joint Eq. (1) + Eq. (2) estimate."""
+    interval = multi_precision_interval(t_fp, t_bnn, r_rerun)
+    accuracy = multi_precision_accuracy(acc_bnn, acc_fp, r_rerun, r_rerun_err)
+    bottleneck = "host" if t_fp * r_rerun >= t_bnn else "fpga"
+    return MultiPrecisionEstimate(
+        interval_seconds=interval,
+        images_per_second=1.0 / interval,
+        accuracy=accuracy,
+        bottleneck=bottleneck,
+    )

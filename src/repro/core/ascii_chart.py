@@ -1,0 +1,75 @@
+"""Minimal ASCII line charts for figure reproductions.
+
+The paper's Figs. 3-5 are plots; the benchmark harness regenerates their
+data as tables, and this module renders the same series as terminal
+charts so the *shape* (monotonicity, crossovers, divergence) is visible
+at a glance in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["line_chart"]
+
+
+def line_chart(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x values as ASCII art.
+
+    Each series gets a distinct marker; points are plotted on a
+    ``width x height`` grid scaled to the joint data range.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x)
+    if n < 2:
+        raise ValueError("need at least two x values")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} length does not match x")
+
+    markers = "*o+x#@%&"
+    x_min, x_max = min(x), max(x)
+    all_y = [v for ys in series.values() for v in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), markers):
+        for xv, yv in zip(x, ys):
+            col = int(round((xv - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((yv - y_min) / y_span * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(" " * pad + f"  {x_min:g}".ljust(width // 2) + f"{x_max:g}".rjust(width // 2))
+    if x_label or y_label:
+        lines.append(f"   x: {x_label}   y: {y_label}")
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append("   " + legend)
+    return "\n".join(lines)

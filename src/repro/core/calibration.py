@@ -1,0 +1,128 @@
+"""Confidence-calibration diagnostics for the DMU.
+
+The DMU is only useful if its confidence tracks the true probability that
+the BNN classified correctly.  This module quantifies that: reliability
+curves (predicted-confidence bins vs empirical correctness) and the
+expected calibration error (ECE), plus AUROC of the confidence as a
+correct/incorrect discriminator — the standard diagnostics for the
+selective-classification setting the paper's DMU lives in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityBin", "CalibrationReport", "calibration_report", "auroc"]
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One confidence bin of the reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    empirical_accuracy: float
+
+    @property
+    def gap(self) -> float:
+        """Calibration gap within the bin (confidence minus accuracy)."""
+        return self.mean_confidence - self.empirical_accuracy
+
+
+@dataclass
+class CalibrationReport:
+    """Reliability diagram + summary statistics."""
+
+    bins: list[ReliabilityBin]
+    total: int
+
+    @property
+    def expected_calibration_error(self) -> float:
+        """ECE: count-weighted mean absolute bin gap."""
+        if self.total == 0:
+            return 0.0
+        return sum(b.count * abs(b.gap) for b in self.bins) / self.total
+
+    @property
+    def max_calibration_error(self) -> float:
+        occupied = [abs(b.gap) for b in self.bins if b.count > 0]
+        return max(occupied) if occupied else 0.0
+
+    def format(self) -> str:
+        lines = ["reliability diagram (confidence bin -> empirical accuracy):"]
+        for b in self.bins:
+            if b.count == 0:
+                continue
+            bar = "#" * int(round(40 * b.empirical_accuracy))
+            lines.append(
+                f"  [{b.lower:.2f}, {b.upper:.2f})  n={b.count:5d}  "
+                f"conf={b.mean_confidence:.3f}  acc={b.empirical_accuracy:.3f}  |{bar}"
+            )
+        lines.append(f"ECE = {self.expected_calibration_error:.4f}   "
+                     f"max gap = {self.max_calibration_error:.4f}")
+        return "\n".join(lines)
+
+
+def calibration_report(
+    confidence: np.ndarray, correct: np.ndarray, num_bins: int = 10
+) -> CalibrationReport:
+    """Bin confidences uniformly on [0, 1] and compare to outcomes."""
+    confidence = np.asarray(confidence, dtype=np.float64).reshape(-1)
+    correct = np.asarray(correct).reshape(-1).astype(bool)
+    if confidence.shape != correct.shape:
+        raise ValueError("confidence and correct must align")
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    if confidence.size and (confidence.min() < 0 or confidence.max() > 1):
+        raise ValueError("confidence values must be in [0, 1]")
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: list[ReliabilityBin] = []
+    for i in range(num_bins):
+        lo, hi = edges[i], edges[i + 1]
+        mask = (confidence >= lo) & (confidence < hi if i < num_bins - 1 else confidence <= hi)
+        count = int(mask.sum())
+        bins.append(
+            ReliabilityBin(
+                lower=float(lo),
+                upper=float(hi),
+                count=count,
+                mean_confidence=float(confidence[mask].mean()) if count else 0.0,
+                empirical_accuracy=float(correct[mask].mean()) if count else 0.0,
+            )
+        )
+    return CalibrationReport(bins=bins, total=int(confidence.size))
+
+
+def auroc(confidence: np.ndarray, correct: np.ndarray) -> float:
+    """Area under the ROC curve of confidence as a correctness score.
+
+    0.5 = uninformative, 1.0 = perfect separation.  Computed via the
+    rank-sum (Mann-Whitney U) formulation with tie handling.
+    """
+    confidence = np.asarray(confidence, dtype=np.float64).reshape(-1)
+    correct = np.asarray(correct).reshape(-1).astype(bool)
+    if confidence.shape != correct.shape:
+        raise ValueError("confidence and correct must align")
+    pos = correct.sum()
+    neg = correct.size - pos
+    if pos == 0 or neg == 0:
+        return float("nan")
+    order = np.argsort(confidence, kind="mergesort")
+    ranks = np.empty(confidence.size, dtype=np.float64)
+    sorted_conf = confidence[order]
+    # average ranks for ties
+    i = 0
+    while i < sorted_conf.size:
+        j = i
+        while j + 1 < sorted_conf.size and sorted_conf[j + 1] == sorted_conf[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum = ranks[correct].sum()
+    u = rank_sum - pos * (pos + 1) / 2.0
+    return float(u / (pos * neg))

@@ -1,0 +1,42 @@
+"""Plain-text table rendering shared by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_percent", "format_rate"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.825 -> '82.5%'."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_rate(value: float, digits: int = 2) -> str:
+    """Images/sec with fixed precision."""
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table (all cells stringified)."""
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(row):
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in cells)
+    return "\n".join(lines)

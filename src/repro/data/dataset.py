@@ -1,0 +1,99 @@
+"""Dataset containers and the top-level synthetic CIFAR-10 entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .synthetic import CLASS_NAMES, SyntheticConfig, generate_images
+
+__all__ = ["Dataset", "LabeledSplits", "synthetic_cifar10", "normalize_to_pm1"]
+
+
+@dataclass
+class Dataset:
+    """Images (N, 3, H, W) in [0, 1] with integer labels (N,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+    class_names: tuple[str, ...] = CLASS_NAMES
+
+    def __post_init__(self):
+        self.images = np.asarray(self.images)
+        self.labels = np.asarray(self.labels)
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images and labels must have matching length")
+        if self.images.ndim != 4:
+            raise ValueError("images must be (N, C, H, W)")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """View of the selected samples (labels/classes preserved)."""
+        indices = np.asarray(indices)
+        return Dataset(self.images[indices], self.labels[indices], self.class_names)
+
+    def batches(self, batch_size: int, rng: np.random.Generator | None = None):
+        """Yield (images, labels) minibatches; shuffled when rng is given."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if rng is not None:
+            order = rng.permutation(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.images[idx], self.labels[idx]
+
+    def class_distribution(self) -> np.ndarray:
+        """Per-class sample counts."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+@dataclass
+class LabeledSplits:
+    """Train/test split pair, as CIFAR-10 ships (50000/10000)."""
+
+    train: Dataset
+    test: Dataset
+    config: SyntheticConfig = field(default_factory=SyntheticConfig)
+
+
+def synthetic_cifar10(
+    num_train: int = 6000,
+    num_test: int = 2000,
+    config: SyntheticConfig | None = None,
+    seed: int = 0,
+) -> LabeledSplits:
+    """Generate a class-balanced synthetic CIFAR-10 substitute.
+
+    The paper uses the real CIFAR-10 (50000 train / 10000 test); the
+    default sizes here are scaled for numpy-speed training while keeping
+    the same 10-class balance.  See DESIGN.md for the substitution
+    rationale.
+    """
+    if num_train <= 0 or num_test <= 0:
+        raise ValueError("split sizes must be positive")
+    cfg = config or SyntheticConfig()
+    rng = np.random.default_rng(seed)
+
+    def balanced_labels(n: int) -> np.ndarray:
+        reps = -(-n // 10)  # ceil
+        labels = np.tile(np.arange(10), reps)[:n]
+        return rng.permutation(labels)
+
+    y_train = balanced_labels(num_train)
+    y_test = balanced_labels(num_test)
+    x_train = generate_images(y_train, rng, cfg)
+    x_test = generate_images(y_test, rng, cfg)
+    return LabeledSplits(Dataset(x_train, y_train), Dataset(x_test, y_test), cfg)
+
+
+def normalize_to_pm1(images: np.ndarray) -> np.ndarray:
+    """Map [0, 1] images to [-1, +1], the input range BinaryNet expects."""
+    return images * 2.0 - 1.0

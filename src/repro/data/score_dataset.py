@@ -1,0 +1,64 @@
+"""Dataset of classifier output scores for DMU training.
+
+The paper trains the DMU on "a new dataset composed of the FINN output
+scores and its identification result (1 indicating success and 0
+failure)" — this module builds exactly that from any classifier's logits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ScoreDataset", "build_score_dataset"]
+
+
+@dataclass
+class ScoreDataset:
+    """BNN class scores with per-image correctness labels.
+
+    Attributes
+    ----------
+    scores:
+        (N, num_classes) raw classifier scores.
+    correct:
+        (N,) binary array — 1 when the classifier's argmax matched the
+        true label.
+    predicted, true_labels:
+        The underlying predictions and ground truth, kept so downstream
+        code can compute the FS/F̄S̄/F̄S/FS̄ taxonomy.
+    """
+
+    scores: np.ndarray
+    correct: np.ndarray
+    predicted: np.ndarray
+    true_labels: np.ndarray
+
+    def __post_init__(self):
+        n = self.scores.shape[0]
+        for name in ("correct", "predicted", "true_labels"):
+            arr = getattr(self, name)
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},)")
+
+    def __len__(self) -> int:
+        return int(self.scores.shape[0])
+
+    @property
+    def classifier_accuracy(self) -> float:
+        """Accuracy of the underlying classifier on this set."""
+        return float(self.correct.mean()) if len(self) else 0.0
+
+
+def build_score_dataset(scores: np.ndarray, true_labels: np.ndarray) -> ScoreDataset:
+    """Label each score vector with whether its argmax is correct."""
+    scores = np.asarray(scores, dtype=np.float64)
+    true_labels = np.asarray(true_labels)
+    if scores.ndim != 2:
+        raise ValueError("scores must be (N, num_classes)")
+    if true_labels.shape != (scores.shape[0],):
+        raise ValueError("true_labels must align with scores")
+    predicted = scores.argmax(axis=1)
+    correct = (predicted == true_labels).astype(np.int64)
+    return ScoreDataset(scores, correct, predicted, true_labels)

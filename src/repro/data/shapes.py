@@ -1,0 +1,82 @@
+"""Rasterized geometric primitives used by the synthetic dataset.
+
+Each primitive returns a soft (anti-aliased) occupancy mask in [0, 1] over
+an ``size x size`` pixel grid with coordinates normalized to [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["grid", "ellipse_mask", "box_mask", "triangle_mask", "line_mask", "soft_edge"]
+
+_EDGE = 40.0  # sigmoid sharpness of mask boundaries, in 1/normalized-units
+
+
+def grid(size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Pixel-center coordinate grids (yy, xx) in [0, 1]."""
+    coords = (np.arange(size) + 0.5) / size
+    return np.meshgrid(coords, coords, indexing="ij")
+
+
+def soft_edge(signed_distance: np.ndarray, sharpness: float = _EDGE) -> np.ndarray:
+    """Map a signed distance field (positive inside) to a soft mask."""
+    return 1.0 / (1.0 + np.exp(-sharpness * signed_distance))
+
+
+def ellipse_mask(
+    size: int, cx: float, cy: float, rx: float, ry: float, angle: float = 0.0
+) -> np.ndarray:
+    """Soft mask of a rotated ellipse; radii in normalized units."""
+    yy, xx = grid(size)
+    dx, dy = xx - cx, yy - cy
+    c, s = np.cos(angle), np.sin(angle)
+    u = c * dx + s * dy
+    v = -s * dx + c * dy
+    dist = 1.0 - np.sqrt((u / max(rx, 1e-6)) ** 2 + (v / max(ry, 1e-6)) ** 2)
+    return soft_edge(dist * min(rx, ry))
+
+
+def box_mask(
+    size: int, cx: float, cy: float, half_w: float, half_h: float, angle: float = 0.0
+) -> np.ndarray:
+    """Soft mask of a rotated axis box."""
+    yy, xx = grid(size)
+    dx, dy = xx - cx, yy - cy
+    c, s = np.cos(angle), np.sin(angle)
+    u = c * dx + s * dy
+    v = -s * dx + c * dy
+    dist = np.minimum(half_w - np.abs(u), half_h - np.abs(v))
+    return soft_edge(dist)
+
+
+def triangle_mask(size: int, p0, p1, p2) -> np.ndarray:
+    """Soft mask of the triangle with vertices p_i = (x, y) in [0, 1]."""
+    yy, xx = grid(size)
+
+    def half_plane(a, b):
+        # signed distance to the directed edge a->b (positive on the left)
+        ex, ey = b[0] - a[0], b[1] - a[1]
+        norm = np.hypot(ex, ey) + 1e-9
+        return ((xx - a[0]) * ey - (yy - a[1]) * ex) / norm
+
+    d0 = half_plane(p0, p1)
+    d1 = half_plane(p1, p2)
+    d2 = half_plane(p2, p0)
+    # Consistent orientation: flip if the triangle is wound the other way.
+    area = (p1[0] - p0[0]) * (p2[1] - p0[1]) - (p2[0] - p0[0]) * (p1[1] - p0[1])
+    if area < 0:
+        d0, d1, d2 = -d0, -d1, -d2
+    dist = np.minimum(np.minimum(d0, d1), d2)
+    return soft_edge(dist)
+
+
+def line_mask(size: int, x0, y0, x1, y1, width: float) -> np.ndarray:
+    """Soft mask of a thick line segment."""
+    yy, xx = grid(size)
+    dx, dy = x1 - x0, y1 - y0
+    length_sq = dx * dx + dy * dy + 1e-12
+    t = np.clip(((xx - x0) * dx + (yy - y0) * dy) / length_sq, 0.0, 1.0)
+    px, py = x0 + t * dx, y0 + t * dy
+    dist = width - np.hypot(xx - px, yy - py)
+    return soft_edge(dist)

@@ -1,0 +1,303 @@
+"""Synthetic CIFAR-10-like dataset.
+
+The real CIFAR-10 cannot be downloaded in this offline environment, so the
+reproduction uses a procedurally generated 10-class 32x32 RGB dataset with
+the same tensor layout and the statistical properties the paper's mechanism
+relies on:
+
+* classes are learnable but not trivially separable (noise, jitter,
+  occluders, per-class sub-modes);
+* three deliberately confusable pairs — cat/dog, deer/horse,
+  automobile/truck — produce a hard subset, so a binarized network loses
+  measurable accuracy relative to float networks and per-image confidence
+  carries signal for the DMU;
+* class-conditional colour statistics overlap by a controllable amount.
+
+Class names mirror CIFAR-10: airplane, automobile, bird, cat, deer, dog,
+frog, horse, ship, truck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .shapes import box_mask, ellipse_mask, line_mask, triangle_mask
+
+__all__ = ["SyntheticConfig", "CLASS_NAMES", "render_class_image", "generate_images"]
+
+CLASS_NAMES = (
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+)
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs controlling dataset difficulty.
+
+    Parameters
+    ----------
+    image_size:
+        Side length in pixels (CIFAR-10 is 32).
+    noise:
+        Standard deviation of additive Gaussian pixel noise.
+    jitter:
+        Scale of random translation/size/orientation perturbations.
+    color_overlap:
+        0 = classes keep their canonical colours, 1 = colours are fully
+        randomized (removing colour as a cue).
+    occluder_prob:
+        Probability of pasting a random occluding patch over the object.
+    """
+
+    image_size: int = 32
+    noise: float = 0.14
+    jitter: float = 0.16
+    color_overlap: float = 0.45
+    occluder_prob: float = 0.35
+
+    def __post_init__(self):
+        if self.image_size < 8:
+            raise ValueError("image_size must be >= 8")
+        if not 0.0 <= self.color_overlap <= 1.0:
+            raise ValueError("color_overlap must be in [0, 1]")
+        if self.noise < 0 or self.jitter < 0:
+            raise ValueError("noise and jitter must be non-negative")
+        if not 0.0 <= self.occluder_prob <= 1.0:
+            raise ValueError("occluder_prob must be in [0, 1]")
+
+
+def _paint(img: np.ndarray, mask: np.ndarray, color: np.ndarray) -> None:
+    """Alpha-composite ``color`` over ``img`` using ``mask`` in place."""
+    img *= 1.0 - mask
+    img += mask * color[:, None, None]
+
+
+def _color(rng: np.random.Generator, base: tuple[float, float, float], overlap: float) -> np.ndarray:
+    """Sample a colour near ``base``, blended toward uniform by ``overlap``."""
+    base_arr = np.asarray(base)
+    jittered = np.clip(base_arr + rng.normal(0, 0.08, size=3), 0.0, 1.0)
+    random_color = rng.uniform(0.05, 0.95, size=3)
+    return (1.0 - overlap) * jittered + overlap * random_color
+
+
+def _sky_background(size: int, rng: np.random.Generator, overlap: float) -> np.ndarray:
+    top = _color(rng, (0.55, 0.70, 0.90), overlap * 0.5)
+    bottom = _color(rng, (0.75, 0.82, 0.95), overlap * 0.5)
+    ramp = np.linspace(0.0, 1.0, size).reshape(1, size, 1)
+    img = top[:, None, None] * (1 - ramp) + bottom[:, None, None] * ramp
+    return np.broadcast_to(img, (3, size, size)).copy()
+
+
+def _ground_background(size: int, rng: np.random.Generator, overlap: float) -> np.ndarray:
+    sky = _color(rng, (0.60, 0.75, 0.90), overlap * 0.5)
+    ground = _color(rng, (0.35, 0.45, 0.25), overlap * 0.5)
+    horizon = 0.55 + 0.1 * rng.standard_normal()
+    rows = (np.arange(size) + 0.5) / size
+    weight = 1.0 / (1.0 + np.exp(-30 * (rows - horizon)))
+    weight = weight.reshape(1, size, 1)
+    img = sky[:, None, None] * (1 - weight) + ground[:, None, None] * weight
+    return np.broadcast_to(img, (3, size, size)).copy()
+
+
+def _sea_background(size: int, rng: np.random.Generator, overlap: float) -> np.ndarray:
+    sky = _color(rng, (0.65, 0.78, 0.92), overlap * 0.5)
+    sea = _color(rng, (0.15, 0.30, 0.55), overlap * 0.5)
+    horizon = 0.55 + 0.08 * rng.standard_normal()
+    rows = (np.arange(size) + 0.5) / size
+    weight = 1.0 / (1.0 + np.exp(-40 * (rows - horizon)))
+    weight = weight.reshape(1, size, 1)
+    img = sky[:, None, None] * (1 - weight) + sea[:, None, None] * weight
+    return np.broadcast_to(img, (3, size, size)).copy()
+
+
+def _legs(size, cx, cy, body_w, leg_len, width, rng, jitter):
+    mask = np.zeros((size, size))
+    for offset in (-0.8, -0.35, 0.35, 0.8):
+        x = cx + offset * body_w + jitter * 0.02 * rng.standard_normal()
+        mask = np.maximum(mask, line_mask(size, x, cy, x, cy + leg_len, width))
+    return mask
+
+
+def render_class_image(
+    label: int, rng: np.random.Generator, config: SyntheticConfig | None = None
+) -> np.ndarray:
+    """Render one (3, S, S) float image in [0, 1] for ``label``."""
+    cfg = config or SyntheticConfig()
+    size = cfg.image_size
+    j = cfg.jitter
+    ov = cfg.color_overlap
+
+    def jit(scale=1.0):
+        return j * scale * rng.standard_normal()
+
+    cx = 0.5 + jit(0.5)
+    cy = 0.5 + jit(0.5)
+    scale = 1.0 + jit(0.8)
+    scale = float(np.clip(scale, 0.6, 1.5))
+
+    if label == 0:  # airplane: fuselage + swept wings on sky
+        img = _sky_background(size, rng, ov)
+        body_color = _color(rng, (0.75, 0.75, 0.78), ov)
+        angle = jit(1.2)
+        _paint(img, ellipse_mask(size, cx, cy, 0.30 * scale, 0.06 * scale, angle), body_color)
+        wing = triangle_mask(
+            size,
+            (cx - 0.05, cy),
+            (cx + 0.1, cy - 0.28 * scale),
+            (cx + 0.16, cy),
+        )
+        wing2 = triangle_mask(
+            size,
+            (cx - 0.05, cy),
+            (cx + 0.1, cy + 0.28 * scale),
+            (cx + 0.16, cy),
+        )
+        _paint(img, np.maximum(wing, wing2), body_color * 0.9)
+    elif label == 1:  # automobile: low body + cabin + 2 wheels
+        img = _ground_background(size, rng, ov)
+        body_color = _color(rng, (0.75, 0.15, 0.15), ov)
+        _paint(img, box_mask(size, cx, cy + 0.08, 0.30 * scale, 0.09 * scale, jit(0.3)), body_color)
+        _paint(img, box_mask(size, cx, cy - 0.04, 0.16 * scale, 0.07 * scale, jit(0.3)), body_color * 0.85)
+        wheel_color = np.array([0.08, 0.08, 0.08])
+        for wx in (cx - 0.18 * scale, cx + 0.18 * scale):
+            _paint(img, ellipse_mask(size, wx, cy + 0.17, 0.06 * scale, 0.06 * scale), wheel_color)
+    elif label == 2:  # bird: small body, head, beak, one wing
+        img = _sky_background(size, rng, ov)
+        body_color = _color(rng, (0.55, 0.40, 0.25), ov)
+        _paint(img, ellipse_mask(size, cx, cy, 0.16 * scale, 0.10 * scale, jit()), body_color)
+        _paint(img, ellipse_mask(size, cx + 0.15 * scale, cy - 0.08, 0.06 * scale, 0.06 * scale), body_color)
+        beak = triangle_mask(
+            size,
+            (cx + 0.2 * scale, cy - 0.1),
+            (cx + 0.28 * scale, cy - 0.07),
+            (cx + 0.2 * scale, cy - 0.05),
+        )
+        _paint(img, beak, _color(rng, (0.9, 0.7, 0.1), ov))
+        wing = triangle_mask(
+            size,
+            (cx - 0.05, cy - 0.03),
+            (cx - 0.2 * scale, cy - 0.2 * scale),
+            (cx + 0.08, cy - 0.05),
+        )
+        _paint(img, wing, body_color * 0.8)
+    elif label in (3, 5):  # cat (3) and dog (5): same head, different ears
+        img = _ground_background(size, rng, ov)
+        fur = _color(rng, (0.60, 0.45, 0.30) if label == 5 else (0.55, 0.50, 0.45), ov)
+        _paint(img, ellipse_mask(size, cx, cy + 0.05, 0.20 * scale, 0.18 * scale), fur)
+        if label == 3:  # pointed upright ears
+            for sx in (-1, 1):
+                ear = triangle_mask(
+                    size,
+                    (cx + sx * 0.14 * scale, cy - 0.08),
+                    (cx + sx * 0.19 * scale, cy - 0.30 * scale),
+                    (cx + sx * 0.04 * scale, cy - 0.12),
+                )
+                _paint(img, ear, fur * 0.9)
+        else:  # floppy side ears
+            for sx in (-1, 1):
+                ear = ellipse_mask(
+                    size, cx + sx * 0.2 * scale, cy - 0.02, 0.06 * scale, 0.14 * scale, sx * 0.5
+                )
+                _paint(img, ear, fur * 0.8)
+        eye_color = np.array([0.05, 0.05, 0.05])
+        for sx in (-1, 1):
+            _paint(img, ellipse_mask(size, cx + sx * 0.07, cy, 0.025, 0.025), eye_color)
+        # dog: visible snout blob
+        if label == 5:
+            _paint(img, ellipse_mask(size, cx, cy + 0.1, 0.07 * scale, 0.05 * scale), fur * 1.15)
+    elif label in (4, 7):  # deer (4) and horse (7): body+legs; deer has antlers
+        img = _ground_background(size, rng, ov)
+        coat = _color(rng, (0.55, 0.38, 0.20) if label == 4 else (0.40, 0.25, 0.15), ov)
+        body_w = 0.22 * scale
+        _paint(img, ellipse_mask(size, cx, cy, body_w, 0.11 * scale, jit(0.3)), coat)
+        _paint(img, _legs(size, cx, cy + 0.08, body_w, 0.22 * scale, 0.016, rng, j), coat * 0.9)
+        # neck + head
+        _paint(img, line_mask(size, cx + body_w * 0.8, cy - 0.02, cx + body_w * 1.1, cy - 0.2 * scale, 0.035), coat)
+        _paint(img, ellipse_mask(size, cx + body_w * 1.15, cy - 0.22 * scale, 0.06 * scale, 0.045 * scale, 0.4), coat)
+        if label == 4:  # antlers: two thin lines above the head
+            hx, hy = cx + body_w * 1.15, cy - 0.26 * scale
+            for dx in (-0.05, 0.03):
+                _paint(img, line_mask(size, hx, hy, hx + dx, hy - 0.12 * scale, 0.010), coat * 0.7)
+        else:  # horse: tail
+            _paint(img, line_mask(size, cx - body_w, cy, cx - body_w - 0.08, cy + 0.12, 0.015), coat * 0.6)
+    elif label == 6:  # frog: wide flat body, two eye bumps
+        img = _ground_background(size, rng, ov)
+        skin = _color(rng, (0.25, 0.60, 0.20), ov)
+        _paint(img, ellipse_mask(size, cx, cy + 0.08, 0.26 * scale, 0.13 * scale), skin)
+        for sx in (-1, 1):
+            _paint(img, ellipse_mask(size, cx + sx * 0.12, cy - 0.06, 0.055, 0.055), skin * 0.9)
+            _paint(img, ellipse_mask(size, cx + sx * 0.12, cy - 0.07, 0.02, 0.02), np.array([0.05, 0.05, 0.05]))
+        for sx in (-1, 1):  # folded legs
+            _paint(img, ellipse_mask(size, cx + sx * 0.24 * scale, cy + 0.14, 0.08, 0.05, sx * 0.6), skin * 0.85)
+    elif label == 8:  # ship: hull on waterline + superstructure
+        img = _sea_background(size, rng, ov)
+        hull_color = _color(rng, (0.35, 0.35, 0.40), ov)
+        hull = triangle_mask(
+            size,
+            (cx - 0.3 * scale, cy + 0.05),
+            (cx + 0.3 * scale, cy + 0.05),
+            (cx + 0.18 * scale, cy + 0.2 * scale),
+        )
+        hull = np.maximum(
+            hull,
+            triangle_mask(
+                size,
+                (cx - 0.3 * scale, cy + 0.05),
+                (cx - 0.18 * scale, cy + 0.2 * scale),
+                (cx + 0.18 * scale, cy + 0.2 * scale),
+            ),
+        )
+        _paint(img, hull, hull_color)
+        _paint(img, box_mask(size, cx, cy - 0.05, 0.12 * scale, 0.08 * scale), hull_color * 1.3)
+        _paint(img, line_mask(size, cx + 0.05, cy - 0.13, cx + 0.05, cy - 0.3 * scale, 0.015), hull_color * 0.8)
+    elif label == 9:  # truck: tall box cargo + cab + 2-3 wheels
+        img = _ground_background(size, rng, ov)
+        cargo_color = _color(rng, (0.70, 0.55, 0.20), ov)
+        _paint(img, box_mask(size, cx - 0.06, cy - 0.02, 0.24 * scale, 0.16 * scale, jit(0.2)), cargo_color)
+        _paint(img, box_mask(size, cx + 0.25 * scale, cy + 0.06, 0.09 * scale, 0.08 * scale), cargo_color * 0.8)
+        wheel_color = np.array([0.08, 0.08, 0.08])
+        for wx in (cx - 0.2 * scale, cx + 0.02, cx + 0.26 * scale):
+            _paint(img, ellipse_mask(size, wx, cy + 0.17, 0.055 * scale, 0.055 * scale), wheel_color)
+    else:
+        raise ValueError(f"label must be in 0..9, got {label}")
+
+    # Random occluder patch (makes a subset genuinely hard to classify).
+    if rng.random() < cfg.occluder_prob:
+        occ_color = rng.uniform(0.0, 1.0, size=3)
+        occ = box_mask(
+            size,
+            rng.uniform(0.2, 0.8),
+            rng.uniform(0.2, 0.8),
+            rng.uniform(0.04, 0.12),
+            rng.uniform(0.04, 0.12),
+            rng.uniform(0, np.pi),
+        )
+        _paint(img, occ * 0.85, occ_color)
+
+    # Global illumination jitter + pixel noise.
+    img *= 1.0 + 0.15 * j * rng.standard_normal()
+    img += cfg.noise * rng.standard_normal(img.shape)
+    return np.clip(img, 0.0, 1.0)
+
+
+def generate_images(
+    labels: np.ndarray, rng: np.random.Generator, config: SyntheticConfig | None = None
+) -> np.ndarray:
+    """Render a batch of images for the given integer labels."""
+    cfg = config or SyntheticConfig()
+    labels = np.asarray(labels)
+    out = np.empty((labels.shape[0], 3, cfg.image_size, cfg.image_size))
+    for i, label in enumerate(labels):
+        out[i] = render_class_image(int(label), rng, cfg)
+    return out

@@ -1,0 +1,44 @@
+"""Experiment runners — one per table/figure of the paper's evaluation.
+
+| Paper item | Runner                                    |
+|------------|-------------------------------------------|
+| Table I    | :func:`repro.experiments.table1.run`      |
+| Fig. 3     | :func:`repro.experiments.fig34.run_fig3`  |
+| Fig. 4     | :func:`repro.experiments.fig34.run_fig4`  |
+| Fig. 5     | :func:`repro.experiments.fig5_table2.run_fig5` |
+| Table II   | :func:`repro.experiments.fig5_table2.run_table2` |
+| Table III  | :func:`repro.experiments.table3.run`      |
+| Table IV   | :func:`repro.experiments.table4.run`      |
+| Table V    | :func:`repro.experiments.table5.run`      |
+| ablations  | :mod:`repro.experiments.ablations`        |
+
+Trained artefacts are shared through :class:`repro.experiments.Workbench`.
+"""
+
+from . import ablations, fig34, fig5_table2, future_work, report_all, table1, table3, table4, table5
+from .finn_config import (
+    FinnDesignPoint,
+    PAPER_ANCHOR_FPS,
+    chosen_configuration,
+    standard_sweep,
+)
+from .workbench import HOST_MODEL_NAMES, Workbench, WorkbenchConfig
+
+__all__ = [
+    "Workbench",
+    "WorkbenchConfig",
+    "HOST_MODEL_NAMES",
+    "FinnDesignPoint",
+    "chosen_configuration",
+    "standard_sweep",
+    "PAPER_ANCHOR_FPS",
+    "table1",
+    "fig34",
+    "fig5_table2",
+    "table3",
+    "table4",
+    "table5",
+    "ablations",
+    "future_work",
+    "report_all",
+]

@@ -1,0 +1,95 @@
+"""Figures 3 and 4 — performance and area versus degree of parallelism.
+
+Fig. 3: expected vs obtained img/s and BRAM/LUT utilization for balanced
+CIFAR-10 configurations under naive BRAM allocation.  Fig. 4: the same
+sweep with block array partitioning (BRAM drops, low-PE configurations
+slow slightly, high-PE ones retain performance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ascii_chart import line_chart
+from ..core.report import render_table
+from .finn_config import FinnDesignPoint, standard_sweep
+
+__all__ = ["ScalingRow", "ScalingResult", "run_fig3", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    total_pe: int
+    expected_fps: float
+    obtained_fps: float
+    bram_pct: float
+    lut_pct: float
+
+
+@dataclass
+class ScalingResult:
+    rows: list[ScalingRow]
+    partitioned: bool
+
+    def format(self) -> str:
+        which = "Fig. 4 (block-partitioned BRAM)" if self.partitioned else "Fig. 3 (naive BRAM)"
+        return render_table(
+            ["total PE", "expected img/s", "obtained img/s", "BRAM_18K %", "LUT %"],
+            [
+                [
+                    r.total_pe,
+                    f"{r.expected_fps:.0f}",
+                    f"{r.obtained_fps:.0f}",
+                    f"{r.bram_pct:.1f}",
+                    f"{r.lut_pct:.1f}",
+                ]
+                for r in self.rows
+            ],
+            title=f"{which}: performance and area vs total PE count",
+        )
+
+    def chart(self) -> str:
+        """ASCII rendition of the figure's two panels."""
+        x = [r.total_pe for r in self.rows]
+        top = line_chart(
+            x,
+            {"expected": [r.expected_fps for r in self.rows],
+             "obtained": [r.obtained_fps for r in self.rows]},
+            title="images/sec vs total PE count",
+            x_label="total PE", y_label="img/s",
+        )
+        bottom = line_chart(
+            x,
+            {"BRAM_18K %": [r.bram_pct for r in self.rows],
+             "LUT %": [r.lut_pct for r in self.rows]},
+            title="utilization vs total PE count",
+            x_label="total PE", y_label="%",
+        )
+        return top + "\n\n" + bottom
+
+
+def _rows(points: list[FinnDesignPoint], partitioned: bool) -> list[ScalingRow]:
+    rows = []
+    for p in sorted(points, key=lambda q: q.total_pe):
+        perf = p.performance_partitioned if partitioned else p.performance_naive
+        res = p.resources_partitioned if partitioned else p.resources_naive
+        rows.append(
+            ScalingRow(
+                total_pe=p.total_pe,
+                expected_fps=perf.expected_fps,
+                obtained_fps=perf.obtained_fps,
+                bram_pct=100.0 * res.bram_utilization,
+                lut_pct=100.0 * res.lut_utilization,
+            )
+        )
+    return rows
+
+
+def run_fig3(points: list[FinnDesignPoint] | None = None) -> ScalingResult:
+    points = points if points is not None else standard_sweep()
+    return ScalingResult(rows=_rows(points, partitioned=False), partitioned=False)
+
+
+def run_fig4(points: list[FinnDesignPoint] | None = None) -> ScalingResult:
+    points = points if points is not None else standard_sweep()
+    return ScalingResult(rows=_rows(points, partitioned=True), partitioned=True)

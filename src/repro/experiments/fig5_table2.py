@@ -1,0 +1,98 @@
+"""Fig. 5 and Table II — DMU threshold behaviour and the chosen setting.
+
+Fig. 5: Softmax-layer accuracy and the F̄S / FS̄ fractions across
+thresholds 0.5-1.0 on the *training* dataset (as in the paper).
+Table II: the category fractions at the deployed threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import DMUCategories, threshold_sweep
+from ..core.report import render_table
+from .workbench import Workbench
+
+__all__ = ["Fig5Result", "Table2Result", "run_fig5", "run_table2"]
+
+
+@dataclass
+class Fig5Result:
+    thresholds: list[float]
+    categories: list[DMUCategories]
+
+    def format(self) -> str:
+        rows = [
+            [
+                f"{c.threshold:.2f}",
+                f"{100 * c.dmu_accuracy:.1f}",
+                f"{100 * c.fbar_s:.1f}",
+                f"{100 * c.f_sbar:.1f}",
+                f"{100 * c.rerun_ratio:.1f}",
+            ]
+            for c in self.categories
+        ]
+        return render_table(
+            ["threshold", "DMU acc %", "F̄S %", "FS̄ %", "rerun %"],
+            rows,
+            title="Fig. 5: Softmax accuracy and F̄S / FS̄ vs threshold (training data)",
+        )
+
+    def chart(self) -> str:
+        """ASCII rendition of Fig. 5's three series."""
+        from ..core.ascii_chart import line_chart
+
+        return line_chart(
+            self.thresholds,
+            {
+                "DMU accuracy %": [100 * c.dmu_accuracy for c in self.categories],
+                "F̄S %": [100 * c.fbar_s for c in self.categories],
+                "FS̄ %": [100 * c.f_sbar for c in self.categories],
+            },
+            title="Fig. 5: DMU behaviour vs Softmax threshold",
+            x_label="threshold", y_label="percent",
+        )
+
+
+@dataclass
+class Table2Result:
+    train: DMUCategories
+    test: DMUCategories
+
+    def format(self) -> str:
+        def row(name, c):
+            return [
+                name,
+                f"{c.threshold:.2f}",
+                f"{100 * c.fs:.1f}",
+                f"{100 * c.fbar_sbar:.1f}",
+                f"{100 * c.fbar_s:.1f}",
+                f"{100 * c.f_sbar:.1f}",
+                f"{100 * c.max_achievable_accuracy:.1f}",
+            ]
+
+        return render_table(
+            ["split", "thr", "FS %", "F̄S̄ %", "F̄S %", "FS̄ %", "max acc %"],
+            [row("train", self.train), row("test", self.test)],
+            title="Table II: Softmax threshold setting and obtained category fractions",
+        )
+
+
+def run_fig5(workbench: Workbench, thresholds: np.ndarray | None = None) -> Fig5Result:
+    thresholds = (
+        thresholds if thresholds is not None else np.arange(0.5, 1.0001, 0.05)
+    )
+    categories = threshold_sweep(workbench.dmu, workbench.train_scores, thresholds)
+    return Fig5Result(thresholds=[float(t) for t in thresholds], categories=categories)
+
+
+def run_table2(workbench: Workbench, threshold: float | None = None) -> Table2Result:
+    # Default to the *deployed* threshold (after any target-rerun-ratio
+    # selection), matching what Table V's cascade actually uses.
+    thr = workbench.dmu.threshold if threshold is None else threshold
+    return Table2Result(
+        train=workbench.dmu.categorize(workbench.train_scores, thr),
+        test=workbench.dmu.categorize(workbench.test_scores, thr),
+    )

@@ -1,0 +1,87 @@
+"""Selection of the paper's working FINN configuration.
+
+Section III-A: "we select the configuration with the lowest BRAM
+utilisation to release resources for other hardware blocks; the
+implementation with 32 PEs, reaching 430 images/second and utilising 65%
+of the ZC702 board BRAMs, is used through the rest of this article".
+
+We reproduce the selection rule rather than hard-coding the paper's
+numbers: sweep the standard design points, keep the block-partitioned
+allocations, and pick the cheapest configuration that still reaches the
+paper's real-time anchor (430 img/s within a small tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..finn import (
+    BalanceResult,
+    NetworkResources,
+    PipelinePerformance,
+    XC7Z020,
+    ZC702_CLOCK_HZ,
+    evaluate_pipeline,
+    finn_cnv_specs,
+    network_resources,
+    sweep_targets,
+)
+
+__all__ = ["FinnDesignPoint", "standard_sweep", "chosen_configuration", "PAPER_ANCHOR_FPS"]
+
+#: The paper's working-configuration throughput anchor.
+PAPER_ANCHOR_FPS = 430.0
+
+#: Throughput design targets swept in Figs. 3-4 (img/s).
+STANDARD_TARGETS = [95.0, 210.0, 430.0, 600.0, 1200.0, 1800.0, 3000.0]
+
+
+@dataclass(frozen=True)
+class FinnDesignPoint:
+    """One design point of the Fig. 3/4 sweep."""
+
+    balance: BalanceResult
+    performance_naive: PipelinePerformance
+    performance_partitioned: PipelinePerformance
+    resources_naive: NetworkResources
+    resources_partitioned: NetworkResources
+
+    @property
+    def total_pe(self) -> int:
+        return self.balance.total_pe
+
+
+def standard_sweep(clock_hz: float = ZC702_CLOCK_HZ) -> list[FinnDesignPoint]:
+    """Evaluate the standard design targets on the ZC702."""
+    specs = finn_cnv_specs()
+    points = []
+    for result in sweep_targets(specs, STANDARD_TARGETS, clock_hz):
+        engines = list(result.engines)
+        points.append(
+            FinnDesignPoint(
+                balance=result,
+                performance_naive=evaluate_pipeline(result, clock_hz, partitioned=False),
+                performance_partitioned=evaluate_pipeline(result, clock_hz, partitioned=True),
+                resources_naive=network_resources(engines, XC7Z020, partitioned=False),
+                resources_partitioned=network_resources(engines, XC7Z020, partitioned=True),
+            )
+        )
+    return points
+
+
+def chosen_configuration(
+    min_fps: float = PAPER_ANCHOR_FPS,
+    tolerance: float = 0.06,
+    clock_hz: float = ZC702_CLOCK_HZ,
+) -> FinnDesignPoint:
+    """The paper's selection rule: cheapest partitioned-BRAM design point
+    whose obtained throughput still covers ``min_fps`` (within tolerance).
+    """
+    candidates = [
+        p
+        for p in standard_sweep(clock_hz)
+        if p.performance_partitioned.obtained_fps >= min_fps * (1.0 - tolerance)
+    ]
+    if not candidates:
+        raise ValueError(f"no design point reaches {min_fps} img/s")
+    return min(candidates, key=lambda p: p.resources_partitioned.total_brams)

@@ -1,0 +1,142 @@
+"""The paper's two future-work directions, quantified.
+
+1. **ARMv8 host** — "using the multi-precision concept on higher-end
+   heterogeneous devices that incorporate ARMv8 processors with active
+   NEON engines": re-evaluate the host rates and the Eq. (1) cascade
+   throughput on a Cortex-A53-class CPU model.
+2. **Mixed precision on the FPGA** — sweep the CNV network across a
+   (weight bits, activation bits) ladder under the bit-serial cost model
+   and report throughput/BRAM at the paper's working parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.analytic import multi_precision_interval
+from ..core.report import render_table
+from ..finn import (
+    XC7Z020,
+    ZC702_CLOCK_HZ,
+    balance_network,
+    evaluate_pipeline,
+    finn_cnv_specs,
+    network_resources,
+)
+from ..finn.mixed_precision import precision_ladder
+from ..host import ARM_CORTEX_A53_NEON, HostPerformanceModel, analyze_network, paper_calibrated_model
+from ..models import build_model_a, build_model_b, build_model_c
+
+__all__ = [
+    "ArmV8Row",
+    "run_armv8_projection",
+    "MixedPrecisionRow",
+    "run_mixed_precision_sweep",
+]
+
+_BUILDERS = {
+    "Model A": build_model_a,
+    "Model B": build_model_b,
+    "Model C": build_model_c,
+}
+
+
+@dataclass(frozen=True)
+class ArmV8Row:
+    model: str
+    a9_images_per_second: float
+    a53_images_per_second: float
+    a9_cascade_fps: float
+    a53_cascade_fps: float
+
+    @property
+    def host_speedup(self) -> float:
+        return self.a53_images_per_second / self.a9_images_per_second
+
+
+def run_armv8_projection(
+    rerun_ratio: float = 0.251, t_bnn: float = 1 / 430.15
+) -> list[ArmV8Row]:
+    """Project Table IV/V rates onto an ARMv8+NEON host.
+
+    The saturating-efficiency parameters calibrated on the A9 are reused;
+    only the peak-FLOPs term changes — a conservative projection since
+    NEON also vectorizes the packing-bound small-GEMM regime.
+    """
+    a9 = paper_calibrated_model()
+    a53 = HostPerformanceModel(ARM_CORTEX_A53_NEON, a9.eff_max, a9.half_sat)
+    rows = []
+    for name, builder in _BUILDERS.items():
+        cost = analyze_network(builder(scale=1.0))
+        t_a9 = a9.seconds_per_image(cost)
+        t_a53 = a53.seconds_per_image(cost)
+        rows.append(
+            ArmV8Row(
+                model=name,
+                a9_images_per_second=1 / t_a9,
+                a53_images_per_second=1 / t_a53,
+                a9_cascade_fps=1 / multi_precision_interval(t_a9, t_bnn, rerun_ratio),
+                a53_cascade_fps=1 / multi_precision_interval(t_a53, t_bnn, rerun_ratio),
+            )
+        )
+    return rows
+
+
+def format_armv8(rows: list[ArmV8Row]) -> str:
+    return render_table(
+        ["model", "A9 img/s", "A53+NEON img/s", "A9 cascade", "A53 cascade"],
+        [
+            [
+                r.model,
+                f"{r.a9_images_per_second:.2f}",
+                f"{r.a53_images_per_second:.2f}",
+                f"{r.a9_cascade_fps:.1f}",
+                f"{r.a53_cascade_fps:.1f}",
+            ]
+            for r in rows
+        ],
+        title="Future work: ARMv8 (NEON) host projection at R_rerun = 25.1%",
+    )
+
+
+@dataclass(frozen=True)
+class MixedPrecisionRow:
+    label: str
+    weight_bits: int
+    activation_bits: int
+    obtained_fps: float
+    bram_pct: float
+    fits_device: bool
+
+
+def run_mixed_precision_sweep(target_cycles: int = 232_000) -> list[MixedPrecisionRow]:
+    """Sweep the CNV network over a precision ladder at fixed target latency."""
+    rows = []
+    for label, specs in precision_ladder(finn_cnv_specs()).items():
+        w = specs[1].weight_bits
+        a = specs[1].activation_bits
+        balanced = balance_network(specs, target_cycles)
+        perf = evaluate_pipeline(balanced, ZC702_CLOCK_HZ, partitioned=True)
+        res = network_resources(list(balanced.engines), XC7Z020, partitioned=True)
+        rows.append(
+            MixedPrecisionRow(
+                label=label,
+                weight_bits=w,
+                activation_bits=a,
+                obtained_fps=perf.obtained_fps,
+                bram_pct=100.0 * res.bram_utilization,
+                fits_device=res.fits(),
+            )
+        )
+    return rows
+
+
+def format_mixed_precision(rows: list[MixedPrecisionRow]) -> str:
+    return render_table(
+        ["precision", "obtained img/s", "BRAM %", "fits XC7Z020"],
+        [
+            [r.label, f"{r.obtained_fps:.0f}", f"{r.bram_pct:.1f}", "yes" if r.fits_device else "NO"]
+            for r in rows
+        ],
+        title="Future work: mixed-precision CNV on the ZC702 (bit-serial model)",
+    )

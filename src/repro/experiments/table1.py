@@ -1,0 +1,75 @@
+"""Table I — the FINN engines of the CNV network.
+
+Reproduces the layer stack plus the per-engine feature sizes of Section
+III-A (weight geometry, threshold widths) and the cycle counts of the
+chosen configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.report import render_table
+from ..finn import finn_cnv_specs
+from .finn_config import FinnDesignPoint, chosen_configuration
+
+__all__ = ["Table1Row", "Table1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    layer: str
+    description: str
+    weight_rows: int
+    weight_cols: int
+    total_weight_bits: int
+    threshold_bits: int | None
+    pe: int
+    simd: int
+    cycles: int
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+    design: FinnDesignPoint
+
+    def format(self) -> str:
+        table_rows = [
+            [
+                r.layer,
+                r.description,
+                f"{r.weight_rows}x{r.weight_cols}",
+                r.total_weight_bits,
+                r.threshold_bits if r.threshold_bits is not None else "-",
+                r.pe,
+                r.simd,
+                r.cycles,
+            ]
+            for r in self.rows
+        ]
+        return render_table(
+            ["engine", "layer", "weights (OD x fan-in)", "weight bits", "thr bits", "P", "S", "CC/img"],
+            table_rows,
+            title="Table I: FINN engines for CIFAR-10 (chosen configuration)",
+        )
+
+
+def run(design: FinnDesignPoint | None = None) -> Table1Result:
+    design = design or chosen_configuration()
+    rows = []
+    for spec, engine in zip(finn_cnv_specs(), design.balance.engines):
+        rows.append(
+            Table1Row(
+                layer=spec.name,
+                description=spec.describe().split(": ", 1)[1],
+                weight_rows=spec.weight_rows,
+                weight_cols=spec.fan_in,
+                total_weight_bits=spec.total_weight_bits,
+                threshold_bits=spec.threshold_bits,
+                pe=engine.pe,
+                simd=engine.simd,
+                cycles=engine.cycles_per_image,
+            )
+        )
+    return Table1Result(rows=rows, design=design)

@@ -1,0 +1,75 @@
+"""Table III — the three host network topologies.
+
+Summarizes the full-width Models A/B/C exactly as built by
+:mod:`repro.models.host_models`, with parameter and FLOP counts from the
+host cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.report import render_table
+from ..host import analyze_network
+from ..models import build_model_a, build_model_b, build_model_c
+from ..nn import Conv2D, Dense
+
+__all__ = ["Table3Row", "Table3Result", "run"]
+
+_BUILDERS = {
+    "Model A": build_model_a,
+    "Model B": build_model_b,
+    "Model C": build_model_c,
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    model: str
+    conv_layers: int
+    dense_layers: int
+    conv_channels: list[int]
+    params: int
+    mflops_per_image: float
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row]
+
+    def format(self) -> str:
+        return render_table(
+            ["model", "#conv", "#fc", "conv channels", "params", "MFLOP/img"],
+            [
+                [
+                    r.model,
+                    r.conv_layers,
+                    r.dense_layers,
+                    "-".join(str(c) for c in r.conv_channels),
+                    r.params,
+                    f"{r.mflops_per_image:.1f}",
+                ]
+                for r in self.rows
+            ],
+            title="Table III: host networks (full width)",
+        )
+
+
+def run() -> Table3Result:
+    rows = []
+    for name, builder in _BUILDERS.items():
+        net = builder(scale=1.0)
+        convs = [l for l in net if isinstance(l, Conv2D)]
+        denses = [l for l in net if isinstance(l, Dense)]
+        cost = analyze_network(net)
+        rows.append(
+            Table3Row(
+                model=name,
+                conv_layers=len(convs),
+                dense_layers=len(denses),
+                conv_channels=[c.out_channels for c in convs],
+                params=net.num_params(),
+                mflops_per_image=cost.total_flops / 1e6,
+            )
+        )
+    return Table3Result(rows=rows)

@@ -1,0 +1,95 @@
+"""Table IV — standalone (non-heterogeneous) classification performance.
+
+Accuracy comes from the trained (width-scaled) networks on the synthetic
+test set; images/sec comes from the analytical models at full width: the
+calibrated ARM host model for Models A/B/C and the chosen FINN
+configuration for the FPGA (DESIGN.md §5 scale policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.report import render_table
+from ..host import analyze_network, paper_calibrated_model
+from ..models import build_model_a, build_model_b, build_model_c
+from .finn_config import FinnDesignPoint, chosen_configuration
+from .workbench import Workbench
+
+__all__ = ["Table4Row", "Table4Result", "run"]
+
+PAPER_TABLE4 = {
+    "Model A": (0.814, 29.68),
+    "Model B": (0.893, 3.63),
+    "Model C": (0.907, 3.09),
+    "FINN (FPGA)": (0.785, 430.15),
+}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    model: str
+    accuracy: float
+    images_per_second: float
+    paper_accuracy: float
+    paper_images_per_second: float
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row]
+    design: FinnDesignPoint
+
+    def row(self, model: str) -> Table4Row:
+        for r in self.rows:
+            if r.model == model:
+                return r
+        raise KeyError(model)
+
+    def format(self) -> str:
+        return render_table(
+            ["model", "accuracy", "img/s", "paper acc", "paper img/s"],
+            [
+                [
+                    r.model,
+                    f"{100 * r.accuracy:.1f}%",
+                    f"{r.images_per_second:.2f}",
+                    f"{100 * r.paper_accuracy:.1f}%",
+                    f"{r.paper_images_per_second:.2f}",
+                ]
+                for r in self.rows
+            ],
+            title="Table IV: standalone CIFAR-10 classification (host models vs FINN)",
+        )
+
+
+def run(workbench: Workbench, design: FinnDesignPoint | None = None) -> Table4Result:
+    design = design or chosen_configuration()
+    host_model = paper_calibrated_model()
+    builders = {
+        "Model A": ("model_a", build_model_a),
+        "Model B": ("model_b", build_model_b),
+        "Model C": ("model_c", build_model_c),
+    }
+    rows = []
+    for label, (key, builder) in builders.items():
+        rate = host_model.images_per_second(analyze_network(builder(scale=1.0)))
+        rows.append(
+            Table4Row(
+                model=label,
+                accuracy=workbench.host_accuracy(key),
+                images_per_second=rate,
+                paper_accuracy=PAPER_TABLE4[label][0],
+                paper_images_per_second=PAPER_TABLE4[label][1],
+            )
+        )
+    rows.append(
+        Table4Row(
+            model="FINN (FPGA)",
+            accuracy=workbench.bnn_accuracy,
+            images_per_second=design.performance_partitioned.obtained_fps,
+            paper_accuracy=PAPER_TABLE4["FINN (FPGA)"][0],
+            paper_images_per_second=PAPER_TABLE4["FINN (FPGA)"][1],
+        )
+    )
+    return Table4Result(rows=rows, design=design)

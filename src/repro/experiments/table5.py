@@ -1,0 +1,151 @@
+"""Table V — heterogeneous multi-precision classification.
+
+For each host model the cascade runs functionally on the synthetic test
+set (trained scaled networks), producing the realized rerun mask, the
+multi-precision accuracy, and the host accuracy on the flagged (hard)
+subset.  Throughput then comes from the heterogeneous pipeline simulator
+fed with the full-width analytical timings (chosen FINN configuration for
+the FPGA, calibrated ARM model for the host), using that realized rerun
+mask — exactly the composition of the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import MultiPrecisionPipeline, estimate
+from ..core.report import render_table
+from ..data import normalize_to_pm1
+from ..hetero import FPGAExecutor, HostExecutor, simulate_cascade
+from ..host import analyze_network, paper_calibrated_model
+from ..models import build_model_a, build_model_b, build_model_c
+from .finn_config import FinnDesignPoint, chosen_configuration
+from .workbench import Workbench
+
+__all__ = ["Table5Row", "Table5Result", "run"]
+
+PAPER_TABLE5 = {
+    "Model A": (0.825, 90.82, 0.65),
+    "Model B": (0.860, 14.00, 0.79),
+    "Model C": (0.870, 11.98, 0.83),
+}
+
+_BUILDERS = {
+    "Model A": ("model_a", build_model_a),
+    "Model B": ("model_b", build_model_b),
+    "Model C": ("model_c", build_model_c),
+}
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    model: str
+    accuracy: float
+    images_per_second: float
+    rerun_ratio: float
+    host_subset_accuracy: float
+    bnn_accuracy: float
+    eq1_images_per_second: float
+    eq2_accuracy: float
+    paper_accuracy: float
+    paper_images_per_second: float
+    paper_subset_accuracy: float
+
+
+@dataclass
+class Table5Result:
+    rows: list[Table5Row]
+    design: FinnDesignPoint
+    batch_size: int
+
+    def row(self, model: str) -> Table5Row:
+        for r in self.rows:
+            if r.model == model:
+                return r
+        raise KeyError(model)
+
+    def format(self) -> str:
+        return render_table(
+            [
+                "combination",
+                "accuracy",
+                "img/s",
+                "rerun %",
+                "subset acc",
+                "Eq1 img/s",
+                "Eq2 acc",
+                "paper acc",
+                "paper img/s",
+            ],
+            [
+                [
+                    f"{r.model} & FINN",
+                    f"{100 * r.accuracy:.1f}%",
+                    f"{r.images_per_second:.2f}",
+                    f"{100 * r.rerun_ratio:.1f}",
+                    f"{100 * r.host_subset_accuracy:.1f}%",
+                    f"{r.eq1_images_per_second:.2f}",
+                    f"{100 * r.eq2_accuracy:.1f}%",
+                    f"{100 * r.paper_accuracy:.1f}%",
+                    f"{r.paper_images_per_second:.2f}",
+                ]
+                for r in self.rows
+            ],
+            title="Table V: heterogeneous multi-precision classification",
+        )
+
+
+def run(
+    workbench: Workbench,
+    design: FinnDesignPoint | None = None,
+    batch_size: int = 100,
+) -> Table5Result:
+    design = design or chosen_configuration()
+    host_model = paper_calibrated_model()
+    fpga = FPGAExecutor.from_pipeline(design.performance_partitioned)
+    folded = workbench.folded_bnn
+    splits = workbench.splits
+    images = splits.test.images
+    labels = splits.test.labels
+    bnn_images = normalize_to_pm1(images)
+
+    rows = []
+    for label, (key, builder) in _BUILDERS.items():
+        pipeline = MultiPrecisionPipeline(folded, workbench.dmu, workbench.host_net(key))
+        result = pipeline.classify(images, bnn_images=bnn_images)
+
+        t_fp = host_model.seconds_per_image(analyze_network(builder(scale=1.0)))
+        host = HostExecutor(seconds_per_image=t_fp)
+        sim = simulate_cascade(
+            fpga,
+            host,
+            num_images=images.shape[0],
+            batch_size=batch_size,
+            rerun_mask=result.rerun_mask,
+        )
+
+        cats = workbench.dmu.categorize(workbench.test_scores)
+        analytic = estimate(
+            t_fp=t_fp,
+            t_bnn=fpga.interval_seconds,
+            acc_bnn=result.bnn_accuracy(labels),
+            acc_fp=result.host_subset_accuracy(labels),
+            r_rerun=result.rerun_ratio,
+            r_rerun_err=cats.rerun_err_ratio,
+        )
+        rows.append(
+            Table5Row(
+                model=label,
+                accuracy=result.accuracy(labels),
+                images_per_second=sim.images_per_second,
+                rerun_ratio=result.rerun_ratio,
+                host_subset_accuracy=result.host_subset_accuracy(labels),
+                bnn_accuracy=result.bnn_accuracy(labels),
+                eq1_images_per_second=analytic.images_per_second,
+                eq2_accuracy=analytic.accuracy,
+                paper_accuracy=PAPER_TABLE5[label][0],
+                paper_images_per_second=PAPER_TABLE5[label][1],
+                paper_subset_accuracy=PAPER_TABLE5[label][2],
+            )
+        )
+    return Table5Result(rows=rows, design=design, batch_size=batch_size)

@@ -1,0 +1,126 @@
+"""Rate balancing of the heterogeneous streaming pipeline.
+
+"In order to maximise the throughput, it is necessary to rate-balance the
+heterogeneous streaming network layers. ... for a rough balance of all
+the layers and given one desired latency (in CC), (3) or (4) should be
+assessed for each layer to find a combination of P and S for that layer
+satisfying the equation."  (Section III-A)
+
+For each layer the balancer picks the cheapest legal folding —
+(P, S) with P | OD and S | fan-in — whose cycle count meets the target,
+minimizing P*S (compute cost) and, at equal P*S, minimizing P (each PE
+owns private weight/threshold files, so fewer PEs means fewer fragmented
+memories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import Engine, valid_pe_counts, valid_simd_counts
+from .layer_spec import LayerSpec
+
+__all__ = ["BalanceResult", "balance_layer", "balance_network", "sweep_targets"]
+
+#: Hardware bounds on the folding.  MAX_SIMD=16 reflects the SDSoC port's
+#: stream interface width; it also reproduces the paper's total-PE range
+#: (their 430 img/s configuration uses 32 PEs, which is only reachable
+#: with modest SIMD widths — at SIMD 64 the same throughput needs ~17 PEs).
+MAX_PE = 64
+MAX_SIMD = 16
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    """A balanced full-network configuration."""
+
+    engines: tuple[Engine, ...]
+    target_cycles: int
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        return max(e.cycles_per_image for e in self.engines)
+
+    @property
+    def bottleneck(self) -> Engine:
+        return max(self.engines, key=lambda e: e.cycles_per_image)
+
+    @property
+    def total_pe(self) -> int:
+        """Total PE count, the x-axis of the paper's Figs. 3-4."""
+        return sum(e.pe for e in self.engines)
+
+    def fps(self, clock_hz: float) -> float:
+        """Expected steady-state throughput, Eq. (5) on the worst layer."""
+        return clock_hz / self.bottleneck_cycles
+
+
+def balance_layer(
+    spec: LayerSpec,
+    target_cycles: int,
+    max_pe: int = MAX_PE,
+    max_simd: int = MAX_SIMD,
+) -> Engine:
+    """Cheapest legal (P, S) folding meeting ``target_cycles`` for one layer.
+
+    If no legal folding meets the target (layer too large even at max
+    parallelism), the fastest legal folding is returned instead — the
+    layer then becomes the network bottleneck, exactly as on hardware.
+    """
+    if target_cycles <= 0:
+        raise ValueError("target_cycles must be positive")
+    best: Engine | None = None
+    fastest: Engine | None = None
+    for p in valid_pe_counts(spec, max_pe):
+        for s in valid_simd_counts(spec, max_simd):
+            engine = Engine(spec, p, s)
+            if fastest is None or engine.cycles_per_image < fastest.cycles_per_image:
+                fastest = engine
+            if engine.cycles_per_image <= target_cycles:
+                if (
+                    best is None
+                    or p * s < best.pe * best.simd
+                    or (p * s == best.pe * best.simd and p < best.pe)
+                ):
+                    best = engine
+    if best is not None:
+        return best
+    assert fastest is not None  # every spec has the (1, 1) folding
+    return fastest
+
+
+def balance_network(
+    specs: list[LayerSpec],
+    target_cycles: int,
+    max_pe: int = MAX_PE,
+    max_simd: int = MAX_SIMD,
+) -> BalanceResult:
+    """Balance all layers of a network to one target latency."""
+    engines = tuple(balance_layer(s, target_cycles, max_pe, max_simd) for s in specs)
+    return BalanceResult(engines=engines, target_cycles=target_cycles)
+
+
+def sweep_targets(
+    specs: list[LayerSpec],
+    target_fps_values: list[float],
+    clock_hz: float,
+    max_pe: int = MAX_PE,
+    max_simd: int = MAX_SIMD,
+) -> list[BalanceResult]:
+    """Balance the network for a list of desired throughputs.
+
+    Duplicate configurations (same engine foldings) are dropped, so the
+    result mirrors the discrete design points of the paper's Fig. 3.
+    """
+    results: list[BalanceResult] = []
+    seen: set[tuple[tuple[int, int], ...]] = set()
+    for fps in target_fps_values:
+        if fps <= 0:
+            raise ValueError("target fps values must be positive")
+        target_cycles = max(1, int(clock_hz / fps))
+        result = balance_network(specs, target_cycles, max_pe, max_simd)
+        key = tuple((e.pe, e.simd) for e in result.engines)
+        if key not in seen:
+            seen.add(key)
+            results.append(result)
+    return results

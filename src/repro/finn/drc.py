@@ -1,0 +1,145 @@
+"""Design-rule checks for FINN configurations.
+
+Validates a balanced configuration against a target device and returns a
+structured diagnostic list instead of a bare boolean — the checks a
+hardware engineer runs before committing to a synthesis:
+
+* resource fit (BRAM / LUT budgets, with a routing-headroom warning band);
+* folding legality (P | OD, S | fan-in — re-verified end to end);
+* rate balance quality (how far each engine sits from the bottleneck);
+* throughput sanity versus a required frame rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .balance import BalanceResult
+from .dataflow import evaluate_pipeline
+from .device import FPGADevice, XC7Z020, ZC702_CLOCK_HZ
+from .resources import network_resources
+
+__all__ = ["Severity", "Diagnostic", "DesignCheck", "check_design"]
+
+#: Utilization above which routing/closure risk is flagged.
+_WARN_UTILIZATION = 0.85
+
+
+class Severity(Enum):
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    code: str
+    message: str
+
+
+@dataclass
+class DesignCheck:
+    """Outcome of :func:`check_design`."""
+
+    diagnostics: list[Diagnostic]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the design has no errors (warnings allowed)."""
+        return not self.errors
+
+    def format(self) -> str:
+        if not self.diagnostics:
+            return "design check: clean"
+        lines = ["design check:"]
+        for d in self.diagnostics:
+            lines.append(f"  [{d.severity.value:7s}] {d.code}: {d.message}")
+        return "\n".join(lines)
+
+
+def check_design(
+    balance: BalanceResult,
+    device: FPGADevice = XC7Z020,
+    partitioned: bool = True,
+    clock_hz: float = ZC702_CLOCK_HZ,
+    required_fps: float | None = None,
+    imbalance_tolerance: float = 4.0,
+) -> DesignCheck:
+    """Run all design-rule checks on a balanced configuration."""
+    diags: list[Diagnostic] = []
+
+    # -- resource fit -----------------------------------------------------
+    res = network_resources(list(balance.engines), device, partitioned)
+    for name, used, budget in (
+        ("BRAM", res.total_brams, device.bram_18k),
+        ("LUT", int(res.total_luts), device.luts),
+    ):
+        fraction = used / budget
+        if fraction > 1.0:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    f"{name.lower()}-overflow",
+                    f"{name} demand {used} exceeds {device.name} budget {budget} "
+                    f"({100 * fraction:.0f}%)",
+                )
+            )
+        elif fraction > _WARN_UTILIZATION:
+            diags.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    f"{name.lower()}-pressure",
+                    f"{name} utilization {100 * fraction:.0f}% risks placement/routing "
+                    "failure",
+                )
+            )
+
+    # -- folding legality (defence in depth; Engine enforces it too) -------
+    for engine in balance.engines:
+        if engine.spec.weight_rows % engine.pe or engine.spec.fan_in % engine.simd:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "illegal-folding",
+                    f"{engine.spec.name}: P={engine.pe}, S={engine.simd} do not divide "
+                    f"the weight matrix {engine.spec.weight_rows}x{engine.spec.fan_in}",
+                )
+            )
+
+    # -- rate balance -------------------------------------------------------
+    bottleneck = balance.bottleneck_cycles
+    for engine in balance.engines:
+        slack = bottleneck / engine.cycles_per_image
+        if slack > imbalance_tolerance:
+            diags.append(
+                Diagnostic(
+                    Severity.INFO,
+                    "over-provisioned",
+                    f"{engine.spec.name} is {slack:.1f}x faster than the bottleneck; "
+                    "its P*S could be reduced to free resources",
+                )
+            )
+
+    # -- throughput ---------------------------------------------------------
+    if required_fps is not None:
+        perf = evaluate_pipeline(balance, clock_hz, partitioned)
+        if perf.obtained_fps < required_fps:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "throughput-shortfall",
+                    f"obtained {perf.obtained_fps:.0f} img/s is below the required "
+                    f"{required_fps:.0f} img/s",
+                )
+            )
+    return DesignCheck(diagnostics=diags)

@@ -1,0 +1,121 @@
+"""FINN compute engines: P processing elements x S SIMD lanes.
+
+Implements the paper's Eqs. (3)-(5):
+
+    CC_conv = OD/P * (K*K*ID)/S * OH * OW        (3)
+    CC_fc   = OD/P * ID/S                        (4)
+    FPS     = clock / CC                         (5)
+
+"To avoid padding extra space to Weight and Threshold memories of a
+layer, P and S should be selected from the divisors of the number of rows
+and columns of measured total weight size of that layer" — the
+constructor enforces exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layer_spec import LayerSpec
+
+__all__ = ["Engine", "divisors", "valid_pe_counts", "valid_simd_counts"]
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of n, ascending."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def valid_pe_counts(spec: LayerSpec, max_pe: int | None = None) -> list[int]:
+    """PE counts that divide the weight-matrix rows (OD)."""
+    out = divisors(spec.weight_rows)
+    if max_pe is not None:
+        out = [p for p in out if p <= max_pe]
+    return out
+
+
+def valid_simd_counts(spec: LayerSpec, max_simd: int | None = None) -> list[int]:
+    """SIMD counts that divide the weight-matrix columns (K*K*ID)."""
+    out = divisors(spec.fan_in)
+    if max_simd is not None:
+        out = [s for s in out if s <= max_simd]
+    return out
+
+
+@dataclass(frozen=True)
+class Engine:
+    """One layer engine with a chosen (P, S) folding."""
+
+    spec: LayerSpec
+    pe: int
+    simd: int
+
+    def __post_init__(self):
+        if self.pe <= 0 or self.simd <= 0:
+            raise ValueError("P and S must be positive")
+        if self.spec.weight_rows % self.pe != 0:
+            raise ValueError(
+                f"{self.spec.name}: P={self.pe} does not divide OD={self.spec.weight_rows}"
+            )
+        if self.spec.fan_in % self.simd != 0:
+            raise ValueError(
+                f"{self.spec.name}: S={self.simd} does not divide fan-in={self.spec.fan_in}"
+            )
+
+    # -- Eqs. (3)-(4) ---------------------------------------------------------
+    @property
+    def cycles_per_image(self) -> int:
+        """Clock cycles for this engine to produce all its activations.
+
+        For the paper's fully binarised layers this is exactly Eq. (3)/(4);
+        multi-bit operands (the future-work extension) multiply the count
+        by ``weight_bits * activation_bits`` (bit-serial decomposition).
+        """
+        folds = (self.spec.weight_rows // self.pe) * (self.spec.fan_in // self.simd)
+        return folds * self.spec.output_pixels * self.spec.bit_serial_passes
+
+    # -- Eq. (5) ------------------------------------------------------------
+    def fps(self, clock_hz: float) -> float:
+        """Throughput if this engine were the whole pipeline's bottleneck."""
+        return clock_hz / self.cycles_per_image
+
+    # -- memory geometry (Section III-A) -----------------------------------
+    @property
+    def weight_file_depth(self) -> int:
+        """Words per weight file: (rows * fan-in) / (P*S) entries.
+
+        Each word packs S weights of ``weight_bits`` bits, so for the
+        binarised case this is exactly the paper's "Total weight size /
+        (P*S) arrays of S-bit values".
+        """
+        return (self.spec.weight_rows * self.spec.fan_in) // (self.pe * self.simd)
+
+    @property
+    def weight_file_width(self) -> int:
+        """Bits per word of a weight file (= S * weight_bits)."""
+        return self.simd * self.spec.weight_bits
+
+    @property
+    def threshold_file_depth(self) -> int:
+        """Words per threshold file: OD/P entries x threshold levels."""
+        return (self.spec.weight_rows // self.pe) * self.spec.threshold_levels
+
+    @property
+    def threshold_file_width(self) -> int | None:
+        return self.spec.threshold_bits
+
+    def describe(self) -> str:
+        return (
+            f"{self.spec.name}: P={self.pe} S={self.simd} "
+            f"CC={self.cycles_per_image}"
+        )

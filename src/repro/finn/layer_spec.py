@@ -1,0 +1,137 @@
+"""Hardware-level layer descriptions of the FINN network.
+
+A :class:`LayerSpec` carries exactly the feature sizes Section III-A of
+the paper enumerates for each engine:
+
+* convolution kernel ``K x K``;
+* convolution input ``IH x IW x ID`` and output ``OH x OW x OD``;
+* FC input ``ID`` and output ``OD``;
+* total weight size (``OD x (K*K*ID)`` for conv, ``OD x ID`` for FC);
+* threshold bit width (24-bit for the first stage, 16-bit for the rest,
+  none for the last stage, per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LayerSpec", "finn_cnv_specs"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One FINN engine's workload description."""
+
+    name: str
+    kind: str                    # "conv" or "fc"
+    out_channels: int            # OD
+    in_channels: int             # ID
+    kernel: int = 1              # K (1 for FC)
+    in_height: int = 1           # IH
+    in_width: int = 1            # IW
+    out_height: int = 1          # OH
+    out_width: int = 1           # OW
+    threshold_bits: int | None = 16
+    #: Operand precisions.  1/1 is the fully binarised paper configuration;
+    #: higher values model the paper's future-work "mixed precision on the
+    #: FPGA" via bit-serial decomposition (each extra bit multiplies the
+    #: MAC work and the weight storage).
+    weight_bits: int = 1
+    activation_bits: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("conv", "fc"):
+            raise ValueError(f"kind must be 'conv' or 'fc', got {self.kind!r}")
+        if min(self.out_channels, self.in_channels, self.kernel) <= 0:
+            raise ValueError("layer dimensions must be positive")
+        if self.threshold_bits is not None and self.threshold_bits <= 0:
+            raise ValueError("threshold_bits must be positive or None")
+        if self.weight_bits <= 0 or self.activation_bits <= 0:
+            raise ValueError("operand precisions must be positive")
+
+    # -- paper Section III-A feature formulas --------------------------------
+    @property
+    def fan_in(self) -> int:
+        """Weight-matrix columns: K*K*ID for conv, ID for FC."""
+        return self.kernel * self.kernel * self.in_channels
+
+    @property
+    def weight_rows(self) -> int:
+        """Weight-matrix rows (= OD)."""
+        return self.out_channels
+
+    @property
+    def total_weight_bits(self) -> int:
+        """Total weight storage: OD * fan-in * weight_bits."""
+        return self.weight_rows * self.fan_in * self.weight_bits
+
+    @property
+    def threshold_levels(self) -> int:
+        """Activation thresholds per channel: 2^activation_bits - 1."""
+        return (1 << self.activation_bits) - 1
+
+    @property
+    def bit_serial_passes(self) -> int:
+        """MAC work multiplier under bit-serial mixed precision."""
+        return self.weight_bits * self.activation_bits
+
+    @property
+    def output_pixels(self) -> int:
+        """OH * OW (1 for FC layers)."""
+        return self.out_height * self.out_width
+
+    @property
+    def total_ops(self) -> int:
+        """Single-bit MAC operations per image (= cycles at P = S = 1)."""
+        return self.weight_rows * self.fan_in * self.output_pixels * self.bit_serial_passes
+
+    def describe(self) -> str:
+        if self.kind == "conv":
+            return (
+                f"{self.name}: {self.kernel}x{self.kernel}-conv-{self.out_channels} "
+                f"({self.in_height}x{self.in_width}x{self.in_channels} -> "
+                f"{self.out_height}x{self.out_width}x{self.out_channels})"
+            )
+        return f"{self.name}: FC-{self.out_channels} ({self.in_channels} -> {self.out_channels})"
+
+
+def finn_cnv_specs(image_size: int = 32) -> list[LayerSpec]:
+    """The nine engines of Table I at full width (no zero padding).
+
+    The spatial flow for a 32x32 input is
+    32 -> 30 -> 28 -> pool 14 -> 12 -> 10 -> pool 5 -> 3 -> 1.
+    """
+    channels = (64, 64, 128, 128, 256, 256)
+    specs: list[LayerSpec] = []
+    size = image_size
+    in_ch = 3
+    for idx, out_ch in enumerate(channels):
+        out_size = size - 2  # 3x3 kernel, no padding
+        if out_size <= 0:
+            raise ValueError(f"image_size {image_size} too small for the CNV stack")
+        specs.append(
+            LayerSpec(
+                name=f"conv{idx + 1}",
+                kind="conv",
+                out_channels=out_ch,
+                in_channels=in_ch,
+                kernel=3,
+                in_height=size,
+                in_width=size,
+                out_height=out_size,
+                out_width=out_size,
+                threshold_bits=24 if idx == 0 else 16,
+            )
+        )
+        size = out_size
+        in_ch = out_ch
+        if idx in (1, 3):  # pooling after conv2 and conv4
+            size //= 2
+
+    fc_in = in_ch * size * size
+    specs.append(LayerSpec(name="fc1", kind="fc", out_channels=64, in_channels=fc_in))
+    specs.append(LayerSpec(name="fc2", kind="fc", out_channels=64, in_channels=64))
+    specs.append(
+        LayerSpec(name="fc3", kind="fc", out_channels=64, in_channels=64, threshold_bits=None)
+    )
+    return specs

@@ -1,0 +1,134 @@
+"""BRAM allocation model (Vivado HLS behaviour + block array partitioning).
+
+The paper's Fig. 3/Fig. 4 experiment hinges on two allocation behaviours:
+
+1. **Naive allocation** — "For every memory allocation instance, BRAM
+   utilisation is rounded to the next power of two for performance", and
+   "every memory instance of over about 1 Kb is assigned to BRAMs
+   (lower-capacity instances are assigned to LUTs and FFs)".
+2. **Block array partitioning** — splitting one logical array into several
+   blocks "prevents a large unused gap being appended to memory
+   instances"; the paper reports a 15-18% BRAM drop.  "The smaller files
+   using only a fraction of one BRAM cannot be improved."
+
+This module implements both policies over the RAMB18 aspect-ratio table
+(36x512, 18x1024, 9x2048, 4x4096, 2x8192, 1x16384).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "RAMB18_MODES",
+    "LUTRAM_THRESHOLD_BITS",
+    "MemoryAllocation",
+    "allocate_memory",
+    "next_power_of_two",
+    "best_partition_factor",
+]
+
+#: (word width, depth) configurations of one RAMB18 primitive.
+RAMB18_MODES = ((36, 512), (18, 1024), (9, 2048), (4, 4096), (2, 8192), (1, 16384))
+
+#: Instances at or below ~1 Kbit go to LUTRAM/FFs instead of BRAM.
+LUTRAM_THRESHOLD_BITS = 1024
+
+#: LUTs consumed per LUTRAM bit (RAM32-style distributed memory).
+_LUTRAM_LUTS_PER_BIT = 1.0 / 32.0
+
+#: Partition factors explored by the block-partitioning optimizer.
+_MAX_PARTITION_FACTOR = 8
+
+
+def next_power_of_two(n: int) -> int:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 1 << (n - 1).bit_length()
+
+
+def _brams_for(depth: int, width: int) -> int:
+    """Minimum RAMB18 count for a memory of exact geometry depth x width."""
+    best = None
+    for mode_width, mode_depth in RAMB18_MODES:
+        count = -(-width // mode_width) * -(-depth // mode_depth)
+        if best is None or count < best:
+            best = count
+    return best
+
+
+@dataclass(frozen=True)
+class MemoryAllocation:
+    """Result of allocating one logical memory instance."""
+
+    depth: int
+    width: int
+    brams: int
+    lutram_luts: float
+    partitions: int  # 1 = unpartitioned
+
+    @property
+    def bits(self) -> int:
+        return self.depth * self.width
+
+    @property
+    def allocated_bits(self) -> int:
+        """Physical storage claimed (18 Kbit per BRAM, exact for LUTRAM)."""
+        return self.brams * 18 * 1024 if self.brams else self.bits
+
+    @property
+    def storage_efficiency(self) -> float:
+        """Fraction of allocated storage actually holding data."""
+        return self.bits / self.allocated_bits if self.allocated_bits else 0.0
+
+
+def _naive_brams(depth: int, width: int) -> int:
+    """Vivado HLS default: depth rounded up to the next power of two."""
+    return _brams_for(next_power_of_two(depth), width)
+
+
+def best_partition_factor(depth: int, width: int) -> tuple[int, int]:
+    """(factor, brams) minimizing BRAMs under block array partitioning.
+
+    Each of the ``k`` blocks holds ``ceil(depth / k)`` words and is
+    allocated with the same naive power-of-two policy.  Per the paper,
+    partitioning only helps "files taking up multiple BRAMs; the smaller
+    files using only a fraction of one BRAM cannot be improved", so
+    single-BRAM instances are returned unchanged and blocks are kept in
+    BRAM (no escape to LUTRAM).
+    """
+    naive = _naive_brams(depth, width)
+    if naive <= 1:
+        return 1, naive
+    best_k, best_brams = 1, naive
+    for k in range(2, min(_MAX_PARTITION_FACTOR, depth) + 1):
+        block_depth = -(-depth // k)
+        if block_depth * width <= LUTRAM_THRESHOLD_BITS:
+            continue
+        candidate = k * _naive_brams(block_depth, width)
+        if candidate < best_brams:
+            best_k, best_brams = k, candidate
+    return best_k, best_brams
+
+
+def allocate_memory(depth: int, width: int, partitioned: bool = False) -> MemoryAllocation:
+    """Allocate one logical memory of ``depth`` words x ``width`` bits.
+
+    Parameters
+    ----------
+    depth, width:
+        Logical geometry.
+    partitioned:
+        Apply block array partitioning (the Fig. 4 optimization).
+    """
+    if depth <= 0 or width <= 0:
+        raise ValueError("depth and width must be positive")
+    bits = depth * width
+    if bits <= LUTRAM_THRESHOLD_BITS:
+        return MemoryAllocation(depth, width, 0, bits * _LUTRAM_LUTS_PER_BIT, 1)
+    if not partitioned:
+        return MemoryAllocation(depth, width, _naive_brams(depth, width), 0.0, 1)
+    factor, brams = best_partition_factor(depth, width)
+    if brams == 0:
+        return MemoryAllocation(depth, width, 0, bits * _LUTRAM_LUTS_PER_BIT, factor)
+    return MemoryAllocation(depth, width, brams, 0.0, factor)

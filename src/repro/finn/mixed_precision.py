@@ -1,0 +1,50 @@
+"""Mixed-precision network variants (the paper's future work).
+
+"Our future work aims at ... considering use of mixed precision on the
+FPGA hardware as well."  This module derives multi-bit variants of a
+layer-spec list under the bit-serial execution model: each extra weight or
+activation bit multiplies the MAC work (Eq. (3)/(4) cycles) and the
+weight/threshold storage accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .layer_spec import LayerSpec
+
+__all__ = ["with_precision", "precision_ladder"]
+
+
+def with_precision(
+    specs: list[LayerSpec],
+    weight_bits: int = 1,
+    activation_bits: int = 1,
+    first_layer_activation_bits: int | None = None,
+) -> list[LayerSpec]:
+    """Return copies of ``specs`` at the given operand precisions.
+
+    ``first_layer_activation_bits`` models the common partially-binarised
+    arrangement where the first layer consumes full-precision pixels (the
+    paper: "The first layer of the network receives non-binarised image
+    inputs hence requiring regular operations").
+    """
+    if weight_bits <= 0 or activation_bits <= 0:
+        raise ValueError("precisions must be positive")
+    out = []
+    for i, spec in enumerate(specs):
+        act = activation_bits
+        if i == 0 and first_layer_activation_bits is not None:
+            act = first_layer_activation_bits
+        out.append(replace(spec, weight_bits=weight_bits, activation_bits=act))
+    return out
+
+
+def precision_ladder(
+    specs: list[LayerSpec], precisions: list[tuple[int, int]] | None = None
+) -> dict[str, list[LayerSpec]]:
+    """Standard (weight_bits, activation_bits) ladder for ablations."""
+    precisions = precisions or [(1, 1), (1, 2), (2, 2), (4, 4), (8, 8)]
+    return {
+        f"W{w}A{a}": with_precision(specs, w, a) for w, a in precisions
+    }

@@ -1,0 +1,107 @@
+"""Per-engine hardware report for a balanced configuration.
+
+Expands the Fig. 3/4 aggregates into the per-engine breakdown a hardware
+engineer would read off the Vivado utilization report: folding, cycle
+count, standalone rate, BRAM split (weights / thresholds / buffers) and
+weight-storage efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.report import render_table
+from .balance import BalanceResult
+from .device import FPGADevice, XC7Z020, ZC702_CLOCK_HZ
+from .resources import NetworkResources, network_resources
+
+__all__ = ["EngineReportRow", "HardwareReport", "hardware_report"]
+
+
+@dataclass(frozen=True)
+class EngineReportRow:
+    engine: str
+    pe: int
+    simd: int
+    cycles: int
+    standalone_fps: float
+    weight_brams: int
+    threshold_brams: int
+    buffer_brams: int
+    luts: int
+    storage_efficiency: float
+    is_bottleneck: bool
+
+
+@dataclass
+class HardwareReport:
+    rows: list[EngineReportRow]
+    resources: NetworkResources
+    clock_hz: float
+
+    def format(self) -> str:
+        table = render_table(
+            ["engine", "P", "S", "CC/img", "img/s alone", "W-BRAM", "T-BRAM",
+             "buf-BRAM", "LUTs", "W-storage eff", ""],
+            [
+                [
+                    r.engine,
+                    r.pe,
+                    r.simd,
+                    r.cycles,
+                    f"{r.standalone_fps:.0f}",
+                    r.weight_brams,
+                    r.threshold_brams,
+                    r.buffer_brams,
+                    r.luts,
+                    f"{100 * r.storage_efficiency:.0f}%",
+                    "<- bottleneck" if r.is_bottleneck else "",
+                ]
+                for r in self.rows
+            ],
+            title="Per-engine hardware report",
+        )
+        res = self.resources
+        summary = (
+            f"total: {res.total_pe} PEs, {res.total_brams} BRAM_18K "
+            f"({100 * res.bram_utilization:.1f}% of {res.device.name}), "
+            f"{int(res.total_luts)} LUTs ({100 * res.lut_utilization:.1f}%), "
+            f"weight-storage efficiency {100 * res.storage_efficiency:.0f}%"
+        )
+        return table + "\n" + summary
+
+
+def hardware_report(
+    balance: BalanceResult,
+    device: FPGADevice = XC7Z020,
+    partitioned: bool = True,
+    clock_hz: float = ZC702_CLOCK_HZ,
+) -> HardwareReport:
+    """Build the per-engine report for one balanced configuration."""
+    resources = network_resources(list(balance.engines), device, partitioned)
+    bottleneck = balance.bottleneck
+    rows = []
+    for engine_res in resources.engines:
+        engine = engine_res.engine
+        weight_brams = sum(a.brams for a in engine_res.weight_allocs)
+        threshold_brams = sum(a.brams for a in engine_res.threshold_allocs)
+        buffer_brams = engine_res.brams - weight_brams - threshold_brams
+        allocated = engine_res.weight_bits_allocated
+        rows.append(
+            EngineReportRow(
+                engine=engine.spec.name,
+                pe=engine.pe,
+                simd=engine.simd,
+                cycles=engine.cycles_per_image,
+                standalone_fps=clock_hz / engine.cycles_per_image,
+                weight_brams=weight_brams,
+                threshold_brams=threshold_brams,
+                buffer_brams=buffer_brams,
+                luts=int(engine_res.luts),
+                storage_efficiency=(
+                    engine_res.weight_bits_stored / allocated if allocated else 1.0
+                ),
+                is_bottleneck=engine is bottleneck,
+            )
+        )
+    return HardwareReport(rows=rows, resources=resources, clock_hz=clock_hz)

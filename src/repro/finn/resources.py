@@ -1,0 +1,180 @@
+"""Per-design resource estimation (BRAM + LUT) for a set of engines.
+
+Combines the Section III-A memory geometry (P weight files + P threshold
+files per engine) with the allocation policies of :mod:`repro.finn.memory`
+and a calibrated LUT cost model for the XNOR-popcount-threshold datapath.
+
+The LUT constants are a behavioural model, not a netlist: they are chosen
+so that full-network utilizations land in the band the paper's Fig. 3/4
+report (LUT 50-95%, BRAM 50-100% across the PE sweep), and are documented
+here as the model's free parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import FPGADevice
+from .engine import Engine
+from .layer_spec import LayerSpec
+from .memory import MemoryAllocation, allocate_memory
+
+__all__ = ["EngineResources", "NetworkResources", "engine_resources", "network_resources"]
+
+# -- LUT model constants (behavioural calibration) ---------------------------
+_LUTS_PER_SIMD_LANE = 7.5       # XNOR + popcount-tree slice per SIMD bit
+_LUTS_PER_PE = 110.0            # accumulator + threshold comparator per PE
+_LUTS_PER_ENGINE = 420.0        # per-engine control / window generator
+_LUTS_BASE = 14000.0            # SDSoC data movers, AXI interconnect, control
+
+# -- BRAM infrastructure constants -------------------------------------------
+#: RAMB18 used by the SDSoC port itself (AXI DMA double buffers, batch
+#: staging FIFOs) independent of the engine configuration.
+_BRAM_BASE_INFRA = 40
+#: Depth of each inter-engine stream FIFO ("inter-layer stream buffers
+#: increase BRAM pressure too", Section III-A).
+_FIFO_DEPTH = 1024
+
+
+@dataclass(frozen=True)
+class EngineResources:
+    """Resource usage of one engine instance."""
+
+    engine: Engine
+    weight_allocs: tuple[MemoryAllocation, ...]
+    threshold_allocs: tuple[MemoryAllocation, ...]
+    buffer_alloc: MemoryAllocation | None
+    fifo_alloc: MemoryAllocation | None
+    datapath_luts: float
+
+    @property
+    def brams(self) -> int:
+        total = sum(a.brams for a in self.weight_allocs)
+        total += sum(a.brams for a in self.threshold_allocs)
+        if self.buffer_alloc is not None:
+            total += self.buffer_alloc.brams
+        if self.fifo_alloc is not None:
+            total += self.fifo_alloc.brams
+        return total
+
+    @property
+    def luts(self) -> float:
+        total = self.datapath_luts
+        total += sum(a.lutram_luts for a in self.weight_allocs)
+        total += sum(a.lutram_luts for a in self.threshold_allocs)
+        if self.buffer_alloc is not None:
+            total += self.buffer_alloc.lutram_luts
+        if self.fifo_alloc is not None:
+            total += self.fifo_alloc.lutram_luts
+        return total
+
+    @property
+    def weight_bits_stored(self) -> int:
+        return sum(a.bits for a in self.weight_allocs)
+
+    @property
+    def weight_bits_allocated(self) -> int:
+        return sum(a.allocated_bits for a in self.weight_allocs)
+
+
+def _stream_buffer_geometry(spec: LayerSpec) -> tuple[int, int] | None:
+    """Input sliding-window/line-buffer geometry for a conv engine.
+
+    Conv engines buffer K rows of the input feature map.  The first layer
+    carries 8-bit pixels (3 channels); inner layers carry 1-bit
+    activations (ID bits per pixel).
+    """
+    if spec.kind != "conv":
+        return None
+    bits_per_pixel = spec.in_channels * (8 if spec.threshold_bits == 24 else 1)
+    depth = spec.in_width * spec.kernel
+    return depth, bits_per_pixel
+
+
+def engine_resources(engine: Engine, partitioned: bool = False) -> EngineResources:
+    """Allocate one engine's memories and estimate its datapath LUTs."""
+    spec = engine.spec
+
+    weight_allocs = tuple(
+        allocate_memory(engine.weight_file_depth, engine.weight_file_width, partitioned)
+        for _ in range(engine.pe)
+    )
+    if spec.threshold_bits is not None:
+        threshold_allocs = tuple(
+            allocate_memory(engine.threshold_file_depth, spec.threshold_bits, partitioned)
+            for _ in range(engine.pe)
+        )
+    else:
+        threshold_allocs = ()
+
+    buffer_geom = _stream_buffer_geometry(spec)
+    buffer_alloc = (
+        allocate_memory(buffer_geom[0], buffer_geom[1], partitioned) if buffer_geom else None
+    )
+    # Output stream FIFO toward the next engine: P bits are produced per
+    # cycle, so the FIFO word width equals P.  FIFOs are not candidates
+    # for array partitioning (they are FIFO primitives, not arrays).
+    fifo_alloc = allocate_memory(_FIFO_DEPTH, engine.pe, partitioned=False)
+
+    datapath = (
+        _LUTS_PER_ENGINE
+        + engine.pe * _LUTS_PER_PE
+        + engine.pe * engine.simd * _LUTS_PER_SIMD_LANE
+    )
+    return EngineResources(
+        engine, weight_allocs, threshold_allocs, buffer_alloc, fifo_alloc, datapath
+    )
+
+
+@dataclass(frozen=True)
+class NetworkResources:
+    """Aggregate resources of a full engine pipeline on a device."""
+
+    device: FPGADevice
+    engines: tuple[EngineResources, ...]
+    partitioned: bool
+
+    @property
+    def total_brams(self) -> int:
+        return _BRAM_BASE_INFRA + sum(e.brams for e in self.engines)
+
+    @property
+    def total_luts(self) -> float:
+        return _LUTS_BASE + sum(e.luts for e in self.engines)
+
+    @property
+    def bram_utilization(self) -> float:
+        return self.device.bram_utilization(self.total_brams)
+
+    @property
+    def lut_utilization(self) -> float:
+        return self.device.lut_utilization(self.total_luts)
+
+    @property
+    def total_pe(self) -> int:
+        return sum(e.engine.pe for e in self.engines)
+
+    @property
+    def storage_efficiency(self) -> float:
+        """Fraction of BRAM-allocated weight storage that holds real bits.
+
+        Fraser et al. (cited by the paper) report ~22% for naive FINN
+        allocations.
+        """
+        allocated = sum(e.weight_bits_allocated for e in self.engines)
+        stored = sum(e.weight_bits_stored for e in self.engines)
+        return stored / allocated if allocated else 0.0
+
+    def fits(self) -> bool:
+        return self.device.fits(self.total_brams, int(self.total_luts))
+
+
+def network_resources(
+    engines: list[Engine], device: FPGADevice, partitioned: bool = False
+) -> NetworkResources:
+    """Allocate every engine of a pipeline on ``device``."""
+    return NetworkResources(
+        device=device,
+        engines=tuple(engine_resources(e, partitioned) for e in engines),
+        partitioned=partitioned,
+    )

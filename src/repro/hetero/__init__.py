@@ -1,0 +1,26 @@
+"""Heterogeneous FPGA+CPU execution simulator (Fig. 2's pipeline)."""
+
+from .devices import FPGAExecutor, HostExecutor
+from .gantt import gantt_chart
+from .metrics import AnalyticComparison, compare_with_eq1
+from .scheduler import (
+    BatchRecord,
+    SimulationResult,
+    flagged_per_batch,
+    simulate_cascade,
+)
+from .timeline import Interval, Timeline
+
+__all__ = [
+    "FPGAExecutor",
+    "HostExecutor",
+    "Interval",
+    "Timeline",
+    "BatchRecord",
+    "SimulationResult",
+    "simulate_cascade",
+    "flagged_per_batch",
+    "AnalyticComparison",
+    "compare_with_eq1",
+    "gantt_chart",
+]

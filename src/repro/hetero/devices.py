@@ -1,0 +1,80 @@
+"""Timed device models for the heterogeneous simulator.
+
+The two executors of Fig. 2: the FPGA fabric running the FINN pipeline,
+and the dual-core ARM host running the DMU plus the Caffe re-inference.
+Both express "how long does this much work take", leaving scheduling to
+:mod:`repro.hetero.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FPGAExecutor", "HostExecutor"]
+
+
+@dataclass(frozen=True)
+class FPGAExecutor:
+    """FPGA batch-execution timing.
+
+    Parameters
+    ----------
+    interval_seconds:
+        Steady-state seconds per image (1 / obtained FPS of the FINN
+        configuration).
+    fill_seconds:
+        Pipeline ramp-up: extra seconds the first image of a batch pays
+        (the sum of all engine latencies minus one interval).
+    """
+
+    interval_seconds: float
+    fill_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        if self.fill_seconds < 0:
+            raise ValueError("fill_seconds must be non-negative")
+
+    def batch_seconds(self, batch_size: int) -> float:
+        """Time to classify one batch on the fabric."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        return self.fill_seconds + batch_size * self.interval_seconds
+
+    @classmethod
+    def from_pipeline(cls, perf) -> "FPGAExecutor":
+        """Build from a :class:`repro.finn.PipelinePerformance`."""
+        interval = perf.seconds_per_image
+        fill = max(0.0, perf.latency_cycles / perf.clock_hz - interval)
+        return cls(interval_seconds=interval, fill_seconds=fill)
+
+
+@dataclass(frozen=True)
+class HostExecutor:
+    """ARM host timing: DMU scan plus float re-inference.
+
+    Parameters
+    ----------
+    seconds_per_image:
+        Float-network inference time per image (t_fp/img).
+    dmu_seconds_per_image:
+        Cost of one DMU evaluation (ten multiply-adds + sigmoid) — tiny
+        but charged per *batch image*, since the DMU scans every score
+        vector the FPGA produces.
+    """
+
+    seconds_per_image: float
+    dmu_seconds_per_image: float = 2e-7
+
+    def __post_init__(self):
+        if self.seconds_per_image <= 0:
+            raise ValueError("seconds_per_image must be positive")
+        if self.dmu_seconds_per_image < 0:
+            raise ValueError("dmu_seconds_per_image must be non-negative")
+
+    def rerun_seconds(self, batch_size: int, num_flagged: int) -> float:
+        """Time to scan a batch's scores and re-infer the flagged subset."""
+        if batch_size < 0 or num_flagged < 0 or num_flagged > batch_size:
+            raise ValueError("need 0 <= num_flagged <= batch_size")
+        return batch_size * self.dmu_seconds_per_image + num_flagged * self.seconds_per_image

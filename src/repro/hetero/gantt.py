@@ -1,0 +1,65 @@
+"""ASCII Gantt rendering of a simulation timeline.
+
+Makes the Fig. 2 overlap visible: the FPGA lane processes batch *i* while
+the host lane re-infers the flagged subset of batch *i-1*.
+"""
+
+from __future__ import annotations
+
+from .timeline import Timeline
+
+__all__ = ["gantt_chart"]
+
+
+def gantt_chart(
+    timeline: Timeline,
+    width: int = 72,
+    max_span_seconds: float | None = None,
+) -> str:
+    """Render each device as one lane of busy blocks over wall-clock time.
+
+    Parameters
+    ----------
+    timeline:
+        The recorded intervals.
+    width:
+        Characters across the full (possibly clipped) span.
+    max_span_seconds:
+        Clip the chart to the first so-many seconds (long streams would
+        otherwise compress every batch into one cell).
+    """
+    if not timeline.intervals:
+        return "(empty timeline)"
+    t0 = min(i.start for i in timeline.intervals)
+    t_end = max(i.end for i in timeline.intervals)
+    if max_span_seconds is not None:
+        t_end = min(t_end, t0 + max_span_seconds)
+    span = t_end - t0
+    if span <= 0:
+        return "(zero-length timeline)"
+
+    devices = []
+    for interval in timeline.intervals:
+        if interval.device not in devices:
+            devices.append(interval.device)
+
+    name_pad = max(len(d) for d in devices)
+    lines = []
+    for device in devices:
+        lane = [" "] * width
+        for interval in timeline.device_intervals(device):
+            if interval.start >= t_end:
+                continue
+            lo = int((interval.start - t0) / span * (width - 1))
+            hi = int((min(interval.end, t_end) - t0) / span * (width - 1))
+            for c in range(lo, hi + 1):
+                lane[c] = "#"
+        busy = timeline.utilization(device)
+        lines.append(f"{device.rjust(name_pad)} |{''.join(lane)}| {100 * busy:.0f}% busy")
+    axis = " " * name_pad + " +" + "-" * width + "+"
+    label = (
+        " " * name_pad
+        + f"  0s".ljust(width // 2)
+        + f"{span:.3f}s".rjust(width // 2)
+    )
+    return "\n".join(lines + [axis, label])

@@ -1,0 +1,49 @@
+"""Comparison of simulated cascade timing against the Eq. (1) closed form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.analytic import multi_precision_interval
+from .scheduler import SimulationResult
+
+__all__ = ["AnalyticComparison", "compare_with_eq1"]
+
+
+@dataclass(frozen=True)
+class AnalyticComparison:
+    """Simulated vs analytic per-image interval."""
+
+    simulated_seconds_per_image: float
+    analytic_seconds_per_image: float
+
+    @property
+    def relative_error(self) -> float:
+        """(sim - analytic) / analytic; positive when Eq. (1) is optimistic."""
+        return (
+            self.simulated_seconds_per_image - self.analytic_seconds_per_image
+        ) / self.analytic_seconds_per_image
+
+    @property
+    def simulated_fps(self) -> float:
+        return 1.0 / self.simulated_seconds_per_image
+
+    @property
+    def analytic_fps(self) -> float:
+        return 1.0 / self.analytic_seconds_per_image
+
+
+def compare_with_eq1(
+    result: SimulationResult, t_fp: float, t_bnn: float
+) -> AnalyticComparison:
+    """Compare a simulation against Eq. (1) at the realized rerun ratio.
+
+    Eq. (1) is a steady-state approximation: it ignores the pipeline
+    ramp-up, the trailing host call, and per-batch rounding, so the
+    simulated interval is expected to sit slightly above it.
+    """
+    analytic = multi_precision_interval(t_fp, t_bnn, result.rerun_ratio)
+    return AnalyticComparison(
+        simulated_seconds_per_image=result.seconds_per_image,
+        analytic_seconds_per_image=analytic,
+    )

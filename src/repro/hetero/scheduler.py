@@ -1,0 +1,192 @@
+"""Discrete-event simulation of the paper's async/wait batch pipeline.
+
+Reproduces the execution structure of Fig. 2 / the SDSoC pseudo-code:
+
+    for i in 0..num_batches-1:
+        #pragma SDS async(1)
+        FPGA_execution(batch[i])                      # fabric
+        if i > 0:
+            ARM_execution(flagged images of batch[i-1])  # host, in parallel
+        #pragma SDS wait(1)
+    ARM_execution(flagged images of last batch)
+
+Iteration ``i`` starts when *both* the fabric (batch i-1) and the host
+(subset of batch i-2) are done — the ``wait`` joins the async FPGA call,
+and the host call is synchronous within the loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .devices import FPGAExecutor, HostExecutor
+from .timeline import Timeline
+
+__all__ = ["BatchRecord", "SimulationResult", "simulate_cascade", "flagged_per_batch"]
+
+FPGA_DEVICE = "fpga"
+HOST_DEVICE = "host"
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """Timing of one batch through the cascade."""
+
+    index: int
+    size: int
+    num_flagged: int
+    fpga_start: float
+    fpga_end: float
+    host_start: float | None   # None when nothing was flagged
+    host_end: float | None
+
+    @property
+    def completion_time(self) -> float:
+        """When every image of this batch has its final answer."""
+        return self.host_end if self.host_end is not None else self.fpga_end
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one cascade simulation."""
+
+    batches: list[BatchRecord]
+    timeline: Timeline
+    total_seconds: float
+    num_images: int
+
+    @property
+    def images_per_second(self) -> float:
+        return self.num_images / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    @property
+    def seconds_per_image(self) -> float:
+        return self.total_seconds / self.num_images if self.num_images else 0.0
+
+    @property
+    def rerun_ratio(self) -> float:
+        flagged = sum(b.num_flagged for b in self.batches)
+        return flagged / self.num_images if self.num_images else 0.0
+
+    def average_batch_latency(self) -> float:
+        """Mean time from a batch's FPGA start to its final answer."""
+        if not self.batches:
+            return 0.0
+        return float(np.mean([b.completion_time - b.fpga_start for b in self.batches]))
+
+    def fpga_utilization(self) -> float:
+        return self.timeline.utilization(FPGA_DEVICE)
+
+    def host_utilization(self) -> float:
+        return self.timeline.utilization(HOST_DEVICE)
+
+
+def flagged_per_batch(rerun_mask: np.ndarray, batch_size: int) -> list[int]:
+    """Split a per-image rerun mask into per-batch flagged counts."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    mask = np.asarray(rerun_mask, dtype=bool)
+    return [
+        int(mask[start : start + batch_size].sum())
+        for start in range(0, mask.shape[0], batch_size)
+    ]
+
+
+def simulate_cascade(
+    fpga: FPGAExecutor,
+    host: HostExecutor,
+    num_images: int,
+    batch_size: int,
+    rerun_mask: np.ndarray | None = None,
+    rerun_ratio: float | None = None,
+) -> SimulationResult:
+    """Simulate the pipelined cascade over a stream of images.
+
+    Either ``rerun_mask`` (per-image booleans, e.g. from a real
+    :class:`~repro.core.pipeline.CascadeResult`) or ``rerun_ratio``
+    (deterministic fraction, rounded per batch) must be given.
+    """
+    if num_images <= 0:
+        raise ValueError("num_images must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if (rerun_mask is None) == (rerun_ratio is None):
+        raise ValueError("provide exactly one of rerun_mask or rerun_ratio")
+
+    sizes = [
+        min(batch_size, num_images - start) for start in range(0, num_images, batch_size)
+    ]
+    if rerun_mask is not None:
+        mask = np.asarray(rerun_mask, dtype=bool)
+        if mask.shape != (num_images,):
+            raise ValueError("rerun_mask must have one entry per image")
+        flagged = flagged_per_batch(mask, batch_size)
+    else:
+        if not 0.0 <= rerun_ratio <= 1.0:
+            raise ValueError("rerun_ratio must be in [0, 1]")
+        flagged = [int(round(s * rerun_ratio)) for s in sizes]
+
+    timeline = Timeline()
+    records: list[BatchRecord] = []
+    fpga_ends: list[float] = []
+    host_free = 0.0
+    loop_time = 0.0
+
+    for i, size in enumerate(sizes):
+        # Async FPGA launch for batch i.
+        fpga_start = loop_time
+        fpga_end = fpga_start + fpga.batch_seconds(size)
+        timeline.record(FPGA_DEVICE, fpga_start, fpga_end, f"batch[{i}]")
+        fpga_ends.append(fpga_end)
+
+        # Synchronous host re-inference of batch i-1's flagged subset.
+        host_end_prev: float | None = None
+        host_start_prev: float | None = None
+        if i > 0:
+            duration = host.rerun_seconds(sizes[i - 1], flagged[i - 1])
+            host_start_prev = max(loop_time, host_free)
+            host_end_prev = host_start_prev + duration
+            timeline.record(
+                HOST_DEVICE, host_start_prev, host_end_prev, f"rerun[{i - 1}]"
+            )
+            host_free = host_end_prev
+            records.append(
+                BatchRecord(
+                    index=i - 1,
+                    size=sizes[i - 1],
+                    num_flagged=flagged[i - 1],
+                    fpga_start=timeline.device_intervals(FPGA_DEVICE)[i - 1].start,
+                    fpga_end=fpga_ends[i - 1],
+                    host_start=host_start_prev,
+                    host_end=host_end_prev,
+                )
+            )
+
+        # SDS wait(1): next loop iteration starts when both are done.
+        loop_time = max(fpga_end, host_free)
+
+    # Trailing host call for the last batch.
+    duration = host.rerun_seconds(sizes[-1], flagged[-1])
+    host_start = max(loop_time, host_free)
+    host_end = host_start + duration
+    timeline.record(HOST_DEVICE, host_start, host_end, f"rerun[{len(sizes) - 1}]")
+    records.append(
+        BatchRecord(
+            index=len(sizes) - 1,
+            size=sizes[-1],
+            num_flagged=flagged[-1],
+            fpga_start=timeline.device_intervals(FPGA_DEVICE)[-1].start,
+            fpga_end=fpga_ends[-1],
+            host_start=host_start,
+            host_end=host_end,
+        )
+    )
+
+    return SimulationResult(
+        batches=records,
+        timeline=timeline,
+        total_seconds=host_end,
+        num_images=num_images,
+    )

@@ -1,0 +1,67 @@
+"""Execution timeline recording for the heterogeneous simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Interval", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy interval of one device."""
+
+    device: str
+    start: float
+    end: float
+    label: str
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError("interval must not end before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Ordered record of device busy intervals."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def record(self, device: str, start: float, end: float, label: str) -> Interval:
+        interval = Interval(device, start, end, label)
+        self.intervals.append(interval)
+        return interval
+
+    def device_intervals(self, device: str) -> list[Interval]:
+        return [i for i in self.intervals if i.device == device]
+
+    def busy_seconds(self, device: str) -> float:
+        return sum(i.duration for i in self.device_intervals(device))
+
+    def makespan(self) -> float:
+        """Time between the first start and the last end (0 if empty)."""
+        if not self.intervals:
+            return 0.0
+        start = min(i.start for i in self.intervals)
+        end = max(i.end for i in self.intervals)
+        return end - start
+
+    def utilization(self, device: str) -> float:
+        """Busy fraction of the device over the makespan."""
+        span = self.makespan()
+        return self.busy_seconds(device) / span if span > 0 else 0.0
+
+    def overlap_seconds(self, device_a: str, device_b: str) -> float:
+        """Total time both devices are busy simultaneously."""
+        total = 0.0
+        for a in self.device_intervals(device_a):
+            for b in self.device_intervals(device_b):
+                lo = max(a.start, b.start)
+                hi = min(a.end, b.end)
+                if hi > lo:
+                    total += hi - lo
+        return total

@@ -1,0 +1,17 @@
+"""ARM host performance model (Table IV's images/sec column)."""
+
+from .cpu import ARM_CORTEX_A53_NEON, ARM_CORTEX_A9_ZC702, CPUModel
+from .flops import LayerCost, NetworkCost, analyze_network
+from .runtime import HostPerformanceModel, calibrate_to_paper, paper_calibrated_model
+
+__all__ = [
+    "CPUModel",
+    "ARM_CORTEX_A9_ZC702",
+    "ARM_CORTEX_A53_NEON",
+    "LayerCost",
+    "NetworkCost",
+    "analyze_network",
+    "HostPerformanceModel",
+    "calibrate_to_paper",
+    "paper_calibrated_model",
+]

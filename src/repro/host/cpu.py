@@ -1,0 +1,50 @@
+"""Host CPU catalog.
+
+The paper's host is the ZC702's processing system: a dual-core ARM
+Cortex-A9 at (up to) 666 MHz, running Caffe + OpenBLAS compiled with
+OpenMP.  The paper notes OpenBLAS does **not** use NEON on 32-bit ARMv7
+("due to limited performance gains"), so the peak is the VFP pipeline:
+one fused multiply-accumulate (2 FLOPs) per cycle per core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CPUModel", "ARM_CORTEX_A9_ZC702", "ARM_CORTEX_A53_NEON"]
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Peak floating-point capability of a host processor."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    flops_per_cycle_per_core: float
+
+    def __post_init__(self):
+        if self.cores <= 0 or self.clock_hz <= 0 or self.flops_per_cycle_per_core <= 0:
+            raise ValueError("CPU parameters must be positive")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FLOP/s with all cores busy."""
+        return self.cores * self.clock_hz * self.flops_per_cycle_per_core
+
+
+#: The paper's host: dual Cortex-A9 @ 666 MHz, VFP only (no NEON).
+ARM_CORTEX_A9_ZC702 = CPUModel(
+    name="ARM Cortex-A9 (ZC702, VFP, OpenBLAS+OpenMP)",
+    cores=2,
+    clock_hz=666.7e6,
+    flops_per_cycle_per_core=2.0,
+)
+
+#: A 64-bit ARMv8 host with active NEON — the paper's future-work target.
+ARM_CORTEX_A53_NEON = CPUModel(
+    name="ARM Cortex-A53 (ARMv8, NEON/ASIMD)",
+    cores=4,
+    clock_hz=1.2e9,
+    flops_per_cycle_per_core=8.0,
+)

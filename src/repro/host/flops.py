@@ -1,0 +1,115 @@
+"""Per-layer floating-point workload analysis of a Sequential network.
+
+Walks a :class:`repro.nn.Sequential` with static shape inference and
+produces, per layer, the FLOP count and — for GEMM-lowered layers — the
+matrix dimensions OpenBLAS would see.  The runtime model uses the GEMM
+volume to estimate how efficiently each layer runs on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from ..nn.layers.base import Layer
+
+__all__ = ["LayerCost", "NetworkCost", "analyze_network"]
+
+import math
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Inference workload of one layer for one image."""
+
+    name: str
+    kind: str            # "gemm" | "elementwise" | "none"
+    flops: float
+    gemm_volume: float   # m*n*k for GEMM layers, 0 otherwise
+    output_elements: int
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.kind == "gemm"
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Aggregate inference workload of a network for one image."""
+
+    layers: tuple[LayerCost, ...]
+    input_shape: tuple[int, ...]
+
+    @property
+    def total_flops(self) -> float:
+        return sum(l.flops for l in self.layers)
+
+    @property
+    def gemm_flops(self) -> float:
+        return sum(l.flops for l in self.layers if l.is_gemm)
+
+    @property
+    def elementwise_flops(self) -> float:
+        return self.total_flops - self.gemm_flops
+
+
+def _layer_cost(layer: Layer, in_shape: tuple[int, ...], out_shape: tuple[int, ...]) -> LayerCost:
+    out_elems = int(math.prod(out_shape))
+    in_elems = int(math.prod(in_shape))
+
+    if isinstance(layer, Conv2D):
+        k2id = layer.kernel_size * layer.kernel_size * layer.in_channels
+        m = out_shape[1] * out_shape[2]   # output pixels
+        n = layer.out_channels
+        flops = 2.0 * k2id * m * n
+        if layer.bias is not None:
+            flops += m * n
+        return LayerCost(layer.name, "gemm", flops, float(m) * n * k2id, out_elems)
+    if isinstance(layer, Dense):
+        flops = 2.0 * layer.in_features * layer.out_features
+        if layer.bias is not None:
+            flops += layer.out_features
+        return LayerCost(
+            layer.name, "gemm", flops, float(layer.in_features) * layer.out_features, out_elems
+        )
+    if isinstance(layer, (MaxPool2D, AvgPool2D)):
+        window_ops = layer.window * layer.window
+        return LayerCost(layer.name, "elementwise", float(window_ops * out_elems), 0.0, out_elems)
+    if isinstance(layer, GlobalAvgPool2D):
+        return LayerCost(layer.name, "elementwise", float(in_elems), 0.0, out_elems)
+    if isinstance(layer, BatchNorm):
+        return LayerCost(layer.name, "elementwise", 2.0 * out_elems, 0.0, out_elems)
+    if isinstance(layer, LocalResponseNorm):
+        # square, windowed sum, power, divide: ~ (size + 3) ops per element.
+        return LayerCost(layer.name, "elementwise", float((layer.size + 3) * out_elems), 0.0, out_elems)
+    if isinstance(layer, (ReLU, Sigmoid, Tanh)):
+        return LayerCost(layer.name, "elementwise", float(out_elems), 0.0, out_elems)
+    if isinstance(layer, (Dropout, Flatten)):
+        return LayerCost(layer.name, "none", 0.0, 0.0, out_elems)
+    # Unknown layers are charged one op per output element (conservative).
+    return LayerCost(layer.name, "elementwise", float(out_elems), 0.0, out_elems)
+
+
+def analyze_network(net: Sequential, input_shape: tuple[int, ...] = (3, 32, 32)) -> NetworkCost:
+    """Static per-image workload analysis of ``net``."""
+    costs: list[LayerCost] = []
+    shape = tuple(input_shape)
+    for layer in net.layers:
+        out_shape = layer.output_shape(shape)
+        costs.append(_layer_cost(layer, shape, out_shape))
+        shape = out_shape
+    return NetworkCost(layers=tuple(costs), input_shape=tuple(input_shape))

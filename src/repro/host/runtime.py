@@ -1,0 +1,121 @@
+"""Calibrated host inference-rate model.
+
+Per-layer execution time is ``flops / (peak * efficiency)`` where the
+efficiency of a GEMM layer saturates with its matrix volume —
+
+    eff(v) = eff_max * v / (v + half_sat)
+
+— the standard behaviour of a blocked BLAS on a small cache: tiny GEMMs
+are launch/packing-bound, large GEMMs approach the machine's sustained
+fraction of peak.  Elementwise layers run at a fixed memory-bound
+efficiency.
+
+The two free parameters (``eff_max``, ``half_sat``) are calibrated once
+against the paper's two measured anchors (Model A = 29.68 img/s and
+Model B = 3.63 img/s on the dual Cortex-A9); Model C's rate is then a
+*prediction* the test suite checks against the paper's 3.09 img/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from ..nn import Sequential
+from .cpu import ARM_CORTEX_A9_ZC702, CPUModel
+from .flops import NetworkCost, analyze_network
+
+__all__ = ["HostPerformanceModel", "calibrate_to_paper", "paper_calibrated_model"]
+
+#: Memory-bound efficiency of elementwise layers (fraction of peak FLOPs).
+_ELEMENTWISE_EFF = 0.04
+
+
+@dataclass(frozen=True)
+class HostPerformanceModel:
+    """Host images/sec predictor."""
+
+    cpu: CPUModel
+    eff_max: float        # asymptotic fraction of peak for large GEMMs
+    half_sat: float       # GEMM volume (m*n*k) at half efficiency
+
+    def __post_init__(self):
+        if not 0 < self.eff_max <= 1:
+            raise ValueError("eff_max must be in (0, 1]")
+        if self.half_sat < 0:
+            raise ValueError("half_sat must be non-negative")
+
+    def layer_seconds(self, cost) -> float:
+        if cost.flops == 0:
+            return 0.0
+        if cost.is_gemm:
+            eff = self.eff_max * cost.gemm_volume / (cost.gemm_volume + self.half_sat)
+        else:
+            eff = _ELEMENTWISE_EFF
+        return cost.flops / (self.cpu.peak_flops * eff)
+
+    def seconds_per_image(self, net_or_cost: Sequential | NetworkCost) -> float:
+        """t_fp/img of the paper's Eq. (1)."""
+        cost = (
+            net_or_cost
+            if isinstance(net_or_cost, NetworkCost)
+            else analyze_network(net_or_cost)
+        )
+        return sum(self.layer_seconds(l) for l in cost.layers)
+
+    def images_per_second(self, net_or_cost: Sequential | NetworkCost) -> float:
+        return 1.0 / self.seconds_per_image(net_or_cost)
+
+
+def calibrate_to_paper(
+    cost_a: NetworkCost,
+    cost_b: NetworkCost,
+    rate_a: float = 29.68,
+    rate_b: float = 3.63,
+    cpu: CPUModel = ARM_CORTEX_A9_ZC702,
+) -> HostPerformanceModel:
+    """Fit (eff_max, half_sat) to two measured (network, rate) anchors.
+
+    Solves the 2x2 system: seconds(model_a) = 1/rate_a and
+    seconds(model_b) = 1/rate_b.
+    """
+
+    def split_seconds(half_sat: float, cost: NetworkCost) -> tuple[float, float]:
+        """(GEMM seconds at eff_max=1, fixed elementwise seconds)."""
+        probe = HostPerformanceModel(cpu, 1.0, half_sat)
+        gemm = sum(probe.layer_seconds(l) for l in cost.layers if l.is_gemm)
+        fixed = sum(probe.layer_seconds(l) for l in cost.layers if not l.is_gemm)
+        return gemm, fixed
+
+    def eff_for(half_sat: float, cost: NetworkCost, target_seconds: float) -> float:
+        # seconds = gemm/eff_max + fixed: solve eff_max exactly.
+        gemm, fixed = split_seconds(half_sat, cost)
+        remaining = target_seconds - fixed
+        if remaining <= 0:
+            raise ValueError("elementwise time alone exceeds the anchor rate")
+        return gemm / remaining
+
+    def mismatch(half_sat: float) -> float:
+        # eff_max implied by anchor A minus eff_max implied by anchor B.
+        return eff_for(half_sat, cost_a, 1.0 / rate_a) - eff_for(half_sat, cost_b, 1.0 / rate_b)
+
+    lo, hi = 1.0, 1e12
+    if mismatch(lo) * mismatch(hi) > 0:
+        raise ValueError(
+            "calibration anchors are inconsistent with the saturating-efficiency model"
+        )
+    half_sat = float(brentq(mismatch, lo, hi, xtol=1e-3, rtol=1e-12))
+    eff_max = eff_for(half_sat, cost_a, 1.0 / rate_a)
+    if not 0 < eff_max <= 1:
+        raise ValueError(f"calibrated eff_max {eff_max:.3f} is unphysical")
+    return HostPerformanceModel(cpu, eff_max, half_sat)
+
+
+def paper_calibrated_model(cpu: CPUModel = ARM_CORTEX_A9_ZC702) -> HostPerformanceModel:
+    """The model calibrated on the paper's Model A and Model B rates."""
+    from ..models import build_model_a, build_model_b
+
+    cost_a = analyze_network(build_model_a(scale=1.0))
+    cost_b = analyze_network(build_model_b(scale=1.0))
+    return calibrate_to_paper(cost_a, cost_b, cpu=cpu)

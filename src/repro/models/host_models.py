@@ -1,0 +1,143 @@
+"""The three floating-point host networks of Table III.
+
+* **Model A** — Alex Krizhevsky's cuda-convnet CIFAR-10 network: three 5x5
+  conv stages with pooling and local response normalization, FC-10 head.
+  Fast; the paper's real-time multi-precision partner.
+* **Model B** — Network in Network (Lin, Chen & Yan 2013): 5x5/1x1 mlpconv
+  stacks with dropout, global-average-pooled 10-map output.
+* **Model C** — All Convolutional Net "All-CNN-C" (Springenberg et al.
+  2014): all-3x3 network where stride-2 convolutions replace pooling.
+
+``scale`` multiplies conv widths for laptop-scale training (DESIGN.md §5);
+``scale=1.0`` reproduces Table III exactly and is what the host cost model
+(:mod:`repro.host`) analyses for the paper's images/sec numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["build_model_a", "build_model_b", "build_model_c"]
+
+NUM_CLASSES = 10
+
+
+def _width(base: int, scale: float) -> int:
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(8, int(round(base * scale / 4)) * 4)
+
+
+def build_model_a(
+    scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+    image_size: int = 32,
+) -> Sequential:
+    """Model A: the cuda-convnet CIFAR-10 'quick' network (Table III)."""
+    rng = rng or np.random.default_rng(0)
+    w32 = _width(32, scale)
+    w64 = _width(64, scale)
+    layers = [
+        Conv2D(3, w32, 5, pad=2, rng=rng),
+        MaxPool2D(3, 2),
+        LocalResponseNorm(size=5, alpha=5e-5, beta=0.75),
+        Conv2D(w32, w32, 5, pad=2, rng=rng),
+        ReLU(),
+        AvgPool2D(3, 2),
+        LocalResponseNorm(size=5, alpha=5e-5, beta=0.75),
+        Conv2D(w32, w64, 5, pad=2, rng=rng),
+        ReLU(),
+        AvgPool2D(3, 2),
+        Flatten(),
+    ]
+    net = Sequential(layers, name=f"model_a(scale={scale})")
+    flat = net.output_shape((3, image_size, image_size))[0]
+    net.add(Dense(flat, NUM_CLASSES, rng=rng))
+    return net
+
+
+def _bias_up_classifier(net: Sequential, value: float = 0.1) -> Sequential:
+    """Positively bias the final 1x1 classifier conv.
+
+    Models B and C end in ``1x1-conv-10 -> ReLU -> global avg pool``
+    (Table III).  If every classifier activation dies, the ReLU blocks all
+    gradient and training is stuck at chance forever; starting the biases
+    positive keeps the units alive — a training-recipe detail only, the
+    topology is unchanged.
+    """
+    last_conv = [l for l in net if isinstance(l, Conv2D)][-1]
+    if last_conv.bias is not None:
+        last_conv.bias.value = np.full_like(last_conv.bias.value, value)
+    return net
+
+
+def build_model_b(
+    scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+    dropout: bool = True,
+) -> Sequential:
+    """Model B: Network in Network (Table III)."""
+    rng = rng or np.random.default_rng(0)
+    w192 = _width(192, scale)
+    w160 = _width(160, scale)
+    w96 = _width(96, scale)
+    drop = 0.5 if dropout else 0.0
+    layers = [
+        Conv2D(3, w192, 5, pad=2, rng=rng), ReLU(),
+        Conv2D(w192, w160, 1, rng=rng), ReLU(),
+        Conv2D(w160, w96, 1, rng=rng), ReLU(),
+        MaxPool2D(3, 2),
+        Dropout(drop, rng=rng),
+        Conv2D(w96, w192, 5, pad=2, rng=rng), ReLU(),
+        Conv2D(w192, w192, 1, rng=rng), ReLU(),
+        Conv2D(w192, w192, 1, rng=rng), ReLU(),
+        AvgPool2D(3, 2),
+        Dropout(drop, rng=rng),
+        Conv2D(w192, w192, 3, pad=1, rng=rng), ReLU(),
+        Conv2D(w192, w192, 1, rng=rng), ReLU(),
+        Conv2D(w192, NUM_CLASSES, 1, rng=rng), ReLU(),
+        GlobalAvgPool2D(),
+    ]
+    return _bias_up_classifier(Sequential(layers, name=f"model_b(scale={scale})"))
+
+
+def build_model_c(
+    scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+    dropout: bool = True,
+) -> Sequential:
+    """Model C: All-CNN-C (Table III) — stride-2 convs replace pooling."""
+    rng = rng or np.random.default_rng(0)
+    w96 = _width(96, scale)
+    w192 = _width(192, scale)
+    in_drop = 0.2 if dropout else 0.0
+    mid_drop = 0.5 if dropout else 0.0
+    layers = [
+        Dropout(in_drop, rng=rng),
+        Conv2D(3, w96, 3, pad=1, rng=rng), ReLU(),
+        Conv2D(w96, w96, 3, pad=1, rng=rng), ReLU(),
+        Conv2D(w96, w96, 3, pad=1, stride=2, rng=rng), ReLU(),
+        Dropout(mid_drop, rng=rng),
+        Conv2D(w96, w192, 3, pad=1, rng=rng), ReLU(),
+        Conv2D(w192, w192, 3, pad=1, rng=rng), ReLU(),
+        Conv2D(w192, w192, 3, pad=1, stride=2, rng=rng), ReLU(),
+        Dropout(mid_drop, rng=rng),
+        Conv2D(w192, w192, 3, rng=rng), ReLU(),
+        Conv2D(w192, w192, 1, rng=rng), ReLU(),
+        Conv2D(w192, NUM_CLASSES, 1, rng=rng), ReLU(),
+        GlobalAvgPool2D(),
+    ]
+    return _bias_up_classifier(Sequential(layers, name=f"model_c(scale={scale})"))

@@ -1,0 +1,33 @@
+"""Model registry: name -> builder, as the experiments refer to them."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn import Sequential
+from .finn_cnv import build_finn_cnv
+from .host_models import build_model_a, build_model_b, build_model_c
+
+__all__ = ["MODEL_BUILDERS", "build_model", "model_names"]
+
+MODEL_BUILDERS: dict[str, Callable[..., Sequential]] = {
+    "finn_cnv": build_finn_cnv,
+    "model_a": build_model_a,
+    "model_b": build_model_b,
+    "model_c": build_model_c,
+}
+
+
+def model_names() -> list[str]:
+    return sorted(MODEL_BUILDERS)
+
+
+def build_model(name: str, scale: float = 1.0, rng: np.random.Generator | None = None, **kwargs) -> Sequential:
+    """Build a model by registry name."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {model_names()}") from None
+    return builder(scale=scale, rng=rng, **kwargs)

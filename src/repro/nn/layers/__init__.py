@@ -1,0 +1,28 @@
+"""Layer zoo for the :mod:`repro.nn` framework."""
+
+from .activations import HardTanh, ReLU, Sigmoid, Tanh
+from .base import Layer
+from .batchnorm import BatchNorm
+from .conv import Conv2D
+from .dense import Dense
+from .dropout import Dropout
+from .flatten import Flatten
+from .lrn import LocalResponseNorm
+from .pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "HardTanh",
+    "BatchNorm",
+    "LocalResponseNorm",
+    "Dropout",
+    "Flatten",
+]

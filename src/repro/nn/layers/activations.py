@@ -1,0 +1,56 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .base import Layer
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "HardTanh"]
+
+
+class ReLU(Layer):
+    """Rectified linear unit (all three host models use ReLU)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid — the DMU's 'positive transfer function'."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = F.sigmoid(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._y * (1.0 - self._y)
+
+
+class Tanh(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - self._y**2)
+
+
+class HardTanh(Layer):
+    """Clip to [-1, 1]; the straight-through surrogate used around sign().
+
+    BinaryNet trains ``sign`` activations with the hard-tanh gradient
+    (pass-through inside [-1, 1], zero outside).
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = np.abs(x) <= 1.0
+        return np.clip(x, -1.0, 1.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask

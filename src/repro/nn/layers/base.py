@@ -1,0 +1,66 @@
+"""Abstract layer interface.
+
+A :class:`Layer` is a node in a feed-forward network: it caches whatever it
+needs during ``forward`` and consumes that cache in ``backward``.  Layers
+are single-use per step — calling ``backward`` without a preceding
+``forward`` is an error and raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parameter import Parameter
+
+__all__ = ["Layer"]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`, register
+    parameters by appending to ``self._params``, and may override
+    :meth:`output_shape` to support static shape inference (used by the
+    hardware models, which need shapes without running data through).
+    """
+
+    def __init__(self, name: str | None = None):
+        self.name = name or type(self).__name__
+        self.training = False
+        self._params: list[Parameter] = []
+
+    # -- parameters -------------------------------------------------------
+    def params(self) -> list[Parameter]:
+        """All parameters of this layer (trainable and frozen)."""
+        return list(self._params)
+
+    def num_params(self) -> int:
+        return sum(p.size for p in self._params)
+
+    # -- execution --------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- shape inference ---------------------------------------------------
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape (excluding batch dim) this layer produces for ``input_shape``.
+
+        The default assumes a shape-preserving layer.
+        """
+        return tuple(input_shape)
+
+    # -- mode switches ------------------------------------------------------
+    def train_mode(self) -> None:
+        self.training = True
+
+    def eval_mode(self) -> None:
+        self.training = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

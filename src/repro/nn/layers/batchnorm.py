@@ -1,0 +1,114 @@
+"""Batch normalization.
+
+BatchNorm is the companion of binarized layers: FINN folds each BatchNorm +
+sign() pair into a single integer threshold at deployment time
+(:mod:`repro.bnn.thresholding`), so this implementation exposes its learned
+``gamma``/``beta`` and running statistics for that folding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parameter import Parameter
+from .base import Layer
+
+__all__ = ["BatchNorm"]
+
+
+class BatchNorm(Layer):
+    """Per-channel batch normalization for 2-D (N, F) or 4-D (N, C, H, W) input.
+
+    Parameters
+    ----------
+    num_features:
+        Channel (or feature) count.
+    momentum:
+        Exponential-moving-average factor for running statistics.
+    eps:
+        Variance floor.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+
+        self.gamma = Parameter(np.ones(num_features), name=f"{self.name}.gamma")
+        self.beta = Parameter(np.zeros(num_features), name=f"{self.name}.beta")
+        self.running_mean = Parameter(
+            np.zeros(num_features), name=f"{self.name}.running_mean", trainable=False
+        )
+        self.running_var = Parameter(
+            np.ones(num_features), name=f"{self.name}.running_var", trainable=False
+        )
+        self._params = [self.gamma, self.beta, self.running_mean, self.running_var]
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _axes(x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise ValueError(f"BatchNorm expects 2-D or 4-D input, got {x.ndim}-D")
+
+    def _shape_for(self, x: np.ndarray, v: np.ndarray) -> np.ndarray:
+        if x.ndim == 4:
+            return v.reshape(1, -1, 1, 1)
+        return v
+
+    # -- execution ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._axes(x)
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected {self.num_features} channels, got {x.shape[1]}"
+            )
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean.value = m * self.running_mean.value + (1 - m) * mean
+            self.running_var.value = m * self.running_var.value + (1 - m) * var
+        else:
+            mean = self.running_mean.value
+            var = self.running_var.value
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - self._shape_for(x, mean)) * self._shape_for(x, inv_std)
+        out = self._shape_for(x, self.gamma.value) * xhat + self._shape_for(x, self.beta.value)
+        self._cache = (xhat, inv_std, axes, x.shape)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        xhat, inv_std, axes, x_shape = self._cache
+        self._cache = None
+        m = float(np.prod([x_shape[a] for a in axes]))
+
+        self.gamma.grad += (grad * xhat).sum(axis=axes)
+        self.beta.grad += grad.sum(axis=axes)
+
+        g = self._shape_for(grad, self.gamma.value)
+        dxhat = grad * g
+        # Standard batch-norm backward (training statistics path).
+        term = (
+            dxhat
+            - dxhat.mean(axis=axes, keepdims=True)
+            - xhat * (dxhat * xhat).sum(axis=axes, keepdims=True) / m
+        )
+        return term * self._shape_for(grad, inv_std)
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(input_shape)

@@ -1,0 +1,113 @@
+"""2-D convolution layer (im2col + GEMM, NCHW)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .. import initializers
+from ..parameter import Parameter
+from .base import Layer
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """Standard 2-D convolution.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.  Weight shape is ``(out, in, kh, kw)``.
+    kernel_size:
+        Square kernel side (the paper's networks use 1x1, 3x3 and 5x5).
+    stride, pad:
+        Stride and symmetric zero padding.  The FINN CNV network applies
+        no padding (Table I); the host models pad to preserve size.
+    use_bias:
+        The binarized variants fold bias into thresholds, so bias is
+        optional.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        use_bias: bool = True,
+        weight_init=initializers.he_normal,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channel counts and kernel size must be positive")
+        if stride <= 0 or pad < 0:
+            raise ValueError("stride must be positive and pad non-negative")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        self.use_bias = use_bias
+
+        rng = rng or np.random.default_rng(0)
+        wshape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(weight_init(wshape, rng), name=f"{self.name}.weight")
+        self._params = [self.weight]
+        if use_bias:
+            self.bias = Parameter(np.zeros(out_channels), name=f"{self.name}.bias")
+            self._params.append(self.bias)
+        else:
+            self.bias = None
+
+        self._cache: tuple | None = None
+
+    # -- shape --------------------------------------------------------------
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected {self.in_channels} input channels, got {c}"
+            )
+        oh = F.conv_output_size(h, self.kernel_size, self.stride, self.pad)
+        ow = F.conv_output_size(w, self.kernel_size, self.stride, self.pad)
+        return (self.out_channels, oh, ow)
+
+    # -- execution ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        _, oh, ow = self.output_shape(x.shape[1:])
+        k = self.kernel_size
+        cols = F.im2col(x, k, k, self.stride, self.pad)
+        wmat = self.weight.value.reshape(self.out_channels, -1)
+        out = cols @ wmat.T
+        if self.bias is not None:
+            out += self.bias.value
+        self._cache = (x.shape, cols)
+        return out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x_shape, cols = self._cache
+        self._cache = None
+        k = self.kernel_size
+        n, od, oh, ow = grad.shape
+        gmat = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, od)
+
+        self.weight.grad += (gmat.T @ cols).reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += gmat.sum(axis=0)
+
+        wmat = self.weight.value.reshape(self.out_channels, -1)
+        gcols = gmat @ wmat
+        return F.col2im(gcols, x_shape, k, k, self.stride, self.pad)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D({self.in_channels}->{self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.pad})"
+        )

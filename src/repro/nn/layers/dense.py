@@ -1,0 +1,71 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import initializers
+from ..parameter import Parameter
+from .base import Layer
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` with ``W`` of shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        weight_init=initializers.he_normal,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.use_bias = use_bias
+
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            weight_init((in_features, out_features), rng), name=f"{self.name}.weight"
+        )
+        self._params = [self.weight]
+        if use_bias:
+            self.bias = Parameter(np.zeros(out_features), name=f"{self.name}.bias")
+            self._params.append(self.bias)
+        else:
+            self.bias = None
+        self._x: np.ndarray | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1 or input_shape[0] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected flat input of {self.in_features}, got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"{self.name}: dense input must be 2-D, got {x.shape}")
+        self._x = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x, self._x = self._x, None
+        self.weight.grad += x.T @ grad
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dense({self.in_features}->{self.out_features})"

@@ -1,0 +1,38 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training mode, identity in eval.
+
+    Models B and C (NiN / All-CNN) use dropout between their conv blocks.
+    The mask RNG is owned by the layer so runs are reproducible.
+    """
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator | None = None, name: str | None = None):
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,23 @@
+"""Flatten NCHW feature maps into (N, features) rows."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(math.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)

@@ -1,0 +1,66 @@
+"""Local response normalization (across channels).
+
+Model A — the cuda-convnet CIFAR-10 network — interleaves LRN with its
+pooling stages (Table III of the paper).  This is AlexNet-style
+across-channel LRN:
+
+    y_c = x_c / (k + alpha/n * sum_{c' in window} x_{c'}^2) ** beta
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["LocalResponseNorm"]
+
+
+class LocalResponseNorm(Layer):
+    def __init__(
+        self,
+        size: int = 5,
+        alpha: float = 1e-4,
+        beta: float = 0.75,
+        k: float = 1.0,
+        name: str | None = None,
+    ):
+        super().__init__(name)
+        if size <= 0 or size % 2 == 0:
+            raise ValueError("LRN window size must be a positive odd integer")
+        self.size = size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+    def _channel_sums(self, sq: np.ndarray) -> np.ndarray:
+        """Sliding-window sum of x^2 across the channel axis."""
+        n, c, h, w = sq.shape
+        half = self.size // 2
+        padded = np.zeros((n, c + 2 * half, h, w), dtype=sq.dtype)
+        padded[:, half : half + c] = sq
+        csum = np.cumsum(padded, axis=1)
+        zero = np.zeros((n, 1, h, w), dtype=sq.dtype)
+        csum = np.concatenate([zero, csum], axis=1)
+        return csum[:, self.size :] - csum[:, :-self.size]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError("LRN expects NCHW input")
+        sq = x * x
+        sums = self._channel_sums(sq)
+        scale = self.k + (self.alpha / self.size) * sums
+        out = x * scale ** (-self.beta)
+        self._cache = (x, scale, out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, scale, y = self._cache
+        self._cache = None
+        # dy_c/dx_c direct term plus the cross-channel term through `scale`.
+        direct = grad * scale ** (-self.beta)
+        # g_c = grad_c * y_c / scale_c summed over the window that includes c.
+        g = grad * y / scale
+        cross_sums = self._channel_sums(g)
+        cross = -2.0 * self.beta * (self.alpha / self.size) * x * cross_sums
+        return direct + cross

@@ -1,0 +1,120 @@
+"""Pooling layers: max, average and global average (NCHW)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import functional as F
+from .base import Layer
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class _Pool2D(Layer):
+    """Shared window bookkeeping for max/average pooling."""
+
+    def __init__(self, window: int, stride: int | None = None, pad: int = 0, name: str | None = None):
+        super().__init__(name)
+        if window <= 0:
+            raise ValueError("pooling window must be positive")
+        self.window = window
+        self.stride = stride if stride is not None else window
+        self.pad = pad
+        if self.stride <= 0 or self.pad < 0:
+            raise ValueError("stride must be positive and pad non-negative")
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, h, w = input_shape
+        oh = F.pool_output_size(h, self.window, self.stride, self.pad)
+        ow = F.pool_output_size(w, self.window, self.stride, self.pad)
+        return (c, oh, ow)
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """View of shape (N, C, OH, OW, window, window)."""
+        n, c, h, w = x.shape
+        xp = F.pad_nchw(x, self.pad)
+        oh = F.pool_output_size(h, self.window, self.stride, self.pad)
+        ow = F.pool_output_size(w, self.window, self.stride, self.pad)
+        sn, sc, sh, sw = xp.strides
+        return np.lib.stride_tricks.as_strided(
+            xp,
+            shape=(n, c, oh, ow, self.window, self.window),
+            strides=(sn, sc, sh * self.stride, sw * self.stride, sh, sw),
+            writeable=False,
+        )
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling, as used by FINN CNV (2x2) and Model A (3x3 stride 2)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        windows = self._windows(x)
+        n, c, oh, ow = windows.shape[:4]
+        flat = windows.reshape(n, c, oh, ow, -1)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, argmax = self._cache
+        self._cache = None
+        n, c, h, w = x_shape
+        oh, ow = grad.shape[2:]
+        hp, wp = h + 2 * self.pad, w + 2 * self.pad
+        dxp = np.zeros((n, c, hp, wp), dtype=grad.dtype)
+
+        kh, kw = np.unravel_index(argmax, (self.window, self.window))
+        oy = np.arange(oh)[None, None, :, None]
+        ox = np.arange(ow)[None, None, None, :]
+        rows = oy * self.stride + kh
+        cols = ox * self.stride + kw
+        bidx = np.arange(n)[:, None, None, None]
+        cidx = np.arange(c)[None, :, None, None]
+        np.add.at(dxp, (bidx, cidx, rows, cols), grad)
+        if self.pad:
+            dxp = dxp[:, :, self.pad : -self.pad, self.pad : -self.pad]
+        return dxp
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling (cuda-convnet's later pools; NiN pools)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        windows = self._windows(x)
+        self._x_shape = x.shape
+        return windows.mean(axis=(-1, -2))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        oh, ow = grad.shape[2:]
+        hp, wp = h + 2 * self.pad, w + 2 * self.pad
+        dxp = np.zeros((n, c, hp, wp), dtype=grad.dtype)
+        share = grad / (self.window * self.window)
+        for kh in range(self.window):
+            for kw in range(self.window):
+                dxp[:, :, kh : kh + self.stride * oh : self.stride,
+                    kw : kw + self.stride * ow : self.stride] += share
+        if self.pad:
+            dxp = dxp[:, :, self.pad : -self.pad, self.pad : -self.pad]
+        return dxp
+
+
+class GlobalAvgPool2D(Layer):
+    """Global average pooling over H and W, producing (N, C).
+
+    The NiN (Model B) and All-CNN (Model C) topologies end in global
+    pooling over the 10 class feature maps instead of a dense classifier.
+    """
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, _, _ = input_shape
+        return (c,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(grad[:, :, None, None], (n, c, h, w)) / (h * w)

@@ -1,0 +1,87 @@
+"""Loss functions.
+
+Each loss exposes ``forward(logits, targets) -> float`` and
+``backward() -> grad`` mirroring the layer protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "BinaryCrossEntropy", "SquaredHinge"]
+
+
+class Loss:
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Mean cross-entropy over integer class labels."""
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError("logits must be (N, classes)")
+        targets = np.asarray(targets)
+        n = logits.shape[0]
+        logp = F.log_softmax(logits, axis=1)
+        self._probs = np.exp(logp)
+        self._targets = targets
+        return float(-logp[np.arange(n), targets].mean())
+
+    def backward(self) -> np.ndarray:
+        n, k = self._probs.shape
+        grad = self._probs.copy()
+        grad[np.arange(n), self._targets] -= 1.0
+        return grad / n
+
+
+class BinaryCrossEntropy(Loss):
+    """Mean BCE on raw logits (sigmoid applied internally).
+
+    Used to train the DMU: logit -> probability that the BNN classified
+    the image correctly.
+    """
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = logits.reshape(-1)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        if logits.shape != targets.shape:
+            raise ValueError("logits and targets must align")
+        self._p = F.sigmoid(logits)
+        self._targets = targets
+        self._n = logits.shape[0]
+        eps = 1e-12
+        return float(
+            -(targets * np.log(self._p + eps) + (1 - targets) * np.log(1 - self._p + eps)).mean()
+        )
+
+    def backward(self) -> np.ndarray:
+        return ((self._p - self._targets) / self._n).reshape(-1, 1)
+
+
+class SquaredHinge(Loss):
+    """Mean squared hinge loss on +-1 targets, BinaryNet's training loss.
+
+    Targets are integer class labels; internally encoded to +-1 one-hot.
+    """
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        n, k = logits.shape
+        y = 2.0 * F.one_hot(np.asarray(targets), k) - 1.0
+        margin = np.maximum(0.0, 1.0 - y * logits)
+        self._y = y
+        self._margin = margin
+        self._n = n
+        return float((margin**2).mean())
+
+    def backward(self) -> np.ndarray:
+        return (-2.0 * self._y * self._margin) / (self._n * self._y.shape[1])

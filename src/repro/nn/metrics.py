@@ -1,0 +1,112 @@
+"""Classification metrics beyond top-1 accuracy.
+
+Used by the experiments to show *where* the binarized network loses
+accuracy (the confusable class pairs) and what the cascade recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "per_class_accuracy",
+    "ClassificationReport",
+    "classification_report",
+    "top_k_accuracy",
+]
+
+
+def confusion_matrix(
+    true_labels: np.ndarray, predictions: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Counts matrix ``M[i, j]`` = images of class ``i`` predicted as ``j``."""
+    true_labels = np.asarray(true_labels)
+    predictions = np.asarray(predictions)
+    if true_labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must align")
+    if true_labels.size and (
+        true_labels.min() < 0
+        or true_labels.max() >= num_classes
+        or predictions.min() < 0
+        or predictions.max() >= num_classes
+    ):
+        raise ValueError("labels out of range")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (true_labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Recall per class; NaN for classes with no samples."""
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of rows whose true label is among the k highest scores."""
+    scores = np.asarray(scores)
+    labels = np.asarray(labels)
+    if scores.ndim != 2 or labels.shape != (scores.shape[0],):
+        raise ValueError("scores must be (N, C) with matching labels")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError("k out of range")
+    if scores.shape[0] == 0:
+        return 0.0
+    topk = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Aggregated multi-class evaluation."""
+
+    matrix: np.ndarray
+    class_names: tuple[str, ...]
+
+    @property
+    def accuracy(self) -> float:
+        total = self.matrix.sum()
+        return float(np.diag(self.matrix).sum() / total) if total else 0.0
+
+    @property
+    def class_accuracy(self) -> np.ndarray:
+        return per_class_accuracy(self.matrix)
+
+    def most_confused_pairs(self, top: int = 3) -> list[tuple[str, str, int]]:
+        """Off-diagonal (true, predicted, count) cells, largest first."""
+        offdiag = self.matrix.copy()
+        np.fill_diagonal(offdiag, 0)
+        flat = offdiag.ravel()
+        order = np.argsort(flat)[::-1][:top]
+        n = self.matrix.shape[0]
+        return [
+            (self.class_names[i // n], self.class_names[i % n], int(flat[i]))
+            for i in order
+            if flat[i] > 0
+        ]
+
+    def format(self) -> str:
+        lines = [f"accuracy: {100 * self.accuracy:.1f}%"]
+        for name, acc in zip(self.class_names, self.class_accuracy):
+            shown = "n/a" if np.isnan(acc) else f"{100 * acc:.1f}%"
+            lines.append(f"  {name:12s} {shown}")
+        pairs = self.most_confused_pairs()
+        if pairs:
+            lines.append("most confused (true -> predicted):")
+            for a, b, count in pairs:
+                lines.append(f"  {a} -> {b}: {count}")
+        return "\n".join(lines)
+
+
+def classification_report(
+    true_labels: np.ndarray,
+    predictions: np.ndarray,
+    class_names: tuple[str, ...],
+) -> ClassificationReport:
+    """Build a :class:`ClassificationReport` from labels and predictions."""
+    matrix = confusion_matrix(true_labels, predictions, len(class_names))
+    return ClassificationReport(matrix=matrix, class_names=tuple(class_names))

@@ -1,0 +1,119 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .layers.base import Layer
+from .parameter import Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A feed-forward stack of layers with shared train/eval mode.
+
+    All the paper's networks — FINN CNV, host Models A/B/C and the DMU —
+    are plain sequential stacks, so this container is the full model
+    abstraction the reproduction needs.
+    """
+
+    def __init__(self, layers: Sequence[Layer] | None = None, name: str = "net"):
+        self.layers: list[Layer] = list(layers or [])
+        self.name = name
+
+    # -- construction ---------------------------------------------------------
+    def add(self, layer: Layer) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx):
+        return self.layers[idx]
+
+    # -- parameters -------------------------------------------------------
+    def params(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def num_params(self) -> int:
+        return sum(layer.num_params() for layer in self.layers)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot of all parameters keyed by position and name."""
+        state = {}
+        for i, layer in enumerate(self.layers):
+            for j, p in enumerate(layer.params()):
+                state[f"{i}:{j}:{p.name}"] = p.value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = {}
+        for i, layer in enumerate(self.layers):
+            for j, p in enumerate(layer.params()):
+                own[f"{i}:{j}:{p.name}"] = p
+        if set(own) != set(state):
+            missing = set(own) - set(state)
+            extra = set(state) - set(own)
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, extra={sorted(extra)}")
+        for key, p in own.items():
+            if p.value.shape != state[key].shape:
+                raise ValueError(f"shape mismatch for {key}")
+            p.value = state[key].copy()
+
+    # -- execution ------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Run inference in eval mode, batched to bound memory."""
+        self.eval_mode()
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(self.forward(x[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0) if outputs else np.empty((0,))
+
+    def predict_classes(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        return self.predict(x, batch_size).argmax(axis=1)
+
+    # -- shapes -----------------------------------------------------------
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def summary(self, input_shape: tuple[int, ...]) -> str:
+        """Human-readable per-layer table of output shapes and param counts."""
+        lines = [f"{self.name}:"]
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            lines.append(f"  {layer!r:50s} -> {shape}  params={layer.num_params()}")
+        lines.append(f"  total params: {self.num_params()}")
+        return "\n".join(lines)
+
+    # -- modes ------------------------------------------------------------
+    def train_mode(self) -> None:
+        for layer in self.layers:
+            layer.train_mode()
+
+    def eval_mode(self) -> None:
+        for layer in self.layers:
+            layer.eval_mode()

@@ -1,0 +1,52 @@
+"""Trainable parameter container for the :mod:`repro.nn` framework.
+
+The framework is deliberately Caffe-like (the paper's host networks are
+Caffe models): layers own explicit :class:`Parameter` objects, forward and
+backward passes are hand-written, and optimizers mutate ``param.value``
+in place using ``param.grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named tensor with an accumulated gradient.
+
+    Parameters
+    ----------
+    value:
+        Initial value.  Stored as ``float64`` by default so that training
+        in pure numpy is numerically robust; callers may pass any float
+        dtype and it is preserved.
+    name:
+        Human-readable name used in summaries and state dicts.
+    trainable:
+        Untrainable parameters (e.g. batch-norm running statistics) are
+        skipped by optimizers but still saved/restored.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param", trainable: bool = True):
+        self.value = np.asarray(value)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.value.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad = np.zeros_like(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "trainable" if self.trainable else "frozen"
+        return f"Parameter({self.name!r}, shape={self.shape}, {kind})"

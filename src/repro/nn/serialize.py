@@ -1,0 +1,47 @@
+"""Save/load Sequential model weights as ``.npz`` archives.
+
+The archive stores every parameter (trainable and frozen, so BatchNorm
+running statistics survive) keyed by layer position and parameter name.
+Loading requires a structurally identical model — the same builder with
+the same arguments — and fails loudly otherwise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .network import Sequential
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(net: Sequential, path: str | Path, metadata: dict[str, float] | None = None) -> None:
+    """Write all parameters (and optional scalar metadata) to ``path``."""
+    arrays: dict[str, np.ndarray] = {}
+    for key, value in net.state_dict().items():
+        arrays[f"param:{key}"] = value
+    for key, value in (metadata or {}).items():
+        arrays[f"meta:{key}"] = np.asarray(float(value))
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_model(net: Sequential, path: str | Path) -> dict[str, float]:
+    """Load parameters into ``net``; returns the stored metadata.
+
+    Raises
+    ------
+    KeyError / ValueError
+        If the archive does not match the model's structure or shapes.
+    """
+    data = dict(np.load(Path(path), allow_pickle=False))
+    state = {}
+    metadata: dict[str, float] = {}
+    for key, value in data.items():
+        if key.startswith("param:"):
+            state[key[len("param:"):]] = value
+        elif key.startswith("meta:"):
+            metadata[key[len("meta:"):]] = float(value)
+    net.load_state_dict(state)
+    return metadata

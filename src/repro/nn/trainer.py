@@ -1,0 +1,173 @@
+"""Minibatch training loop with evaluation and history tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .losses import Loss
+from .network import Sequential
+from .optim import Optimizer
+
+__all__ = ["TrainHistory", "Trainer", "accuracy"]
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of logits against integer labels."""
+    if logits.shape[0] == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == np.asarray(labels)).mean())
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training record."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+
+class Trainer:
+    """Drives SGD over a :class:`~repro.nn.network.Sequential` model.
+
+    Parameters
+    ----------
+    model, loss, optimizer:
+        The usual triple.
+    rng:
+        Generator used to shuffle each epoch (reproducible).
+    lr_schedule:
+        Optional ``epoch -> lr`` callable evaluated at the start of every
+        epoch (step decay is enough for these small runs).
+    keep_best:
+        When validation data is supplied, restore the best-validation
+        snapshot at the end of :meth:`fit`.
+    augment:
+        Optional per-batch input transform (e.g. a
+        :class:`repro.data.Augmenter`) applied in training steps only.
+    grad_clip:
+        Optional global-norm gradient clipping threshold.
+    patience:
+        Early stopping: abort :meth:`fit` after this many epochs without
+        a new best validation accuracy (``None`` disables; requires
+        validation data to take effect).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Loss,
+        optimizer: Optimizer,
+        rng: np.random.Generator | None = None,
+        lr_schedule: Callable[[int], float] | None = None,
+        keep_best: bool = True,
+        augment: Callable[[np.ndarray], np.ndarray] | None = None,
+        grad_clip: float | None = None,
+        patience: int | None = None,
+    ):
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError("grad_clip must be positive")
+        if patience is not None and patience <= 0:
+            raise ValueError("patience must be positive")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.rng = rng or np.random.default_rng(0)
+        self.lr_schedule = lr_schedule
+        self.keep_best = keep_best
+        self.augment = augment
+        self.grad_clip = grad_clip
+        self.patience = patience
+
+    def _clip_gradients(self) -> None:
+        total_sq = sum(float((p.grad**2).sum()) for p in self.optimizer.params)
+        norm = total_sq**0.5
+        if norm > self.grad_clip:
+            scale = self.grad_clip / norm
+            for p in self.optimizer.params:
+                p.grad *= scale
+
+    def train_step(self, xb: np.ndarray, yb: np.ndarray) -> tuple[float, float]:
+        """One optimizer step; returns (loss, batch accuracy)."""
+        self.model.train_mode()
+        self.optimizer.zero_grad()
+        if self.augment is not None:
+            xb = self.augment(xb)
+        logits = self.model.forward(xb)
+        loss_value = self.loss.forward(logits, yb)
+        self.model.backward(self.loss.backward())
+        if self.grad_clip is not None:
+            self._clip_gradients()
+        self.optimizer.step()
+        return loss_value, accuracy(logits, yb)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+        logits = self.model.predict(x, batch_size=batch_size)
+        return accuracy(logits, y)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        batch_size: int = 64,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        verbose: bool = False,
+    ) -> TrainHistory:
+        if x.shape[0] != np.asarray(y).shape[0]:
+            raise ValueError("x and y must have the same number of samples")
+        history = TrainHistory()
+        n = x.shape[0]
+        best_acc = -1.0
+        best_state = None
+        epochs_since_best = 0
+
+        for epoch in range(epochs):
+            if self.lr_schedule is not None:
+                self.optimizer.lr = self.lr_schedule(epoch)
+            order = self.rng.permutation(n)
+            losses, accs = [], []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                loss_value, acc = self.train_step(x[idx], np.asarray(y)[idx])
+                losses.append(loss_value)
+                accs.append(acc)
+            history.train_loss.append(float(np.mean(losses)))
+            history.train_accuracy.append(float(np.mean(accs)))
+
+            if x_val is not None and y_val is not None:
+                val_acc = self.evaluate(x_val, y_val)
+                history.val_accuracy.append(val_acc)
+                if val_acc > best_acc:
+                    best_acc = val_acc
+                    epochs_since_best = 0
+                    if self.keep_best:
+                        best_state = self.model.state_dict()
+                else:
+                    epochs_since_best += 1
+                if self.patience is not None and epochs_since_best >= self.patience:
+                    break
+            if verbose:  # pragma: no cover - console output
+                msg = (
+                    f"epoch {epoch + 1}/{epochs}: loss={history.train_loss[-1]:.4f} "
+                    f"acc={history.train_accuracy[-1]:.3f}"
+                )
+                if history.val_accuracy:
+                    msg += f" val_acc={history.val_accuracy[-1]:.3f}"
+                print(msg)
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history

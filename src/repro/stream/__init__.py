@@ -1,0 +1,28 @@
+"""Video-stream substrate: the HD-frame ROI workload the paper motivates.
+
+Section III-A: "image classification designs are typically part of a
+bigger design in practice (e.g. used in live video streams) ... hardware
+that could extract regions of interest in a large HD frame and then scale
+to 32x32 sub-frames for use in CIFAR-10 network".  This package supplies
+that surrounding system: a synthetic video source with moving labelled
+objects, a saliency ROI detector with bilinear rescaling to 32x32, and an
+end-to-end cascade runner with detection/classification metrics.
+"""
+
+from .pipeline import FrameResult, StreamReport, VideoCascade
+from .roi import RoiConfig, box_iou, detect_rois, extract_patches, resize_bilinear
+from .video import Frame, ObjectTrack, SyntheticVideo
+
+__all__ = [
+    "SyntheticVideo",
+    "Frame",
+    "ObjectTrack",
+    "RoiConfig",
+    "detect_rois",
+    "extract_patches",
+    "resize_bilinear",
+    "box_iou",
+    "VideoCascade",
+    "FrameResult",
+    "StreamReport",
+]

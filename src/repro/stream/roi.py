@@ -1,0 +1,122 @@
+"""Region-of-interest extraction from video frames.
+
+A lightweight saliency detector: pixels deviating from a local background
+estimate are marked foreground, connected components become candidate
+boxes, and each box is resampled to the classifier's 32x32 input — the
+"extract regions of interest in a large HD frame and then scale to 32x32
+sub-frames" front-end the paper wants to co-locate with the classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["RoiConfig", "detect_rois", "resize_bilinear", "extract_patches", "box_iou"]
+
+
+@dataclass(frozen=True)
+class RoiConfig:
+    """Detector tuning knobs."""
+
+    blur_size: int = 31          # background-estimate box filter side
+    threshold: float = 0.08      # foreground saliency threshold
+    min_area: int = 64           # drop components smaller than this
+    max_boxes: int = 16          # keep the largest N components
+    pad: int = 2                 # grow each box by this margin
+
+    def __post_init__(self):
+        if self.blur_size < 3 or self.blur_size % 2 == 0:
+            raise ValueError("blur_size must be an odd integer >= 3")
+        if self.threshold <= 0 or self.min_area <= 0 or self.max_boxes <= 0:
+            raise ValueError("threshold, min_area and max_boxes must be positive")
+        if self.pad < 0:
+            raise ValueError("pad must be non-negative")
+
+
+def detect_rois(frame: np.ndarray, config: RoiConfig | None = None) -> list[tuple[int, int, int, int]]:
+    """Find salient boxes (y0, x0, y1, x1; end-exclusive) in one frame."""
+    cfg = config or RoiConfig()
+    if frame.ndim != 3 or frame.shape[0] != 3:
+        raise ValueError("frame must be (3, H, W)")
+    _, h, w = frame.shape
+
+    intensity = frame.mean(axis=0)
+    background = ndimage.uniform_filter(intensity, size=cfg.blur_size, mode="nearest")
+    saliency = np.abs(intensity - background)
+    mask = saliency > cfg.threshold
+    mask = ndimage.binary_closing(mask, structure=np.ones((3, 3)))
+
+    labelled, count = ndimage.label(mask)
+    boxes = []
+    for slice_pair in ndimage.find_objects(labelled):
+        if slice_pair is None:
+            continue
+        ys, xs = slice_pair
+        area = (ys.stop - ys.start) * (xs.stop - xs.start)
+        if area < cfg.min_area:
+            continue
+        boxes.append(
+            (
+                max(0, ys.start - cfg.pad),
+                max(0, xs.start - cfg.pad),
+                min(h, ys.stop + cfg.pad),
+                min(w, xs.stop + cfg.pad),
+                area,
+            )
+        )
+    boxes.sort(key=lambda b: -b[4])
+    return [b[:4] for b in boxes[: cfg.max_boxes]]
+
+
+def resize_bilinear(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resample of a (C, H, W) image."""
+    if image.ndim != 3:
+        raise ValueError("image must be (C, H, W)")
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("output size must be positive")
+    c, h, w = image.shape
+    ys = (np.arange(out_h) + 0.5) * h / out_h - 0.5
+    xs = (np.arange(out_w) + 0.5) * w / out_w - 0.5
+    y0 = np.clip(np.floor(ys).astype(int), 0, h - 1)
+    x0 = np.clip(np.floor(xs).astype(int), 0, w - 1)
+    y1 = np.clip(y0 + 1, 0, h - 1)
+    x1 = np.clip(x0 + 1, 0, w - 1)
+    wy = np.clip(ys - y0, 0.0, 1.0).reshape(1, out_h, 1)
+    wx = np.clip(xs - x0, 0.0, 1.0).reshape(1, 1, out_w)
+
+    top = image[:, y0][:, :, x0] * (1 - wx) + image[:, y0][:, :, x1] * wx
+    bottom = image[:, y1][:, :, x0] * (1 - wx) + image[:, y1][:, :, x1] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def extract_patches(
+    frame: np.ndarray,
+    boxes: list[tuple[int, int, int, int]],
+    out_size: int = 32,
+) -> np.ndarray:
+    """Crop each box and resample to (len(boxes), 3, out_size, out_size)."""
+    if not boxes:
+        return np.empty((0, frame.shape[0], out_size, out_size))
+    patches = []
+    for y0, x0, y1, x1 in boxes:
+        if y1 <= y0 or x1 <= x0:
+            raise ValueError(f"degenerate box {(y0, x0, y1, x1)}")
+        crop = frame[:, y0:y1, x0:x1]
+        patches.append(resize_bilinear(crop, out_size, out_size))
+    return np.stack(patches)
+
+
+def box_iou(a: tuple[int, int, int, int], b: tuple[int, int, int, int]) -> float:
+    """Intersection-over-union of two (y0, x0, y1, x1) boxes."""
+    y0 = max(a[0], b[0])
+    x0 = max(a[1], b[1])
+    y1 = min(a[2], b[2])
+    x1 = min(a[3], b[3])
+    inter = max(0, y1 - y0) * max(0, x1 - x0)
+    area_a = (a[2] - a[0]) * (a[3] - a[1])
+    area_b = (b[2] - b[0]) * (b[3] - b[1])
+    union = area_a + area_b - inter
+    return inter / union if union else 0.0

@@ -1,0 +1,88 @@
+"""Folded-BNN serialization round-trips bit-exactly."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import (
+    BinaryActivation,
+    BinaryConv2D,
+    BinaryDense,
+    fold_network,
+    load_folded_bnn,
+    save_folded_bnn,
+)
+from repro.nn import BatchNorm, Flatten, MaxPool2D, Sequential
+
+
+@pytest.fixture()
+def trained_folded():
+    rng = np.random.default_rng(0)
+    net = Sequential(
+        [
+            BinaryConv2D(2, 8, 3, rng=rng),
+            BatchNorm(8),
+            BinaryActivation(),
+            MaxPool2D(2),
+            Flatten(),
+            BinaryDense(8 * 3 * 3, 8, rng=rng),
+            BatchNorm(8),
+            BinaryActivation(),
+            BinaryDense(8, 4, rng=rng),
+            BatchNorm(4),
+        ]
+    )
+    x = rng.uniform(-1, 1, size=(16, 2, 8, 8))
+    net.train_mode()
+    for _ in range(3):
+        net.forward(x)
+    net.eval_mode()
+    return fold_network(net, num_classes=4), x
+
+
+class TestExportRoundtrip:
+    def test_scores_bit_exact(self, trained_folded, tmp_path):
+        folded, x = trained_folded
+        path = tmp_path / "bnn.npz"
+        save_folded_bnn(folded, path)
+        loaded = load_folded_bnn(path)
+        np.testing.assert_array_equal(loaded.forward(x), folded.forward(x))
+
+    def test_stage_structure_preserved(self, trained_folded, tmp_path):
+        folded, _ = trained_folded
+        path = tmp_path / "bnn.npz"
+        save_folded_bnn(folded, path)
+        loaded = load_folded_bnn(path)
+        assert [type(s).__name__ for s in loaded.stages] == [
+            type(s).__name__ for s in folded.stages
+        ]
+        assert loaded.num_classes == folded.num_classes
+
+    def test_no_pickle_needed(self, trained_folded, tmp_path):
+        # Artifact is plain arrays: loadable with allow_pickle=False.
+        folded, _ = trained_folded
+        path = tmp_path / "bnn.npz"
+        save_folded_bnn(folded, path)
+        data = np.load(path, allow_pickle=False)
+        assert "__format__" in data
+
+    def test_bad_version_rejected(self, trained_folded, tmp_path):
+        folded, _ = trained_folded
+        path = tmp_path / "bnn.npz"
+        save_folded_bnn(folded, path)
+        data = dict(np.load(path))
+        data["__format__"] = np.array(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError):
+            load_folded_bnn(path)
+
+    def test_artifact_is_compact(self, trained_folded, tmp_path):
+        # Binary weights compress well; artifact far smaller than float64.
+        folded, _ = trained_folded
+        path = tmp_path / "bnn.npz"
+        save_folded_bnn(folded, path)
+        float_bytes = sum(
+            s.weight_matrix.size * 8
+            for s in folded.stages
+            if hasattr(s, "weight_matrix")
+        )
+        assert path.stat().st_size < float_bytes

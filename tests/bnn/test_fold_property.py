@@ -1,0 +1,62 @@
+"""Property test: folding preserves decisions for random tiny BNNs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn import BinaryActivation, BinaryConv2D, BinaryDense, fold_network
+from repro.nn import BatchNorm, Flatten, MaxPool2D, Sequential
+
+
+def random_bnn(rng, channels, fc_width, num_classes):
+    """A random small conv->fc binarized network with random BN statistics."""
+    net = Sequential(
+        [
+            BinaryConv2D(2, channels, 3, rng=rng),
+            BatchNorm(channels),
+            BinaryActivation(),
+            MaxPool2D(2),
+            Flatten(),
+            BinaryDense(channels * 3 * 3, fc_width, rng=rng),
+            BatchNorm(fc_width),
+            BinaryActivation(),
+            BinaryDense(fc_width, num_classes, rng=rng),
+            BatchNorm(num_classes),
+        ]
+    )
+    # Random (but valid) BN statistics, including negative gammas.
+    for layer in net:
+        if isinstance(layer, BatchNorm):
+            n = layer.num_features
+            layer.running_mean.value = rng.normal(0, 2, size=n)
+            layer.running_var.value = rng.uniform(0.3, 3.0, size=n)
+            layer.gamma.value = rng.normal(0, 1, size=n)
+            layer.beta.value = rng.normal(0, 1, size=n)
+    net.eval_mode()
+    return net
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    channels=st.sampled_from([4, 8]),
+    fc_width=st.sampled_from([4, 8, 16]),
+)
+@settings(max_examples=15, deadline=None)
+def test_fold_preserves_scores_for_random_networks(seed, channels, fc_width):
+    rng = np.random.default_rng(seed)
+    net = random_bnn(rng, channels, fc_width, num_classes=3)
+    folded = fold_network(net, num_classes=3)
+    x = rng.uniform(-1, 1, size=(6, 2, 8, 8))
+    np.testing.assert_allclose(folded.forward(x), net.forward(x), rtol=1e-9, atol=1e-9)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_fold_predictions_invariant_to_batching(seed):
+    rng = np.random.default_rng(seed)
+    net = random_bnn(rng, 4, 8, num_classes=3)
+    folded = fold_network(net, num_classes=3)
+    x = rng.uniform(-1, 1, size=(7, 2, 8, 8))
+    np.testing.assert_array_equal(
+        folded.predict(x, batch_size=2), folded.predict(x, batch_size=100)
+    )

@@ -1,0 +1,141 @@
+"""k-bit quantization layers (future-work substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn import binarize_sign
+from repro.bnn.quantize import (
+    QuantizedActivation,
+    QuantizedConv2D,
+    QuantizedDense,
+    quantize_unit,
+    quantize_weights,
+)
+
+
+class TestQuantizeUnit:
+    def test_one_bit_levels(self):
+        x = np.array([0.0, 0.4, 0.6, 1.0])
+        np.testing.assert_allclose(quantize_unit(x, 1), [0.0, 0.0, 1.0, 1.0])
+
+    def test_two_bit_levels(self):
+        out = quantize_unit(np.linspace(0, 1, 7), 2)
+        assert set(np.round(out * 3).astype(int)) <= {0, 1, 2, 3}
+
+    def test_clips_outside(self):
+        np.testing.assert_allclose(quantize_unit(np.array([-1.0, 2.0]), 2), [0.0, 1.0])
+
+    def test_idempotent(self):
+        x = np.random.default_rng(0).random(50)
+        q = quantize_unit(x, 3)
+        np.testing.assert_allclose(quantize_unit(q, 3), q)
+
+    def test_high_bits_identity(self):
+        x = np.random.default_rng(0).random(10)
+        np.testing.assert_allclose(quantize_unit(x, 32), x)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_unit(np.zeros(2), 0)
+
+    @given(st.integers(1, 8), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_error_bounded(self, bits, seed):
+        x = np.random.default_rng(seed).random(20)
+        q = quantize_unit(x, bits)
+        levels = (1 << bits) - 1
+        assert np.abs(q - x).max() <= 0.5 / levels + 1e-12
+
+
+class TestQuantizeWeights:
+    def test_one_bit_is_sign(self):
+        w = np.random.default_rng(0).normal(size=(4, 4))
+        np.testing.assert_allclose(quantize_weights(w, 1), binarize_sign(w))
+
+    def test_range(self):
+        w = np.random.default_rng(1).normal(size=(8, 8)) * 3
+        q = quantize_weights(w, 3)
+        assert q.min() >= -1.0 and q.max() <= 1.0
+
+    def test_monotone(self):
+        w = np.linspace(-2, 2, 41)
+        q = quantize_weights(w, 3)
+        assert (np.diff(q) >= -1e-12).all()
+
+    def test_more_bits_less_error(self):
+        w = np.random.default_rng(2).normal(size=200)
+        scale = np.max(np.abs(np.tanh(w)))
+        target = np.tanh(w) / scale  # the continuous embedding
+        err2 = np.abs(quantize_weights(w, 2) - target).mean()
+        err5 = np.abs(quantize_weights(w, 5) - target).mean()
+        assert err5 < err2
+
+
+class TestQuantizedLayers:
+    def test_conv_uses_quantized_weights(self):
+        rng = np.random.default_rng(0)
+        layer = QuantizedConv2D(2, 3, 3, weight_bits=2, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = layer.forward(x)
+        from repro.nn import Conv2D
+
+        ref = Conv2D(2, 3, 3, use_bias=False)
+        ref.weight.value = layer.quantized_weight
+        np.testing.assert_allclose(out, ref.forward(x))
+
+    def test_latent_preserved(self):
+        rng = np.random.default_rng(1)
+        layer = QuantizedDense(4, 3, weight_bits=2, rng=rng)
+        before = layer.weight.value.copy()
+        layer.forward(rng.normal(size=(2, 4)))
+        np.testing.assert_allclose(layer.weight.value, before)
+
+    def test_gradients_flow(self):
+        rng = np.random.default_rng(2)
+        layer = QuantizedDense(4, 3, weight_bits=2, rng=rng)
+        layer.forward(rng.normal(size=(2, 4)))
+        layer.backward(np.ones((2, 3)))
+        assert np.abs(layer.weight.grad).sum() > 0
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantizedConv2D(2, 2, 3, weight_bits=0)
+        with pytest.raises(ValueError):
+            QuantizedDense(2, 2, weight_bits=0)
+        with pytest.raises(ValueError):
+            QuantizedActivation(bits=0)
+
+    def test_activation_quantizes_and_gates_gradient(self):
+        act = QuantizedActivation(bits=2)
+        x = np.array([[-0.5, 0.2, 0.8, 1.5]])
+        out = act.forward(x)
+        assert out[0, 0] == 0.0 and out[0, 3] == 1.0
+        dx = act.backward(np.ones_like(x))
+        np.testing.assert_allclose(dx, [[0.0, 1.0, 1.0, 0.0]])
+
+    def test_quantized_net_learns(self):
+        # 2-bit network learns a simple separable problem above chance.
+        from repro.nn import Adam, BatchNorm, Flatten, Sequential, SoftmaxCrossEntropy, Trainer
+
+        rng = np.random.default_rng(3)
+        n = 120
+        y = rng.integers(0, 2, size=n)
+        x = np.zeros((n, 2, 8, 8))
+        x[y == 0, 0] = 1.0
+        x[y == 1, 1] = 1.0
+        x += 0.1 * rng.normal(size=x.shape)
+        net = Sequential(
+            [
+                QuantizedConv2D(2, 4, 3, weight_bits=2, rng=rng),
+                BatchNorm(4),
+                QuantizedActivation(bits=2),
+                Flatten(),
+                QuantizedDense(4 * 6 * 6, 2, weight_bits=2, rng=rng),
+                BatchNorm(2),
+            ]
+        )
+        trainer = Trainer(net, SoftmaxCrossEntropy(), Adam(net.params(), lr=0.01), rng=rng)
+        trainer.fit(x, y, epochs=10, batch_size=32)
+        assert trainer.evaluate(x, y) > 0.9

@@ -1,0 +1,44 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.core import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart([0, 1, 2, 3], {"y": [0.0, 1.0, 2.0, 3.0]}, width=20, height=5)
+        lines = text.splitlines()
+        assert any("*" in l for l in lines)
+        assert "* y" in lines[-1]
+
+    def test_title_and_labels(self):
+        text = line_chart(
+            [0, 1], {"a": [1, 2]}, title="T", x_label="pe", y_label="fps"
+        )
+        assert text.startswith("T")
+        assert "x: pe" in text and "y: fps" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = line_chart([0, 1, 2], {"a": [0, 1, 2], "b": [2, 1, 0]}, width=12, height=5)
+        assert "*" in text and "o" in text
+
+    def test_monotone_series_slopes_up(self):
+        # The first x should plot lower (later line) than the last x.
+        text = line_chart([0, 1, 2, 3], {"y": [0, 1, 2, 3]}, width=8, height=4)
+        rows = [l for l in text.splitlines() if "|" in l]
+        first_marker_row = next(i for i, r in enumerate(rows) if "*" in r)
+        last_marker_row = max(i for i, r in enumerate(rows) if "*" in r)
+        assert first_marker_row < last_marker_row
+
+    def test_constant_series_ok(self):
+        text = line_chart([0, 1], {"y": [5, 5]})
+        assert "*" in text
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            line_chart([0], {"y": [1]})
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"y": [1]})

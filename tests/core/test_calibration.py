@@ -1,0 +1,112 @@
+"""DMU confidence-calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import auroc, calibration_report
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        conf = rng.random(20000)
+        correct = rng.random(20000) < conf  # outcomes drawn at the stated rate
+        report = calibration_report(conf, correct)
+        assert report.expected_calibration_error < 0.03
+
+    def test_overconfident_detected(self):
+        conf = np.full(1000, 0.95)
+        correct = np.zeros(1000, dtype=bool)
+        correct[:500] = True  # only 50% correct at 95% confidence
+        report = calibration_report(conf, correct)
+        assert report.expected_calibration_error > 0.4
+        assert report.max_calibration_error > 0.4
+
+    def test_bins_partition_counts(self):
+        rng = np.random.default_rng(1)
+        conf = rng.random(500)
+        correct = rng.random(500) < 0.5
+        report = calibration_report(conf, correct, num_bins=7)
+        assert sum(b.count for b in report.bins) == 500
+        assert len(report.bins) == 7
+
+    def test_boundary_one_included(self):
+        report = calibration_report(np.array([1.0]), np.array([True]))
+        assert sum(b.count for b in report.bins) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.array([0.5]), np.array([True, False]))
+        with pytest.raises(ValueError):
+            calibration_report(np.array([1.5]), np.array([True]))
+        with pytest.raises(ValueError):
+            calibration_report(np.array([0.5]), np.array([True]), num_bins=0)
+
+    def test_format(self):
+        report = calibration_report(np.array([0.1, 0.9]), np.array([False, True]))
+        text = report.format()
+        assert "ECE" in text and "acc=" in text
+
+    def test_empty(self):
+        report = calibration_report(np.zeros(0), np.zeros(0, dtype=bool))
+        assert report.expected_calibration_error == 0.0
+        assert report.max_calibration_error == 0.0
+
+
+class TestAUROC:
+    def test_perfect_separation(self):
+        conf = np.array([0.1, 0.2, 0.8, 0.9])
+        correct = np.array([False, False, True, True])
+        assert auroc(conf, correct) == pytest.approx(1.0)
+
+    def test_inverted(self):
+        conf = np.array([0.9, 0.8, 0.2, 0.1])
+        correct = np.array([False, False, True, True])
+        assert auroc(conf, correct) == pytest.approx(0.0)
+
+    def test_uninformative(self):
+        rng = np.random.default_rng(2)
+        conf = rng.random(4000)
+        correct = rng.random(4000) < 0.5  # independent of confidence
+        assert auroc(conf, correct) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_averaged(self):
+        conf = np.array([0.5, 0.5, 0.5, 0.5])
+        correct = np.array([True, False, True, False])
+        assert auroc(conf, correct) == pytest.approx(0.5)
+
+    def test_degenerate_is_nan(self):
+        assert np.isnan(auroc(np.array([0.5]), np.array([True])))
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_monotone_transform_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        conf = rng.random(50)
+        correct = rng.random(50) < 0.6
+        if correct.all() or not correct.any():
+            return
+        a = auroc(conf, correct)
+        b = auroc(conf**3, correct)  # strictly monotone transform
+        assert a == pytest.approx(b)
+
+    def test_trained_dmu_is_informative(self):
+        # Wire-up check with the DMU itself on margin-coded scores.
+        from repro.core import train_dmu
+        from repro.data import build_score_dataset
+
+        rng = np.random.default_rng(9)
+        n = 800
+        labels = rng.integers(0, 10, size=n)
+        scores = rng.normal(size=(n, 10))
+        correct = rng.random(n) < 0.75
+        scores[np.arange(n), labels] += np.where(correct, 4.0, 0.5)
+        wrong = (labels + rng.integers(1, 10, size=n)) % 10
+        scores[np.arange(n)[~correct], wrong[~correct]] += 1.5
+        ds = build_score_dataset(scores, labels)
+
+        dmu = train_dmu(ds, epochs=20, rng=np.random.default_rng(0))
+        score = auroc(dmu.confidence(ds.scores), ds.correct)
+        assert score > 0.75

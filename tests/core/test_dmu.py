@@ -1,0 +1,146 @@
+"""Decision-Making Unit: training, categories, threshold behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DecisionMakingUnit, DMUCategories, threshold_sweep, train_dmu
+from repro.data import build_score_dataset
+
+
+def synthetic_scores(n=2000, num_classes=10, seed=0, separability=3.0):
+    """Score vectors where top-margin correlates with correctness.
+
+    Mimics BNN behaviour: correct classifications have larger winning
+    margins, incorrect ones are close calls.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=n)
+    scores = rng.normal(0.0, 1.0, size=(n, num_classes))
+    correct = rng.random(n) < 0.78  # ~BNN accuracy
+    for i in range(n):
+        if correct[i]:
+            scores[i, labels[i]] += separability + rng.exponential(1.0)
+        else:
+            wrong = (labels[i] + rng.integers(1, num_classes)) % num_classes
+            scores[i, wrong] += 0.8 + 0.4 * rng.random()
+            scores[i, labels[i]] += 0.6 * rng.random()
+    return build_score_dataset(scores, labels)
+
+
+class TestDMUConstruction:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DecisionMakingUnit(np.ones(10), 0.0, threshold=1.5)
+
+    def test_confidence_shape_and_range(self):
+        dmu = DecisionMakingUnit(np.ones(10), 0.0)
+        scores = np.random.default_rng(0).normal(size=(5, 10))
+        conf = dmu.confidence(scores)
+        assert conf.shape == (5,)
+        assert ((conf >= 0) & (conf <= 1)).all()
+
+    def test_wrong_score_width(self):
+        dmu = DecisionMakingUnit(np.ones(10), 0.0)
+        with pytest.raises(ValueError):
+            dmu.confidence(np.zeros((2, 5)))
+
+    def test_accept_is_complement_of_flag(self):
+        dmu = DecisionMakingUnit(np.ones(10), 0.0, threshold=0.7)
+        scores = np.random.default_rng(1).normal(size=(20, 10))
+        np.testing.assert_array_equal(
+            dmu.accept(scores), ~dmu.flag_for_rerun(scores)
+        )
+
+
+class TestDMUCategories:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            DMUCategories(fs=0.5, fbar_sbar=0.2, fbar_s=0.2, f_sbar=0.2, threshold=0.8)
+
+    def test_derived_quantities(self):
+        # Paper Table II: FS=66.2, F̄S̄=12.8, F̄S=8.7, FS̄=12.3 at thr 0.84.
+        cats = DMUCategories(fs=0.662, fbar_sbar=0.128, fbar_s=0.087, f_sbar=0.123, threshold=0.84)
+        assert cats.dmu_accuracy == pytest.approx(0.79)
+        assert cats.rerun_ratio == pytest.approx(0.251)      # the paper's 25.1%
+        assert cats.rerun_err_ratio == pytest.approx(0.123)
+        assert cats.max_achievable_accuracy == pytest.approx(0.913)  # paper: 91.3%
+
+
+class TestTrainDMU:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        ds = synthetic_scores()
+        dmu = train_dmu(ds, epochs=40, rng=np.random.default_rng(0))
+        return ds, dmu
+
+    def test_beats_majority_baseline(self, trained):
+        ds, dmu = trained
+        cats = dmu.categorize(ds, threshold=0.5)
+        majority = max(ds.classifier_accuracy, 1 - ds.classifier_accuracy)
+        assert cats.dmu_accuracy > majority + 0.02
+
+    def test_confidence_correlates_with_correctness(self, trained):
+        ds, dmu = trained
+        conf = dmu.confidence(ds.scores)
+        assert conf[ds.correct == 1].mean() > conf[ds.correct == 0].mean() + 0.2
+
+    def test_categorize_fractions_consistent(self, trained):
+        ds, dmu = trained
+        cats = dmu.categorize(ds)
+        # FS + FS̄ = classifier accuracy.
+        assert cats.fs + cats.f_sbar == pytest.approx(ds.classifier_accuracy)
+        assert cats.fbar_s + cats.fbar_sbar == pytest.approx(1 - ds.classifier_accuracy)
+
+    def test_empty_dataset_rejected(self):
+        ds = build_score_dataset(np.zeros((0, 10)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            train_dmu(ds)
+        dmu = DecisionMakingUnit(np.ones(10), 0.0)
+        with pytest.raises(ValueError):
+            dmu.categorize(ds)
+
+    def test_deterministic_given_seed(self):
+        ds = synthetic_scores(n=500)
+        a = train_dmu(ds, epochs=5, rng=np.random.default_rng(7))
+        b = train_dmu(ds, epochs=5, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(a.weights, b.weights)
+        assert a.bias == pytest.approx(b.bias)
+
+
+class TestThresholdSweep:
+    def test_fig5_monotonicity(self):
+        # Paper: "in threshold values range of 0.5-1, F̄S decreases while
+        # FS̄ increases".
+        ds = synthetic_scores()
+        dmu = train_dmu(ds, epochs=40, rng=np.random.default_rng(0))
+        sweep = threshold_sweep(dmu, ds, np.linspace(0.5, 0.999, 11))
+        fbar_s = [c.fbar_s for c in sweep]
+        f_sbar = [c.f_sbar for c in sweep]
+        assert all(a >= b - 1e-12 for a, b in zip(fbar_s, fbar_s[1:]))  # non-increasing
+        assert all(a <= b + 1e-12 for a, b in zip(f_sbar, f_sbar[1:]))  # non-decreasing
+
+    def test_rerun_ratio_increases_with_threshold(self):
+        ds = synthetic_scores(n=800)
+        dmu = train_dmu(ds, epochs=20, rng=np.random.default_rng(1))
+        sweep = threshold_sweep(dmu, ds, np.array([0.5, 0.7, 0.9, 0.99]))
+        ratios = [c.rerun_ratio for c in sweep]
+        assert all(a <= b + 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_default_range(self):
+        ds = synthetic_scores(n=300)
+        dmu = train_dmu(ds, epochs=5, rng=np.random.default_rng(2))
+        sweep = threshold_sweep(dmu, ds)
+        assert len(sweep) == 11
+        assert sweep[0].threshold == pytest.approx(0.5)
+
+    @given(st.floats(0.5, 0.99))
+    @settings(max_examples=15, deadline=None)
+    def test_property_fractions_valid(self, thr):
+        ds = synthetic_scores(n=400, seed=3)
+        dmu = DecisionMakingUnit(np.ones(10) * 0.2, -0.5, threshold=0.84)
+        cats = dmu.categorize(ds, thr)
+        for frac in (cats.fs, cats.fbar_sbar, cats.fbar_s, cats.f_sbar):
+            assert 0.0 <= frac <= 1.0
+        assert cats.rerun_ratio + cats.fs + cats.fbar_s == pytest.approx(1.0)

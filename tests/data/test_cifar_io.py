@@ -1,0 +1,78 @@
+"""Real CIFAR-10 binary-format loader (tested against fixture files)."""
+
+import numpy as np
+import pytest
+
+from repro.data.cifar_io import RECORD_BYTES, load_cifar10_binary, read_cifar_batch
+
+
+def write_batch(path, labels, rng):
+    """Write a synthetic file in the exact CIFAR-10 binary layout."""
+    n = len(labels)
+    records = np.empty((n, RECORD_BYTES), dtype=np.uint8)
+    records[:, 0] = labels
+    records[:, 1:] = rng.integers(0, 256, size=(n, RECORD_BYTES - 1), dtype=np.uint8)
+    records.tofile(str(path))
+    return records
+
+
+@pytest.fixture()
+def cifar_dir(tmp_path):
+    rng = np.random.default_rng(0)
+    for i in range(1, 6):
+        write_batch(tmp_path / f"data_batch_{i}.bin", rng.integers(0, 10, size=20), rng)
+    write_batch(tmp_path / "test_batch.bin", rng.integers(0, 10, size=10), rng)
+    return tmp_path
+
+
+class TestReadBatch:
+    def test_shapes_and_range(self, tmp_path):
+        rng = np.random.default_rng(1)
+        labels = np.array([0, 5, 9])
+        write_batch(tmp_path / "b.bin", labels, rng)
+        images, got_labels = read_cifar_batch(tmp_path / "b.bin")
+        assert images.shape == (3, 3, 32, 32)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        np.testing.assert_array_equal(got_labels, labels)
+
+    def test_pixel_layout_row_major_planes(self, tmp_path):
+        # First data byte is the R plane's top-left pixel.
+        record = np.zeros(RECORD_BYTES, dtype=np.uint8)
+        record[0] = 2          # label
+        record[1] = 255        # R[0, 0]
+        record[1 + 1024] = 128  # G[0, 0]
+        record.tofile(str(tmp_path / "one.bin"))
+        images, labels = read_cifar_batch(tmp_path / "one.bin")
+        assert labels[0] == 2
+        assert images[0, 0, 0, 0] == pytest.approx(1.0)
+        assert images[0, 1, 0, 0] == pytest.approx(128 / 255)
+        assert images[0, 2, 0, 0] == 0.0
+
+    def test_truncated_file_rejected(self, tmp_path):
+        np.zeros(RECORD_BYTES - 1, dtype=np.uint8).tofile(str(tmp_path / "bad.bin"))
+        with pytest.raises(ValueError):
+            read_cifar_batch(tmp_path / "bad.bin")
+
+    def test_non_cifar_labels_rejected(self, tmp_path):
+        record = np.full(RECORD_BYTES, 200, dtype=np.uint8)
+        record.tofile(str(tmp_path / "bad.bin"))
+        with pytest.raises(ValueError):
+            read_cifar_batch(tmp_path / "bad.bin")
+
+
+class TestLoadDirectory:
+    def test_loads_all_batches(self, cifar_dir):
+        splits = load_cifar10_binary(cifar_dir)
+        assert len(splits.train) == 100  # 5 x 20
+        assert len(splits.test) == 10
+        assert splits.train.class_names[0] == "airplane"
+
+    def test_truncation(self, cifar_dir):
+        splits = load_cifar10_binary(cifar_dir, num_train=30, num_test=5)
+        assert len(splits.train) == 30
+        assert len(splits.test) == 5
+
+    def test_missing_file_reported(self, cifar_dir):
+        (cifar_dir / "data_batch_3.bin").unlink()
+        with pytest.raises(FileNotFoundError, match="data_batch_3"):
+            load_cifar10_binary(cifar_dir)

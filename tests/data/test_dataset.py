@@ -1,0 +1,154 @@
+"""Dataset containers and the synthetic CIFAR-10 generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CLASS_NAMES,
+    Dataset,
+    SyntheticConfig,
+    build_score_dataset,
+    normalize_to_pm1,
+    render_class_image,
+    synthetic_cifar10,
+)
+
+
+class TestSyntheticConfig:
+    def test_defaults_valid(self):
+        SyntheticConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"image_size": 4},
+            {"color_overlap": 1.5},
+            {"noise": -0.1},
+            {"jitter": -0.1},
+            {"occluder_prob": 2.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**kwargs)
+
+
+class TestRenderClassImage:
+    def test_all_classes_render(self):
+        rng = np.random.default_rng(0)
+        for label in range(10):
+            img = render_class_image(label, rng)
+            assert img.shape == (3, 32, 32)
+            assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_bad_label_raises(self):
+        with pytest.raises(ValueError):
+            render_class_image(10, np.random.default_rng(0))
+
+    def test_custom_size(self):
+        cfg = SyntheticConfig(image_size=16)
+        img = render_class_image(0, np.random.default_rng(0), cfg)
+        assert img.shape == (3, 16, 16)
+
+    def test_images_vary_between_draws(self):
+        rng = np.random.default_rng(0)
+        a = render_class_image(3, rng)
+        b = render_class_image(3, rng)
+        assert not np.allclose(a, b)
+
+    def test_classes_differ_on_average(self):
+        # Mean image per class should differ (classes carry signal).
+        cfg = SyntheticConfig(noise=0.0, occluder_prob=0.0)
+        rng = np.random.default_rng(1)
+        means = []
+        for label in (0, 8):  # airplane (sky) vs ship (sea)
+            imgs = [render_class_image(label, rng, cfg) for _ in range(20)]
+            means.append(np.mean(imgs, axis=0))
+        assert np.abs(means[0] - means[1]).mean() > 0.02
+
+
+class TestDataset:
+    def test_length_and_distribution(self):
+        splits = synthetic_cifar10(num_train=100, num_test=50, seed=0)
+        assert len(splits.train) == 100
+        assert len(splits.test) == 50
+        assert splits.train.class_distribution().sum() == 100
+        # Balanced within 1 sample.
+        dist = splits.train.class_distribution()
+        assert dist.max() - dist.min() <= 1
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_cifar10(num_train=20, num_test=10, seed=7)
+        b = synthetic_cifar10(num_train=20, num_test=10, seed=7)
+        np.testing.assert_allclose(a.train.images, b.train.images)
+        np.testing.assert_array_equal(a.train.labels, b.train.labels)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_cifar10(num_train=20, num_test=10, seed=1)
+        b = synthetic_cifar10(num_train=20, num_test=10, seed=2)
+        assert not np.allclose(a.train.images, b.train.images)
+
+    def test_subset(self):
+        splits = synthetic_cifar10(num_train=30, num_test=10, seed=0)
+        sub = splits.train.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, splits.train.labels[[0, 5, 7]])
+
+    def test_batches_cover_all(self):
+        splits = synthetic_cifar10(num_train=25, num_test=10, seed=0)
+        seen = 0
+        for xb, yb in splits.train.batches(8):
+            seen += xb.shape[0]
+            assert xb.shape[0] == yb.shape[0]
+        assert seen == 25
+
+    def test_batches_shuffled_with_rng(self):
+        splits = synthetic_cifar10(num_train=40, num_test=10, seed=0)
+        first_plain = next(iter(splits.train.batches(40)))[1]
+        first_shuffled = next(iter(splits.train.batches(40, rng=np.random.default_rng(3))))[1]
+        assert not np.array_equal(first_plain, first_shuffled)
+        np.testing.assert_array_equal(np.sort(first_plain), np.sort(first_shuffled))
+
+    def test_invalid_batch_size(self):
+        splits = synthetic_cifar10(num_train=10, num_test=10, seed=0)
+        with pytest.raises(ValueError):
+            list(splits.train.batches(0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 3, 8, 8)), np.zeros(2, dtype=int))
+
+    def test_invalid_split_sizes(self):
+        with pytest.raises(ValueError):
+            synthetic_cifar10(num_train=0, num_test=10)
+
+    def test_class_names(self):
+        assert len(CLASS_NAMES) == 10
+        assert CLASS_NAMES[0] == "airplane" and CLASS_NAMES[9] == "truck"
+
+
+class TestNormalize:
+    def test_pm1_range(self):
+        x = np.array([0.0, 0.5, 1.0])
+        np.testing.assert_allclose(normalize_to_pm1(x), [-1.0, 0.0, 1.0])
+
+
+class TestScoreDataset:
+    def test_build(self):
+        scores = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        labels = np.array([0, 1, 1])
+        ds = build_score_dataset(scores, labels)
+        np.testing.assert_array_equal(ds.correct, [1, 1, 0])
+        np.testing.assert_array_equal(ds.predicted, [0, 1, 0])
+        assert ds.classifier_accuracy == pytest.approx(2 / 3)
+        assert len(ds) == 3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            build_score_dataset(np.zeros(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            build_score_dataset(np.zeros((5, 10)), np.zeros(4, dtype=int))
+
+    def test_empty_accuracy(self):
+        ds = build_score_dataset(np.zeros((0, 10)), np.zeros(0, dtype=int))
+        assert ds.classifier_accuracy == 0.0

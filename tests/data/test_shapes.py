@@ -1,0 +1,76 @@
+"""Geometric primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.shapes import box_mask, ellipse_mask, grid, line_mask, soft_edge, triangle_mask
+
+
+class TestGrid:
+    def test_range_and_shape(self):
+        yy, xx = grid(16)
+        assert yy.shape == xx.shape == (16, 16)
+        assert yy.min() > 0 and yy.max() < 1
+
+    def test_pixel_centers(self):
+        yy, xx = grid(4)
+        np.testing.assert_allclose(xx[0], [0.125, 0.375, 0.625, 0.875])
+
+
+class TestMasks:
+    def test_masks_bounded(self):
+        for mask in (
+            ellipse_mask(32, 0.5, 0.5, 0.2, 0.3, 0.4),
+            box_mask(32, 0.5, 0.5, 0.2, 0.1, 0.2),
+            triangle_mask(32, (0.2, 0.2), (0.8, 0.3), (0.5, 0.9)),
+            line_mask(32, 0.1, 0.1, 0.9, 0.9, 0.05),
+        ):
+            assert mask.shape == (32, 32)
+            assert mask.min() >= 0.0 and mask.max() <= 1.0
+
+    def test_ellipse_center_inside_edges_outside(self):
+        mask = ellipse_mask(32, 0.5, 0.5, 0.2, 0.2)
+        assert mask[16, 16] > 0.9
+        assert mask[0, 0] < 0.1
+
+    def test_ellipse_rotation_swaps_axes(self):
+        wide = ellipse_mask(64, 0.5, 0.5, 0.4, 0.1)
+        rotated = ellipse_mask(64, 0.5, 0.5, 0.4, 0.1, angle=np.pi / 2)
+        # 90-degree rotation about the center transposes the mask.
+        np.testing.assert_allclose(rotated, wide.T, atol=0.05)
+
+    def test_box_dimensions(self):
+        mask = box_mask(64, 0.5, 0.5, 0.25, 0.1)
+        area = mask.sum() / (64 * 64)
+        assert area == pytest.approx(0.5 * 0.2, rel=0.15)
+
+    def test_triangle_winding_invariant(self):
+        a = triangle_mask(32, (0.2, 0.2), (0.8, 0.3), (0.5, 0.9))
+        b = triangle_mask(32, (0.5, 0.9), (0.8, 0.3), (0.2, 0.2))
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_line_endpoints_covered(self):
+        mask = line_mask(32, 0.2, 0.5, 0.8, 0.5, 0.05)
+        assert mask[16, 8] > 0.5
+        assert mask[16, 25] > 0.5
+        assert mask[2, 2] < 0.05
+
+    def test_soft_edge_monotone(self):
+        d = np.linspace(-1, 1, 11)
+        e = soft_edge(d)
+        assert (np.diff(e) > 0).all()
+        assert e[5] == pytest.approx(0.5)
+
+    @given(
+        cx=st.floats(0.2, 0.8),
+        cy=st.floats(0.2, 0.8),
+        r=st.floats(0.05, 0.3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_circle_center_is_peak(self, cx, cy, r):
+        mask = ellipse_mask(32, cx, cy, r, r)
+        py, px = np.unravel_index(mask.argmax(), mask.shape)
+        assert abs((px + 0.5) / 32 - cx) <= r
+        assert abs((py + 0.5) / 32 - cy) <= r

@@ -1,0 +1,33 @@
+"""Micro workbench for experiment-layer unit tests.
+
+Tiny data and epoch budgets: these tests validate *structure and wiring*
+of the experiment runners, not reproduction quality (that is the
+benchmark harness's job, on a bigger budget).  Cached on disk so repeat
+test runs skip training.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Workbench, WorkbenchConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+MICRO_CONFIG = WorkbenchConfig(
+    num_train=300,
+    num_test=120,
+    bnn_scale=0.1,
+    host_scale=0.15,
+    bnn_epochs=2,
+    host_epochs=2,
+)
+
+
+@pytest.fixture(scope="session")
+def micro_workbench() -> Workbench:
+    wb = Workbench(MICRO_CONFIG, cache_dir=REPO_ROOT / ".workbench_cache")
+    wb.prepare_all()
+    return wb

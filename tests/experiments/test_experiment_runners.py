@@ -1,0 +1,168 @@
+"""Experiment runners: structure, wiring, and format output."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    HOST_MODEL_NAMES,
+    Workbench,
+    WorkbenchConfig,
+    chosen_configuration,
+    standard_sweep,
+)
+from repro.experiments import fig34, fig5_table2, table1, table3, table4, table5
+from repro.experiments.ablations import (
+    run_balance_ablation,
+    run_batch_size_sweep,
+    run_dmu_variants,
+    run_eq1_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return standard_sweep()
+
+
+@pytest.fixture(scope="module")
+def design():
+    return chosen_configuration()
+
+
+class TestFinnConfig:
+    def test_sweep_covers_targets(self, points):
+        fps = [p.performance_naive.expected_fps for p in points]
+        assert min(fps) < 150 and max(fps) > 2500
+
+    def test_chosen_meets_anchor(self, design):
+        assert design.performance_partitioned.obtained_fps >= 430 * 0.94
+
+    def test_chosen_is_min_bram_among_feasible(self, points, design):
+        feasible = [
+            p for p in points
+            if p.performance_partitioned.obtained_fps >= 430 * 0.94
+        ]
+        assert design.resources_partitioned.total_brams == min(
+            p.resources_partitioned.total_brams for p in feasible
+        )
+
+    def test_impossible_anchor_raises(self):
+        with pytest.raises(ValueError):
+            chosen_configuration(min_fps=1e9)
+
+
+class TestTable1:
+    def test_rows_and_format(self, design):
+        result = table1.run(design)
+        assert len(result.rows) == 9
+        text = result.format()
+        assert "conv1" in text and "fc3" in text
+        assert "Table I" in text
+
+
+class TestFig34:
+    def test_fig3_rows_sorted_by_pe(self, points):
+        rows = fig34.run_fig3(points).rows
+        pes = [r.total_pe for r in rows]
+        assert pes == sorted(pes)
+
+    def test_fig4_bram_never_higher(self, points):
+        naive = fig34.run_fig3(points).rows
+        part = fig34.run_fig4(points).rows
+        for n, p in zip(naive, part):
+            assert p.bram_pct <= n.bram_pct + 1e-9
+
+    def test_format_contains_units(self, points):
+        assert "BRAM_18K %" in fig34.run_fig3(points).format()
+
+
+class TestWorkbench:
+    def test_cache_roundtrip(self, micro_workbench, tmp_path):
+        # A second workbench with the same config loads from cache and
+        # reproduces identical accuracies.
+        wb2 = Workbench(micro_workbench.config, cache_dir=micro_workbench.cache_dir.parent)
+        assert wb2.bnn_accuracy == pytest.approx(micro_workbench.bnn_accuracy)
+        assert wb2.host_accuracy("model_a") == pytest.approx(
+            micro_workbench.host_accuracy("model_a")
+        )
+
+    def test_cache_key_distinguishes_configs(self):
+        a = WorkbenchConfig(num_train=100)
+        b = WorkbenchConfig(num_train=101)
+        assert a.cache_key() != b.cache_key()
+
+    def test_unknown_host_rejected(self, micro_workbench):
+        with pytest.raises(KeyError):
+            micro_workbench.host_net("resnet")
+
+    def test_score_datasets_align(self, micro_workbench):
+        assert len(micro_workbench.train_scores) == micro_workbench.config.num_train
+        assert len(micro_workbench.test_scores) == micro_workbench.config.num_test
+
+    def test_bnn_accuracy_above_chance(self, micro_workbench):
+        assert micro_workbench.bnn_accuracy > 0.15  # 10-class chance = 0.1
+
+
+class TestFig5Table2:
+    def test_fig5_structure(self, micro_workbench):
+        result = fig5_table2.run_fig5(micro_workbench)
+        assert len(result.categories) == len(result.thresholds)
+        assert "Fig. 5" in result.format()
+
+    def test_table2_structure(self, micro_workbench):
+        result = fig5_table2.run_table2(micro_workbench)
+        assert result.train.threshold == micro_workbench.config.dmu_threshold
+        assert "Table II" in result.format()
+
+
+class TestTable3:
+    def test_structure(self):
+        result = table3.run()
+        assert {r.model for r in result.rows} == {"Model A", "Model B", "Model C"}
+        assert "Table III" in result.format()
+
+
+class TestTable4:
+    def test_structure(self, micro_workbench, design):
+        result = table4.run(micro_workbench, design)
+        assert len(result.rows) == 4
+        a = result.row("Model A")
+        assert a.images_per_second == pytest.approx(29.68, abs=0.01)
+        assert 0 < a.accuracy <= 1
+        with pytest.raises(KeyError):
+            result.row("Model Z")
+        assert "Table IV" in result.format()
+
+
+class TestTable5:
+    def test_structure(self, micro_workbench, design):
+        result = table5.run(micro_workbench, design)
+        assert {r.model for r in result.rows} == {"Model A", "Model B", "Model C"}
+        for row in result.rows:
+            assert 0 <= row.rerun_ratio <= 1
+            assert row.images_per_second > 0
+            # Simulated rate never beats the Eq. (1) bound.
+            assert row.images_per_second <= row.eq1_images_per_second * 1.01
+        assert "Table V" in result.format()
+
+
+class TestAblations:
+    def test_batch_size_rows(self):
+        rows = run_batch_size_sweep(num_images=800, batch_sizes=(50, 100, 200))
+        assert [r.batch_size for r in rows] == [50, 100, 200]
+        lat = [r.average_batch_latency for r in rows]
+        assert lat == sorted(lat)
+
+    def test_eq1_rows(self):
+        rows = run_eq1_validation(num_images=1000, rerun_ratios=(0.0, 0.5, 1.0))
+        assert all(r.relative_error >= -1e-9 for r in rows)
+
+    def test_dmu_variants(self, micro_workbench):
+        rows = run_dmu_variants(micro_workbench)
+        assert len(rows) == 3
+        assert all(0 <= r.dmu_accuracy <= 1 for r in rows)
+
+    def test_balance_ablation(self):
+        result = run_balance_ablation()
+        assert result.speedup > 1.0
+        assert result.uniform_total_pe > 0

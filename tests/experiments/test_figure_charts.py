@@ -1,0 +1,30 @@
+"""Figure chart rendering (ASCII plots of Figs. 3-5)."""
+
+import pytest
+
+from repro.experiments import standard_sweep
+from repro.experiments.fig34 import run_fig3, run_fig4
+from repro.experiments.fig5_table2 import run_fig5
+
+
+@pytest.fixture(scope="module")
+def points():
+    return standard_sweep()
+
+
+class TestFigureCharts:
+    def test_fig3_chart_has_both_panels(self, points):
+        chart = run_fig3(points).chart()
+        assert "images/sec vs total PE count" in chart
+        assert "utilization vs total PE count" in chart
+        assert "expected" in chart and "obtained" in chart
+        assert "BRAM_18K %" in chart and "LUT %" in chart
+
+    def test_fig4_chart_renders(self, points):
+        chart = run_fig4(points).chart()
+        assert "img/s" in chart
+
+    def test_fig5_chart_renders(self, micro_workbench):
+        chart = run_fig5(micro_workbench).chart()
+        assert "DMU behaviour vs Softmax threshold" in chart
+        assert "threshold" in chart

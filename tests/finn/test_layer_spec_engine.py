@@ -1,0 +1,151 @@
+"""LayerSpec feature formulas and Engine cycle equations (paper Eqs. 3-5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finn import (
+    Engine,
+    LayerSpec,
+    divisors,
+    finn_cnv_specs,
+    valid_pe_counts,
+    valid_simd_counts,
+)
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(64) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(1, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds[0] == 1 and ds[-1] == n
+        assert ds == sorted(set(ds))
+
+
+class TestLayerSpec:
+    def test_conv_weight_size_formula(self):
+        # Paper: total weight size of a conv layer = OD * (K*K*ID).
+        spec = LayerSpec("c", "conv", out_channels=64, in_channels=3, kernel=3,
+                         in_height=32, in_width=32, out_height=30, out_width=30)
+        assert spec.total_weight_bits == 64 * 27
+        assert spec.fan_in == 27
+
+    def test_fc_weight_size_formula(self):
+        spec = LayerSpec("f", "fc", out_channels=64, in_channels=256)
+        assert spec.total_weight_bits == 64 * 256
+        assert spec.fan_in == 256
+        assert spec.output_pixels == 1
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            LayerSpec("x", "pool", out_channels=2, in_channels=2)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            LayerSpec("x", "conv", out_channels=0, in_channels=3)
+
+    def test_describe(self):
+        spec = finn_cnv_specs()[0]
+        assert "3x3-conv-64" in spec.describe()
+
+
+class TestFinnCnvSpecs:
+    def test_table1_channels(self):
+        specs = finn_cnv_specs()
+        assert [s.name for s in specs] == [
+            "conv1", "conv2", "conv3", "conv4", "conv5", "conv6", "fc1", "fc2", "fc3",
+        ]
+        assert [s.out_channels for s in specs[:6]] == [64, 64, 128, 128, 256, 256]
+        assert [s.out_channels for s in specs[6:]] == [64, 64, 64]
+
+    def test_spatial_flow(self):
+        specs = finn_cnv_specs()
+        # 32 -> 30 -> 28 -> (pool) 14 -> 12 -> 10 -> (pool) 5 -> 3 -> 1
+        assert [(s.in_height, s.out_height) for s in specs[:6]] == [
+            (32, 30), (30, 28), (14, 12), (12, 10), (5, 3), (3, 1),
+        ]
+        assert specs[6].in_channels == 256  # 1x1x256 flattened
+
+    def test_threshold_widths(self):
+        # Paper: 24-bit first stage, 16-bit rest, none for the last stage.
+        specs = finn_cnv_specs()
+        assert specs[0].threshold_bits == 24
+        assert all(s.threshold_bits == 16 for s in specs[1:-1])
+        assert specs[-1].threshold_bits is None
+
+    def test_too_small_image_raises(self):
+        with pytest.raises(ValueError):
+            finn_cnv_specs(image_size=8)
+
+
+class TestEngineCycles:
+    def test_eq3_conv_cycles(self):
+        # CC = OD/P * (K*K*ID)/S * OH*OW
+        spec = finn_cnv_specs()[1]  # conv2: OD=64, fan-in 576, 28x28 out
+        engine = Engine(spec, pe=4, simd=16)
+        assert engine.cycles_per_image == (64 // 4) * (576 // 16) * 28 * 28
+
+    def test_eq4_fc_cycles(self):
+        spec = finn_cnv_specs()[6]  # fc1: 256 -> 64
+        engine = Engine(spec, pe=8, simd=4)
+        assert engine.cycles_per_image == (64 // 8) * (256 // 4)
+
+    def test_eq5_fps(self):
+        spec = finn_cnv_specs()[6]
+        engine = Engine(spec, pe=64, simd=16)
+        cc = engine.cycles_per_image
+        assert engine.fps(100e6) == pytest.approx(100e6 / cc)
+
+    def test_full_parallel_equals_output_pixels(self):
+        # P=OD, S=fan_in: one output pixel per cycle.
+        spec = finn_cnv_specs()[5]  # conv6
+        engine = Engine(spec, pe=spec.out_channels, simd=spec.fan_in)
+        assert engine.cycles_per_image == spec.output_pixels
+
+    def test_non_divisor_p_rejected(self):
+        spec = finn_cnv_specs()[0]
+        with pytest.raises(ValueError):
+            Engine(spec, pe=3, simd=1)  # 3 does not divide 64
+
+    def test_non_divisor_s_rejected(self):
+        spec = finn_cnv_specs()[0]  # fan-in 27
+        with pytest.raises(ValueError):
+            Engine(spec, pe=1, simd=4)
+
+    def test_memory_geometry(self):
+        # Weight memory: P files of total/(P*S) arrays of S-bit values.
+        spec = finn_cnv_specs()[1]
+        engine = Engine(spec, pe=8, simd=16)
+        assert engine.weight_file_depth == spec.total_weight_bits // (8 * 16)
+        assert engine.weight_file_width == 16
+        assert engine.threshold_file_depth == spec.out_channels // 8
+
+    @given(st.integers(0, 5), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_property_cycles_scale_inverse_with_parallelism(self, spec_idx, seed):
+        rng = np.random.default_rng(seed)
+        spec = finn_cnv_specs()[spec_idx]
+        ps = valid_pe_counts(spec)
+        ss = valid_simd_counts(spec)
+        p = int(rng.choice(ps))
+        s = int(rng.choice(ss))
+        engine = Engine(spec, p, s)
+        base = Engine(spec, 1, 1)
+        assert engine.cycles_per_image * p * s == base.cycles_per_image
+
+    def test_valid_counts_respect_caps(self):
+        spec = finn_cnv_specs()[1]
+        assert max(valid_pe_counts(spec, max_pe=16)) <= 16
+        assert max(valid_simd_counts(spec, max_simd=16)) <= 16

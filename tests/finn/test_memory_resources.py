@@ -1,0 +1,169 @@
+"""BRAM allocation model, partitioning, and network resource aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.finn import (
+    Engine,
+    LUTRAM_THRESHOLD_BITS,
+    XC7Z020,
+    allocate_memory,
+    best_partition_factor,
+    engine_resources,
+    finn_cnv_specs,
+    network_resources,
+    next_power_of_two,
+)
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1025) == 2048
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_property(self, n):
+        p = next_power_of_two(n)
+        assert p >= n and p < 2 * n and (p & (p - 1)) == 0
+
+
+class TestAllocateMemory:
+    def test_small_memory_goes_to_lutram(self):
+        alloc = allocate_memory(depth=32, width=16)  # 512 bits <= 1Kb
+        assert alloc.brams == 0
+        assert alloc.lutram_luts > 0
+
+    def test_lutram_boundary(self):
+        at = allocate_memory(depth=LUTRAM_THRESHOLD_BITS, width=1)
+        above = allocate_memory(depth=LUTRAM_THRESHOLD_BITS + 1, width=1)
+        assert at.brams == 0
+        assert above.brams >= 1
+
+    def test_one_bram_simple(self):
+        # 512 x 18 fits exactly one RAMB18 in 18x1024 or 36x512 mode.
+        assert allocate_memory(512, 18).brams == 1
+
+    def test_power_of_two_rounding_wastes(self):
+        # Depth 1025 rounds to 2048: two BRAMs in 18-wide mode.
+        assert allocate_memory(1025, 18).brams == 2
+        assert allocate_memory(1024, 18).brams == 1
+
+    def test_wide_memory_splits_columns(self):
+        # 512 deep x 72 wide: two 36-wide columns.
+        assert allocate_memory(512, 72).brams == 2
+
+    def test_deep_memory_uses_narrow_mode(self):
+        # 16384 x 1 fits one RAMB18 in 1x16384 mode.
+        assert allocate_memory(16384, 1).brams == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            allocate_memory(0, 8)
+        with pytest.raises(ValueError):
+            allocate_memory(8, 0)
+
+    def test_storage_efficiency(self):
+        alloc = allocate_memory(1025, 18)
+        assert 0 < alloc.storage_efficiency < 1
+        assert alloc.allocated_bits == 2 * 18 * 1024
+
+    @given(st.integers(1, 40000), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_property_partitioned_never_worse(self, depth, width):
+        naive = allocate_memory(depth, width, partitioned=False)
+        part = allocate_memory(depth, width, partitioned=True)
+        assert part.brams <= naive.brams
+
+    @given(st.integers(1, 40000), st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_property_capacity_sufficient(self, depth, width):
+        # Allocated physical bits always cover the logical bits.
+        alloc = allocate_memory(depth, width, partitioned=False)
+        assert alloc.allocated_bits >= alloc.bits
+
+
+class TestPartitioning:
+    def test_single_bram_cannot_improve(self):
+        # Paper: "the smaller files using only a fraction of one BRAM
+        # cannot be improved".
+        factor, brams = best_partition_factor(600, 18)  # 1 BRAM naive
+        assert factor == 1 and brams == 1
+
+    def test_awkward_depth_improves(self):
+        # 2100 x 18: naive rounds to 4096 -> 4 BRAMs; 3 blocks of 700
+        # round to 1024 each -> 3 BRAMs.
+        naive = allocate_memory(2100, 18, partitioned=False)
+        part = allocate_memory(2100, 18, partitioned=True)
+        assert naive.brams == 4
+        assert part.brams == 3
+        assert part.partitions > 1
+
+    def test_power_of_two_depth_no_gain(self):
+        naive = allocate_memory(4096, 9, partitioned=False)
+        part = allocate_memory(4096, 9, partitioned=True)
+        assert part.brams == naive.brams
+
+
+class TestEngineResources:
+    def test_per_pe_file_counts(self):
+        spec = finn_cnv_specs()[1]
+        engine = Engine(spec, pe=8, simd=16)
+        res = engine_resources(engine)
+        assert len(res.weight_allocs) == 8
+        assert len(res.threshold_allocs) == 8
+
+    def test_no_threshold_files_for_last_layer(self):
+        spec = finn_cnv_specs()[-1]
+        engine = Engine(spec, pe=1, simd=1)
+        res = engine_resources(engine)
+        assert res.threshold_allocs == ()
+
+    def test_conv_has_line_buffer_fc_does_not(self):
+        conv = engine_resources(Engine(finn_cnv_specs()[1], 2, 16))
+        fc = engine_resources(Engine(finn_cnv_specs()[6], 2, 16))
+        assert conv.buffer_alloc is not None
+        assert fc.buffer_alloc is None
+
+    def test_luts_grow_with_parallelism(self):
+        spec = finn_cnv_specs()[1]
+        small = engine_resources(Engine(spec, 2, 8))
+        big = engine_resources(Engine(spec, 16, 16))
+        assert big.datapath_luts > small.datapath_luts
+
+
+class TestNetworkResources:
+    def _engines(self):
+        return [Engine(s, 1, 1) for s in finn_cnv_specs()]
+
+    def test_aggregation(self):
+        res = network_resources(self._engines(), XC7Z020)
+        assert res.total_brams > 0
+        assert res.total_luts > 0
+        assert res.total_pe == 9
+
+    def test_partitioned_uses_fewer_or_equal_brams(self):
+        engines = self._engines()
+        naive = network_resources(engines, XC7Z020, partitioned=False)
+        part = network_resources(engines, XC7Z020, partitioned=True)
+        assert part.total_brams <= naive.total_brams
+
+    def test_utilization_fractions(self):
+        res = network_resources(self._engines(), XC7Z020)
+        assert res.bram_utilization == res.total_brams / 280
+        assert 0 < res.lut_utilization
+
+    def test_storage_efficiency_below_one(self):
+        res = network_resources(self._engines(), XC7Z020)
+        assert 0 < res.storage_efficiency < 1
+
+    def test_fits(self):
+        res = network_resources(self._engines(), XC7Z020)
+        assert res.fits() == (res.total_brams <= 280 and res.total_luts <= 53200)

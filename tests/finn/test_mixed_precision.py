@@ -1,0 +1,76 @@
+"""Mixed-precision (future-work) extension of the FINN model."""
+
+import pytest
+
+from repro.finn import (
+    Engine,
+    LayerSpec,
+    finn_cnv_specs,
+    precision_ladder,
+    with_precision,
+)
+
+
+class TestLayerSpecPrecision:
+    def test_defaults_are_binary(self):
+        spec = finn_cnv_specs()[0]
+        assert spec.weight_bits == 1 and spec.activation_bits == 1
+        assert spec.bit_serial_passes == 1
+        assert spec.threshold_levels == 1
+
+    def test_storage_scales_with_weight_bits(self):
+        base = finn_cnv_specs()[1]
+        wide = with_precision([base], weight_bits=4)[0]
+        assert wide.total_weight_bits == 4 * base.total_weight_bits
+
+    def test_threshold_levels(self):
+        spec = with_precision([finn_cnv_specs()[1]], activation_bits=3)[0]
+        assert spec.threshold_levels == 7
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            LayerSpec("x", "fc", out_channels=4, in_channels=4, weight_bits=0)
+        with pytest.raises(ValueError):
+            with_precision(finn_cnv_specs(), weight_bits=0)
+
+
+class TestEnginePrecision:
+    def test_cycles_scale_bit_serially(self):
+        base_spec = finn_cnv_specs()[1]
+        w2a2 = with_precision([base_spec], weight_bits=2, activation_bits=2)[0]
+        base = Engine(base_spec, 4, 16)
+        multi = Engine(w2a2, 4, 16)
+        assert multi.cycles_per_image == 4 * base.cycles_per_image
+
+    def test_weight_file_geometry(self):
+        spec = with_precision([finn_cnv_specs()[1]], weight_bits=2)[0]
+        engine = Engine(spec, 8, 16)
+        # Words hold S weights of 2 bits; word count is unchanged.
+        base_engine = Engine(finn_cnv_specs()[1], 8, 16)
+        assert engine.weight_file_depth == base_engine.weight_file_depth
+        assert engine.weight_file_width == 2 * base_engine.weight_file_width
+
+    def test_threshold_depth_scales_with_levels(self):
+        spec = with_precision([finn_cnv_specs()[1]], activation_bits=2)[0]
+        engine = Engine(spec, 8, 16)
+        base = Engine(finn_cnv_specs()[1], 8, 16)
+        assert engine.threshold_file_depth == 3 * base.threshold_file_depth
+
+
+class TestPrecisionHelpers:
+    def test_first_layer_override(self):
+        specs = with_precision(
+            finn_cnv_specs(), weight_bits=1, activation_bits=2,
+            first_layer_activation_bits=8,
+        )
+        assert specs[0].activation_bits == 8
+        assert all(s.activation_bits == 2 for s in specs[1:])
+
+    def test_ladder_labels(self):
+        ladder = precision_ladder(finn_cnv_specs())
+        assert set(ladder) == {"W1A1", "W1A2", "W2A2", "W4A4", "W8A8"}
+        assert all(len(v) == 9 for v in ladder.values())
+
+    def test_names_preserved(self):
+        specs = with_precision(finn_cnv_specs(), 2, 2)
+        assert [s.name for s in specs] == [s.name for s in finn_cnv_specs()]

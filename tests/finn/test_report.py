@@ -1,0 +1,52 @@
+"""Per-engine hardware report."""
+
+import pytest
+
+from repro.finn import (
+    XC7Z020,
+    balance_network,
+    finn_cnv_specs,
+    hardware_report,
+    network_resources,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return hardware_report(balance_network(finn_cnv_specs(), 232_000))
+
+
+class TestHardwareReport:
+    def test_one_row_per_engine(self, report):
+        assert [r.engine for r in report.rows] == [s.name for s in finn_cnv_specs()]
+
+    def test_exactly_one_bottleneck(self, report):
+        assert sum(r.is_bottleneck for r in report.rows) == 1
+        bottleneck = next(r for r in report.rows if r.is_bottleneck)
+        assert bottleneck.cycles == max(r.cycles for r in report.rows)
+
+    def test_bram_split_sums_to_totals(self, report):
+        per_engine = sum(
+            r.weight_brams + r.threshold_brams + r.buffer_brams for r in report.rows
+        )
+        # Network total additionally includes the SDSoC infrastructure base.
+        assert report.resources.total_brams > per_engine
+        assert report.resources.total_brams - per_engine > 0
+
+    def test_standalone_fps_consistent(self, report):
+        for r in report.rows:
+            assert r.standalone_fps == pytest.approx(100e6 / r.cycles)
+
+    def test_efficiencies_bounded(self, report):
+        assert all(0 < r.storage_efficiency <= 1 for r in report.rows)
+
+    def test_format_marks_bottleneck(self, report):
+        text = report.format()
+        assert "<- bottleneck" in text
+        assert "weight-storage efficiency" in text
+
+    def test_partitioned_flag_changes_allocation(self):
+        balance = balance_network(finn_cnv_specs(), 232_000)
+        naive = hardware_report(balance, partitioned=False)
+        part = hardware_report(balance, partitioned=True)
+        assert part.resources.total_brams <= naive.resources.total_brams

@@ -1,0 +1,52 @@
+"""ASCII Gantt chart of simulation timelines."""
+
+from repro.hetero import (
+    FPGAExecutor,
+    HostExecutor,
+    Timeline,
+    gantt_chart,
+    simulate_cascade,
+)
+
+
+class TestGantt:
+    def _sim(self):
+        return simulate_cascade(
+            FPGAExecutor(1 / 430.15, 0.01),
+            HostExecutor(1 / 29.68),
+            400,
+            100,
+            rerun_ratio=0.25,
+        )
+
+    def test_lanes_for_both_devices(self):
+        chart = gantt_chart(self._sim().timeline)
+        lines = chart.splitlines()
+        assert lines[0].startswith("fpga") or lines[1].startswith("fpga")
+        assert any(l.startswith("host") for l in lines)
+        assert "#" in chart
+
+    def test_utilization_annotated(self):
+        chart = gantt_chart(self._sim().timeline)
+        assert "% busy" in chart
+
+    def test_empty_timeline(self):
+        assert gantt_chart(Timeline()) == "(empty timeline)"
+
+    def test_zero_span(self):
+        tl = Timeline()
+        tl.record("a", 1.0, 1.0, "x")
+        assert gantt_chart(tl) == "(zero-length timeline)"
+
+    def test_clipping(self):
+        sim = self._sim()
+        full = gantt_chart(sim.timeline)
+        clipped = gantt_chart(sim.timeline, max_span_seconds=0.5)
+        assert "0.500s" in clipped
+        assert full != clipped
+
+    def test_width_respected(self):
+        chart = gantt_chart(self._sim().timeline, width=30)
+        lane = next(l for l in chart.splitlines() if "|" in l)
+        inner = lane.split("|")[1]
+        assert len(inner) == 30

@@ -1,0 +1,73 @@
+"""Property-based tests for the heterogeneous simulator invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hetero import FPGAExecutor, HostExecutor, simulate_cascade
+
+
+@st.composite
+def cascade_params(draw):
+    t_bnn = draw(st.floats(1e-4, 1e-2))
+    t_fp = draw(st.floats(1e-3, 1e-1))
+    num_images = draw(st.integers(10, 500))
+    batch_size = draw(st.integers(1, 120))
+    rerun_ratio = draw(st.floats(0.0, 1.0))
+    return t_bnn, t_fp, num_images, batch_size, rerun_ratio
+
+
+class TestSimulationInvariants:
+    @given(cascade_params())
+    @settings(max_examples=40, deadline=None)
+    def test_time_accounts_for_all_work(self, params):
+        t_bnn, t_fp, num_images, batch_size, rerun_ratio = params
+        fpga = FPGAExecutor(interval_seconds=t_bnn)
+        host = HostExecutor(seconds_per_image=t_fp, dmu_seconds_per_image=0.0)
+        result = simulate_cascade(fpga, host, num_images, batch_size, rerun_ratio=rerun_ratio)
+
+        # Lower bounds: nothing finishes before either device's total work.
+        fpga_work = num_images * t_bnn
+        host_work = sum(b.num_flagged for b in result.batches) * t_fp
+        assert result.total_seconds >= fpga_work - 1e-12
+        assert result.total_seconds >= host_work - 1e-12
+        # Upper bound: fully serial execution.
+        assert result.total_seconds <= fpga_work + host_work + num_images * t_bnn + 1e-9
+
+    @given(cascade_params())
+    @settings(max_examples=40, deadline=None)
+    def test_batches_partition_the_stream(self, params):
+        t_bnn, t_fp, num_images, batch_size, rerun_ratio = params
+        fpga = FPGAExecutor(interval_seconds=t_bnn)
+        host = HostExecutor(seconds_per_image=t_fp)
+        result = simulate_cascade(fpga, host, num_images, batch_size, rerun_ratio=rerun_ratio)
+        assert sum(b.size for b in result.batches) == num_images
+        assert all(0 <= b.num_flagged <= b.size for b in result.batches)
+
+    @given(cascade_params())
+    @settings(max_examples=40, deadline=None)
+    def test_intervals_never_overlap_per_device(self, params):
+        t_bnn, t_fp, num_images, batch_size, rerun_ratio = params
+        fpga = FPGAExecutor(interval_seconds=t_bnn)
+        host = HostExecutor(seconds_per_image=t_fp)
+        result = simulate_cascade(fpga, host, num_images, batch_size, rerun_ratio=rerun_ratio)
+        for device in ("fpga", "host"):
+            intervals = sorted(
+                result.timeline.device_intervals(device), key=lambda i: i.start
+            )
+            for a, b in zip(intervals, intervals[1:]):
+                assert b.start >= a.end - 1e-12
+
+    @given(
+        st.integers(50, 400),
+        st.floats(0.0, 1.0),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mask_and_ratio_agree_on_flagged_totals(self, num_images, ratio, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(num_images) < ratio
+        fpga = FPGAExecutor(interval_seconds=1e-3)
+        host = HostExecutor(seconds_per_image=1e-2)
+        result = simulate_cascade(fpga, host, num_images, 50, rerun_mask=mask)
+        assert sum(b.num_flagged for b in result.batches) == int(mask.sum())

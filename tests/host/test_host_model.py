@@ -1,0 +1,134 @@
+"""FLOP analysis and the calibrated ARM host performance model."""
+
+import numpy as np
+import pytest
+
+from repro.host import (
+    ARM_CORTEX_A9_ZC702,
+    ARM_CORTEX_A53_NEON,
+    CPUModel,
+    HostPerformanceModel,
+    analyze_network,
+    calibrate_to_paper,
+    paper_calibrated_model,
+)
+from repro.models import build_model_a, build_model_b, build_model_c
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+
+class TestCPUModel:
+    def test_peak_flops(self):
+        assert ARM_CORTEX_A9_ZC702.peak_flops == pytest.approx(2 * 666.7e6 * 2.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CPUModel("x", cores=0, clock_hz=1e9, flops_per_cycle_per_core=2)
+
+    def test_armv8_is_faster(self):
+        assert ARM_CORTEX_A53_NEON.peak_flops > ARM_CORTEX_A9_ZC702.peak_flops
+
+
+class TestAnalyzeNetwork:
+    def test_conv_flops_formula(self):
+        net = Sequential([Conv2D(3, 8, 3, pad=1, use_bias=False)])
+        cost = analyze_network(net, (3, 8, 8))
+        # 2 * K*K*ID * OH*OW * OD
+        assert cost.total_flops == pytest.approx(2 * 27 * 64 * 8)
+        assert cost.layers[0].is_gemm
+
+    def test_conv_bias_adds(self):
+        no_bias = analyze_network(Sequential([Conv2D(3, 8, 3, pad=1, use_bias=False)]), (3, 8, 8))
+        bias = analyze_network(Sequential([Conv2D(3, 8, 3, pad=1)]), (3, 8, 8))
+        assert bias.total_flops == no_bias.total_flops + 64 * 8
+
+    def test_dense_flops(self):
+        cost = analyze_network(Sequential([Flatten(), Dense(48, 10)]), (3, 4, 4))
+        assert cost.total_flops == pytest.approx(2 * 48 * 10 + 10)
+
+    def test_elementwise_layers_not_gemm(self):
+        net = Sequential([Conv2D(3, 4, 3, pad=1), ReLU(), MaxPool2D(2)])
+        cost = analyze_network(net, (3, 8, 8))
+        kinds = [l.kind for l in cost.layers]
+        assert kinds == ["gemm", "elementwise", "elementwise"]
+        assert cost.gemm_flops < cost.total_flops
+
+    def test_model_magnitudes(self):
+        # Full-width models: A ~20M, B ~400M, C ~550M FLOPs per image.
+        fa = analyze_network(build_model_a(scale=1.0)).total_flops
+        fb = analyze_network(build_model_b(scale=1.0)).total_flops
+        fc = analyze_network(build_model_c(scale=1.0)).total_flops
+        assert 15e6 < fa < 30e6
+        assert 300e6 < fb < 500e6
+        assert 450e6 < fc < 650e6
+
+
+class TestHostPerformanceModel:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HostPerformanceModel(ARM_CORTEX_A9_ZC702, eff_max=0.0, half_sat=1e6)
+        with pytest.raises(ValueError):
+            HostPerformanceModel(ARM_CORTEX_A9_ZC702, eff_max=0.5, half_sat=-1)
+
+    def test_rate_inverse_of_seconds(self):
+        model = HostPerformanceModel(ARM_CORTEX_A9_ZC702, 0.5, 1e6)
+        net = build_model_a(scale=1.0)
+        assert model.images_per_second(net) == pytest.approx(
+            1.0 / model.seconds_per_image(net)
+        )
+
+    def test_larger_gemms_run_more_efficiently(self):
+        model = HostPerformanceModel(ARM_CORTEX_A9_ZC702, 0.7, 5e6)
+        from repro.host import LayerCost
+
+        small = LayerCost("s", "gemm", 1e6, gemm_volume=5e5, output_elements=1)
+        big = LayerCost("b", "gemm", 1e6, gemm_volume=5e8, output_elements=1)
+        assert model.layer_seconds(big) < model.layer_seconds(small)
+
+    def test_zero_flop_layers_free(self):
+        from repro.host import LayerCost
+
+        model = HostPerformanceModel(ARM_CORTEX_A9_ZC702, 0.7, 5e6)
+        assert model.layer_seconds(LayerCost("d", "none", 0.0, 0.0, 10)) == 0.0
+
+
+class TestPaperCalibration:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return paper_calibrated_model()
+
+    def test_anchors_exact(self, model):
+        # Table IV anchors: Model A 29.68 img/s, Model B 3.63 img/s.
+        rate_a = model.images_per_second(analyze_network(build_model_a(scale=1.0)))
+        rate_b = model.images_per_second(analyze_network(build_model_b(scale=1.0)))
+        assert rate_a == pytest.approx(29.68, rel=1e-6)
+        assert rate_b == pytest.approx(3.63, rel=1e-6)
+
+    def test_model_c_prediction_near_paper(self, model):
+        # Out-of-sample prediction; paper measured 3.09 img/s.
+        rate_c = model.images_per_second(analyze_network(build_model_c(scale=1.0)))
+        assert rate_c == pytest.approx(3.09, rel=0.15)
+
+    def test_rate_ordering_matches_table4(self, model):
+        rates = [
+            model.images_per_second(analyze_network(b(scale=1.0)))
+            for b in (build_model_a, build_model_b, build_model_c)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_calibrated_efficiency_physical(self, model):
+        assert 0.1 < model.eff_max < 1.0
+        assert model.half_sat > 0
+
+    def test_armv8_improves_rates(self):
+        # The paper's future-work claim: ARMv8 + NEON raises host rates.
+        a9 = paper_calibrated_model()
+        a53 = HostPerformanceModel(ARM_CORTEX_A53_NEON, a9.eff_max, a9.half_sat)
+        cost = analyze_network(build_model_a(scale=1.0))
+        assert a53.images_per_second(cost) > a9.images_per_second(cost)
+
+    def test_inconsistent_anchors_rejected(self):
+        cost_a = analyze_network(build_model_a(scale=1.0))
+        cost_b = analyze_network(build_model_b(scale=1.0))
+        with pytest.raises(ValueError):
+            # Model B faster than Model A is impossible under the model.
+            calibrate_to_paper(cost_a, cost_b, rate_a=3.0, rate_b=30.0)

@@ -1,0 +1,109 @@
+"""Classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.metrics import (
+    ClassificationReport,
+    classification_report,
+    confusion_matrix,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        m = confusion_matrix(np.array([0, 0, 1, 2]), np.array([0, 1, 1, 2]), 3)
+        expected = np.array([[1, 1, 0], [0, 1, 0], [0, 0, 1]])
+        np.testing.assert_array_equal(m, expected)
+
+    def test_diagonal_is_correct_count(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 5, size=100)
+        p = rng.integers(0, 5, size=100)
+        m = confusion_matrix(y, p, 5)
+        assert np.diag(m).sum() == (y == p).sum()
+        assert m.sum() == 100
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3, int), np.zeros(4, int), 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([5]), np.array([0]), 3)
+
+    @given(st.integers(2, 6), st.integers(1, 80), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_row_sums_are_class_counts(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, k, size=n)
+        p = rng.integers(0, k, size=n)
+        m = confusion_matrix(y, p, k)
+        np.testing.assert_array_equal(m.sum(axis=1), np.bincount(y, minlength=k))
+        np.testing.assert_array_equal(m.sum(axis=0), np.bincount(p, minlength=k))
+
+
+class TestPerClassAccuracy:
+    def test_values(self):
+        m = np.array([[3, 1], [2, 2]])
+        np.testing.assert_allclose(per_class_accuracy(m), [0.75, 0.5])
+
+    def test_empty_class_nan(self):
+        m = np.array([[2, 0], [0, 0]])
+        acc = per_class_accuracy(m)
+        assert acc[0] == 1.0 and np.isnan(acc[1])
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self):
+        scores = np.array([[0.9, 0.1], [0.4, 0.6], [0.7, 0.3]])
+        labels = np.array([0, 1, 1])
+        assert top_k_accuracy(scores, labels, k=1) == pytest.approx(2 / 3)
+
+    def test_topk_full_is_one(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(10, 4))
+        labels = rng.integers(0, 4, size=10)
+        assert top_k_accuracy(scores, labels, k=4) == 1.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, int), k=4)
+
+    def test_empty(self):
+        assert top_k_accuracy(np.zeros((0, 3)), np.zeros(0, int), k=2) == 0.0
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=(50, 6))
+        labels = rng.integers(0, 6, size=50)
+        accs = [top_k_accuracy(scores, labels, k) for k in range(1, 7)]
+        assert accs == sorted(accs)
+
+
+class TestReport:
+    def test_report_accuracy(self):
+        rep = classification_report(
+            np.array([0, 1, 1, 2]), np.array([0, 1, 2, 2]), ("a", "b", "c")
+        )
+        assert rep.accuracy == pytest.approx(0.75)
+        assert "accuracy: 75.0%" in rep.format()
+
+    def test_most_confused_pairs(self):
+        y = np.array([0] * 5 + [1] * 5)
+        p = np.array([1] * 5 + [1] * 5)  # class 0 always predicted as 1
+        rep = classification_report(y, p, ("cat", "dog"))
+        pairs = rep.most_confused_pairs()
+        assert pairs[0] == ("cat", "dog", 5)
+
+    def test_no_confusion_empty_pairs(self):
+        rep = classification_report(np.array([0, 1]), np.array([0, 1]), ("a", "b"))
+        assert rep.most_confused_pairs() == []
+
+    def test_empty_report(self):
+        rep = ClassificationReport(np.zeros((2, 2), dtype=np.int64), ("a", "b"))
+        assert rep.accuracy == 0.0

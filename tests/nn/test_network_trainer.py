@@ -1,0 +1,152 @@
+"""Sequential container and Trainer end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    SGD,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Trainer,
+    accuracy,
+)
+
+
+def tiny_cnn(rng):
+    return Sequential(
+        [
+            Conv2D(1, 4, 3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 3 * 3, 3, rng=rng),
+        ],
+        name="tiny",
+    )
+
+
+def make_blobs(rng, n_per_class=30, dim=8, classes=3, spread=0.4):
+    xs, ys = [], []
+    for c in range(classes):
+        center = rng.normal(size=dim) * 2.0
+        xs.append(center + spread * rng.normal(size=(n_per_class, dim)))
+        ys.append(np.full(n_per_class, c))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestSequential:
+    def test_forward_backward_shapes(self):
+        rng = np.random.default_rng(0)
+        net = tiny_cnn(rng)
+        x = rng.normal(size=(5, 1, 8, 8))
+        out = net.forward(x)
+        assert out.shape == (5, 3)
+        dx = net.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_output_shape_static(self):
+        net = tiny_cnn(np.random.default_rng(0))
+        assert net.output_shape((1, 8, 8)) == (3,)
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(1)
+        net = tiny_cnn(rng)
+        state = net.state_dict()
+        for p in net.params():
+            p.value = p.value + 1.0
+        net.load_state_dict(state)
+        x = rng.normal(size=(2, 1, 8, 8))
+        net2 = tiny_cnn(np.random.default_rng(1))
+        np.testing.assert_allclose(net.forward(x), net2.forward(x))
+
+    def test_load_state_dict_rejects_mismatch(self):
+        net = tiny_cnn(np.random.default_rng(0))
+        state = net.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_mode_propagates(self):
+        net = Sequential([Dropout(0.5), BatchNorm(3)])
+        net.train_mode()
+        assert all(layer.training for layer in net)
+        net.eval_mode()
+        assert not any(layer.training for layer in net)
+
+    def test_predict_batched_equals_full(self):
+        rng = np.random.default_rng(2)
+        net = tiny_cnn(rng)
+        x = rng.normal(size=(10, 1, 8, 8))
+        np.testing.assert_allclose(net.predict(x, batch_size=3), net.predict(x, batch_size=100))
+
+    def test_summary_contains_layers(self):
+        net = tiny_cnn(np.random.default_rng(0))
+        text = net.summary((1, 8, 8))
+        assert "Conv2D" in text and "total params" in text
+
+    def test_add_chains(self):
+        net = Sequential().add(Flatten()).add(Dense(4, 2))
+        assert len(net) == 2
+        assert isinstance(net[1], Dense)
+
+
+class TestTrainer:
+    def test_learns_linearly_separable_blobs(self):
+        rng = np.random.default_rng(3)
+        x, y = make_blobs(rng)
+        net = Sequential([Dense(8, 16, rng=rng), ReLU(), Dense(16, 3, rng=rng)])
+        trainer = Trainer(net, SoftmaxCrossEntropy(), Adam(net.params(), lr=0.01), rng=rng)
+        history = trainer.fit(x, y, epochs=30, batch_size=16)
+        assert trainer.evaluate(x, y) > 0.95
+        assert history.epochs == 30
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_keep_best_restores_best_snapshot(self):
+        rng = np.random.default_rng(4)
+        x, y = make_blobs(rng, n_per_class=20)
+        net = Sequential([Dense(8, 3, rng=rng)])
+        trainer = Trainer(
+            net, SoftmaxCrossEntropy(), SGD(net.params(), lr=0.05), rng=rng, keep_best=True
+        )
+        history = trainer.fit(x, y, epochs=10, batch_size=8, x_val=x, y_val=y)
+        final = trainer.evaluate(x, y)
+        assert final == pytest.approx(history.best_val_accuracy, abs=1e-9)
+
+    def test_lr_schedule_applied(self):
+        rng = np.random.default_rng(5)
+        x, y = make_blobs(rng, n_per_class=5)
+        net = Sequential([Dense(8, 3, rng=rng)])
+        opt = SGD(net.params(), lr=1.0)
+        trainer = Trainer(net, SoftmaxCrossEntropy(), opt, rng=rng, lr_schedule=lambda e: 0.1 / (e + 1))
+        trainer.fit(x, y, epochs=3, batch_size=8)
+        assert opt.lr == pytest.approx(0.1 / 3)
+
+    def test_mismatched_data_raises(self):
+        rng = np.random.default_rng(6)
+        net = Sequential([Dense(4, 2, rng=rng)])
+        trainer = Trainer(net, SoftmaxCrossEntropy(), SGD(net.params(), lr=0.1))
+        with pytest.raises(ValueError):
+            trainer.fit(np.zeros((10, 4)), np.zeros(9, dtype=int), epochs=1)
+
+    def test_accuracy_helper(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+        assert accuracy(np.zeros((0, 2)), np.array([])) == 0.0
+
+    def test_train_step_reduces_loss_on_same_batch(self):
+        rng = np.random.default_rng(7)
+        x, y = make_blobs(rng, n_per_class=10)
+        net = Sequential([Dense(8, 3, rng=rng)])
+        trainer = Trainer(net, SoftmaxCrossEntropy(), SGD(net.params(), lr=0.1), rng=rng)
+        first, _ = trainer.train_step(x, y)
+        for _ in range(20):
+            last, _ = trainer.train_step(x, y)
+        assert last < first

@@ -1,0 +1,56 @@
+"""Model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm, Conv2D, Dense, Flatten, ReLU, Sequential
+from repro.nn.serialize import load_model, save_model
+
+
+def make_net(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        [Conv2D(2, 4, 3, rng=rng), BatchNorm(4), ReLU(), Flatten(), Dense(4 * 6 * 6, 3, rng=rng)]
+    )
+
+
+class TestSerialize:
+    def test_roundtrip_outputs_identical(self, tmp_path):
+        rng = np.random.default_rng(1)
+        net = make_net(rng)
+        path = tmp_path / "model.npz"
+        save_model(net, path)
+        other = make_net(np.random.default_rng(99))  # different init
+        load_model(other, path)
+        x = rng.normal(size=(2, 2, 8, 8))
+        net.eval_mode()
+        other.eval_mode()
+        np.testing.assert_allclose(other.forward(x), net.forward(x))
+
+    def test_running_stats_preserved(self, tmp_path):
+        rng = np.random.default_rng(2)
+        net = make_net(rng)
+        net.train_mode()
+        net.forward(rng.normal(size=(8, 2, 8, 8)))  # moves running stats
+        path = tmp_path / "model.npz"
+        save_model(net, path)
+        other = make_net()
+        load_model(other, path)
+        bn_a = [l for l in net if isinstance(l, BatchNorm)][0]
+        bn_b = [l for l in other if isinstance(l, BatchNorm)][0]
+        np.testing.assert_allclose(bn_b.running_mean.value, bn_a.running_mean.value)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        net = make_net()
+        path = tmp_path / "model.npz"
+        save_model(net, path, metadata={"accuracy": 0.85, "epochs": 10})
+        meta = load_model(make_net(), path)
+        assert meta == {"accuracy": 0.85, "epochs": 10.0}
+
+    def test_structure_mismatch_raises(self, tmp_path):
+        net = make_net()
+        path = tmp_path / "model.npz"
+        save_model(net, path)
+        wrong = Sequential([Dense(4, 2)])
+        with pytest.raises(KeyError):
+            load_model(wrong, path)

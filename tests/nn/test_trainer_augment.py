@@ -1,0 +1,52 @@
+"""Trainer augmentation hook."""
+
+import numpy as np
+
+from repro.nn import Dense, SGD, Sequential, SoftmaxCrossEntropy, Trainer
+
+
+class TestTrainerAugment:
+    def test_augment_applied_in_training(self):
+        calls = []
+
+        def spy(x):
+            calls.append(x.shape[0])
+            return x
+
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(4, 2, rng=rng)])
+        trainer = Trainer(
+            net, SoftmaxCrossEntropy(), SGD(net.params(), lr=0.1), rng=rng, augment=spy
+        )
+        x = rng.normal(size=(10, 4))
+        y = rng.integers(0, 2, size=10)
+        trainer.fit(x, y, epochs=2, batch_size=5)
+        assert sum(calls) == 2 * 10  # every training sample passed through
+
+    def test_augment_not_applied_in_eval(self):
+        def poison(x):
+            raise AssertionError("augment must not run during evaluation")
+
+        rng = np.random.default_rng(1)
+        net = Sequential([Dense(4, 2, rng=rng)])
+        trainer = Trainer(
+            net, SoftmaxCrossEntropy(), SGD(net.params(), lr=0.1), rng=rng, augment=poison
+        )
+        trainer.evaluate(rng.normal(size=(6, 4)), rng.integers(0, 2, size=6))
+
+    def test_augmentation_changes_training_inputs(self):
+        rng = np.random.default_rng(2)
+        net = Sequential([Dense(4, 2, rng=rng)])
+        trainer = Trainer(
+            net,
+            SoftmaxCrossEntropy(),
+            SGD(net.params(), lr=0.0001),
+            rng=rng,
+            augment=lambda x: x + 100.0,
+        )
+        x = rng.normal(size=(4, 4))
+        y = np.array([0, 1, 0, 1])
+        loss_aug, _ = trainer.train_step(x, y)
+        plain = Trainer(net, SoftmaxCrossEntropy(), SGD(net.params(), lr=0.0001), rng=rng)
+        loss_plain, _ = plain.train_step(x, y)
+        assert loss_aug != loss_plain

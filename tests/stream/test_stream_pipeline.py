@@ -1,0 +1,76 @@
+"""End-to-end video cascade with a stub classifier."""
+
+import numpy as np
+import pytest
+
+from repro.stream import StreamReport, SyntheticVideo, VideoCascade
+
+
+class _OracleBNN:
+    """Stub classifier: 'classifies' by mean patch colour bucket."""
+
+    def __init__(self, num_classes=10):
+        self.num_classes = num_classes
+
+    def class_scores(self, images, batch_size=128):
+        n = images.shape[0]
+        scores = np.zeros((n, self.num_classes))
+        bucket = (images.mean(axis=(1, 2, 3)) * self.num_classes).astype(int)
+        scores[np.arange(n), np.clip(bucket, 0, self.num_classes - 1)] = 5.0
+        return scores
+
+
+class _StubHost:
+    def predict_classes(self, images, batch_size=128):
+        return np.zeros(images.shape[0], dtype=np.int64)
+
+
+def make_cascade(threshold=0.5):
+    from repro.core import DecisionMakingUnit, MultiPrecisionPipeline
+
+    dmu = DecisionMakingUnit(np.full(10, 0.5), 0.0, threshold=threshold)
+    pipeline = MultiPrecisionPipeline(_OracleBNN(), dmu, _StubHost())
+    return VideoCascade(pipeline)
+
+
+class TestVideoCascade:
+    def test_processes_frames(self):
+        video = SyntheticVideo(height=160, width=240, num_objects=2, object_size=40, seed=0)
+        cascade = make_cascade()
+        report = cascade.run(video, num_frames=3)
+        assert len(report.frames) == 3
+        assert report.total_objects == 6
+        assert report.total_patches >= report.matched_objects
+
+    def test_detection_recall_reasonable(self):
+        video = SyntheticVideo(height=160, width=240, num_objects=2, object_size=40, seed=1)
+        report = make_cascade().run(video, num_frames=5)
+        assert report.detection_recall > 0.6
+
+    def test_rerun_accounting(self):
+        video = SyntheticVideo(height=160, width=240, num_objects=1, object_size=40, seed=2)
+        report = make_cascade(threshold=1.0).run(video, num_frames=2)
+        # Threshold 1.0 flags everything for the host.
+        assert report.total_reruns == report.total_patches
+        assert report.rerun_ratio == pytest.approx(1.0)
+
+    def test_empty_report_metrics(self):
+        report = StreamReport()
+        assert report.detection_recall == 0.0
+        assert report.classification_accuracy == 0.0
+        assert report.rerun_ratio == 0.0
+
+    def test_invalid_iou_threshold(self):
+        from repro.core import DecisionMakingUnit, MultiPrecisionPipeline
+
+        dmu = DecisionMakingUnit(np.ones(10), 0.0)
+        pipeline = MultiPrecisionPipeline(_OracleBNN(), dmu, _StubHost())
+        with pytest.raises(ValueError):
+            VideoCascade(pipeline, iou_threshold=0.0)
+
+    def test_frame_result_counts(self):
+        video = SyntheticVideo(height=160, width=240, num_objects=2, object_size=40, seed=3)
+        cascade = make_cascade()
+        result = cascade.process_frame(video.next_frame())
+        assert result.num_detections == len(result.boxes)
+        assert result.predictions.shape[0] == result.num_detections

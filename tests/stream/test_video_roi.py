@@ -1,0 +1,138 @@
+"""Synthetic video source and ROI extraction front-end."""
+
+import numpy as np
+import pytest
+
+from repro.stream import (
+    RoiConfig,
+    SyntheticVideo,
+    box_iou,
+    detect_rois,
+    extract_patches,
+    resize_bilinear,
+)
+
+
+class TestSyntheticVideo:
+    def test_frame_geometry(self):
+        video = SyntheticVideo(height=120, width=160, num_objects=2, object_size=32, seed=0)
+        frame = video.next_frame()
+        assert frame.pixels.shape == (3, 120, 160)
+        assert frame.pixels.min() >= 0 and frame.pixels.max() <= 1
+        assert len(frame.boxes) == 2 and len(frame.labels) == 2
+
+    def test_objects_move(self):
+        video = SyntheticVideo(height=120, width=160, num_objects=1, object_size=32, seed=1)
+        a = video.next_frame().boxes[0]
+        b = video.next_frame().boxes[0]
+        assert a != b
+
+    def test_boxes_stay_inside_frame(self):
+        video = SyntheticVideo(height=100, width=100, num_objects=2, object_size=32, seed=2)
+        for frame in video.frames(50):
+            for y0, x0, y1, x1 in frame.boxes:
+                assert 0 <= y0 < y1 <= 100
+                assert 0 <= x0 < x1 <= 100
+
+    def test_frame_indices_sequential(self):
+        video = SyntheticVideo(seed=0)
+        indices = [f.index for f in video.frames(5)]
+        assert indices == [0, 1, 2, 3, 4]
+
+    def test_labels_valid(self):
+        video = SyntheticVideo(num_objects=4, seed=3)
+        frame = video.next_frame()
+        assert all(0 <= l < 10 for l in frame.labels)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SyntheticVideo(height=20, width=100, object_size=48)
+        with pytest.raises(ValueError):
+            SyntheticVideo(num_objects=0)
+        with pytest.raises(ValueError):
+            list(SyntheticVideo(seed=0).frames(0))
+
+
+class TestResize:
+    def test_identity_size(self):
+        img = np.random.default_rng(0).random((3, 16, 16))
+        out = resize_bilinear(img, 16, 16)
+        np.testing.assert_allclose(out, img, atol=1e-12)
+
+    def test_constant_preserved(self):
+        img = np.full((3, 40, 50), 0.7)
+        out = resize_bilinear(img, 32, 32)
+        np.testing.assert_allclose(out, np.full((3, 32, 32), 0.7))
+
+    def test_downscale_shape(self):
+        img = np.random.default_rng(1).random((3, 48, 48))
+        assert resize_bilinear(img, 32, 32).shape == (3, 32, 32)
+
+    def test_upscale_range(self):
+        img = np.random.default_rng(2).random((3, 8, 8))
+        out = resize_bilinear(img, 32, 32)
+        assert out.min() >= img.min() - 1e-9 and out.max() <= img.max() + 1e-9
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((3, 4, 4)), 0, 4)
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((4, 4)), 4, 4)
+
+
+class TestDetectRois:
+    def test_finds_planted_objects(self):
+        video = SyntheticVideo(height=160, width=240, num_objects=2, object_size=40, seed=0)
+        frame = video.next_frame()
+        boxes = detect_rois(frame.pixels)
+        for truth in frame.boxes:
+            assert any(box_iou(truth, b) >= 0.3 for b in boxes)
+
+    def test_plain_background_no_boxes(self):
+        frame = np.full((3, 100, 100), 0.5)
+        assert detect_rois(frame) == []
+
+    def test_max_boxes_respected(self):
+        video = SyntheticVideo(height=200, width=300, num_objects=4, object_size=40, seed=1)
+        cfg = RoiConfig(max_boxes=2)
+        boxes = detect_rois(video.next_frame().pixels, cfg)
+        assert len(boxes) <= 2
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            detect_rois(np.zeros((100, 100)))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            RoiConfig(blur_size=4)
+        with pytest.raises(ValueError):
+            RoiConfig(threshold=0.0)
+        with pytest.raises(ValueError):
+            RoiConfig(pad=-1)
+
+
+class TestExtractPatches:
+    def test_shapes(self):
+        frame = np.random.default_rng(0).random((3, 100, 100))
+        patches = extract_patches(frame, [(0, 0, 50, 50), (20, 20, 60, 80)], out_size=32)
+        assert patches.shape == (2, 3, 32, 32)
+
+    def test_empty_boxes(self):
+        frame = np.zeros((3, 50, 50))
+        assert extract_patches(frame, []).shape == (0, 3, 32, 32)
+
+    def test_degenerate_box_rejected(self):
+        frame = np.zeros((3, 50, 50))
+        with pytest.raises(ValueError):
+            extract_patches(frame, [(10, 10, 10, 20)])
+
+
+class TestBoxIoU:
+    def test_identical(self):
+        assert box_iou((0, 0, 10, 10), (0, 0, 10, 10)) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert box_iou((0, 0, 10, 10), (20, 20, 30, 30)) == 0.0
+
+    def test_half_overlap(self):
+        assert box_iou((0, 0, 10, 10), (0, 5, 10, 15)) == pytest.approx(1 / 3)

@@ -1,0 +1,74 @@
+"""CLI experiment runner (analytical experiments only — no training)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, TRAIN_BUDGETS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "table5" in out
+
+    def test_analytic_experiment(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig3", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "Fig. 4" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_budgets_defined(self):
+        assert set(TRAIN_BUDGETS) == {"micro", "bench", "full"}
+        assert TRAIN_BUDGETS["micro"].num_train < TRAIN_BUDGETS["full"].num_train
+
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig3", "fig4", "fig5", "table2",
+            "table3", "table4", "table5", "ablations",
+        }
+
+    def test_ablations_runner(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "batch size" in out and "Eq. (1)" in out
+
+
+class TestFutureWork:
+    def test_armv8_projection_improves_everything(self):
+        from repro.experiments.future_work import run_armv8_projection
+
+        rows = run_armv8_projection()
+        for r in rows:
+            assert r.host_speedup > 2.0
+            assert r.a53_cascade_fps > r.a9_cascade_fps
+
+    def test_mixed_precision_sweep_shape(self):
+        from repro.experiments.future_work import run_mixed_precision_sweep
+
+        rows = run_mixed_precision_sweep()
+        by_label = {r.label: r for r in rows}
+        # Higher precision can never be cheaper in BRAM at equal target.
+        assert by_label["W1A1"].bram_pct < by_label["W2A2"].bram_pct
+        assert by_label["W2A2"].bram_pct < by_label["W8A8"].bram_pct
+        # The fully binarised design fits the device; 8-bit does not.
+        assert by_label["W1A1"].fits_device
+        assert not by_label["W8A8"].fits_device
+
+    def test_format_helpers(self):
+        from repro.experiments.future_work import (
+            format_armv8,
+            format_mixed_precision,
+            run_armv8_projection,
+            run_mixed_precision_sweep,
+        )
+
+        assert "ARMv8" in format_armv8(run_armv8_projection())
+        assert "mixed-precision" in format_mixed_precision(run_mixed_precision_sweep())
