@@ -10,6 +10,11 @@ Regenerates any table or figure of the paper from the terminal:
 
 Experiments that need trained networks share the on-disk workbench cache,
 so only the first invocation pays the numpy training cost.
+
+The serving layer has its own load-test subcommand:
+
+    python -m repro serve-bench
+    python -m repro serve-bench --target-rerun 0.25 --host-workers 2
 """
 
 from __future__ import annotations
@@ -82,7 +87,76 @@ def _run_one(name: str, workbench: Workbench | None) -> str:
 EXPERIMENTS = ("table1", "fig3", "fig4", "fig5", "table2", "table3", "table4", "table5", "ablations")
 
 
+def serve_bench_main(argv: list[str]) -> int:
+    """``repro serve-bench``: load-test the concurrent cascade server."""
+    from dataclasses import replace
+
+    from .serve import ServeBenchConfig, format_serve_bench, run_serve_bench
+
+    defaults = ServeBenchConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description=(
+            "Drive the concurrent cascade server under closed-loop load and "
+            "compare the adaptive DMU-threshold controller against a naive "
+            "static threshold and the Eq. (1) analytic bound."
+        ),
+    )
+    parser.add_argument("--requests", type=int, default=defaults.num_requests)
+    parser.add_argument("--clients", type=int, default=defaults.num_clients)
+    parser.add_argument(
+        "--target-rerun", type=float, default=defaults.target_rerun_ratio,
+        help="rerun ratio the controller should hold (default %(default)s)",
+    )
+    parser.add_argument("--naive-threshold", type=float, default=defaults.naive_threshold)
+    parser.add_argument("--t-fp", type=float, default=defaults.t_fp,
+                        help="host seconds/image (default %(default)s)")
+    parser.add_argument("--t-bnn", type=float, default=defaults.t_bnn,
+                        help="BNN seconds/image (default %(default)s)")
+    parser.add_argument("--batch-size", type=int, default=defaults.max_batch_size)
+    parser.add_argument("--host-workers", type=int, default=defaults.num_host_workers)
+    parser.add_argument("--host-queue", type=int, default=defaults.host_queue_capacity)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    args = parser.parse_args(argv)
+
+    if not 0.0 <= args.target_rerun <= 1.0:
+        parser.error(f"--target-rerun must be in [0, 1], got {args.target_rerun}")
+    if not 0.0 <= args.naive_threshold <= 1.0:
+        parser.error(f"--naive-threshold must be in [0, 1], got {args.naive_threshold}")
+    if args.requests < 0:
+        parser.error(f"--requests must be >= 0, got {args.requests}")
+    for name in ("clients", "batch_size", "host_workers", "host_queue"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name.replace('_', '-')} must be >= 1")
+    if args.t_fp <= 0 or args.t_bnn <= 0:
+        parser.error("--t-fp and --t-bnn must be positive")
+
+    config = replace(
+        ServeBenchConfig(),
+        num_requests=args.requests,
+        num_clients=args.clients,
+        target_rerun_ratio=args.target_rerun,
+        naive_threshold=args.naive_threshold,
+        t_fp=args.t_fp,
+        t_bnn=args.t_bnn,
+        max_batch_size=args.batch_size,
+        num_host_workers=args.host_workers,
+        host_queue_capacity=args.host_queue,
+        seed=args.seed,
+    )
+    print(
+        f"serve-bench: 2 runs x {config.num_requests} requests, "
+        f"{config.num_clients} closed-loop clients ...",
+        file=sys.stderr,
+    )
+    print(format_serve_bench(run_serve_bench(config)))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve-bench":
+        return serve_bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the DATE'18 multi-precision CNN paper.",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zipfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -118,16 +119,33 @@ class Workbench:
     def _cache_path(self, name: str) -> Path:
         return self.cache_dir / f"{name}.npz"
 
+    def _read_cache(self, path: Path, *keys: str) -> dict[str, np.ndarray] | None:
+        """Load an ``.npz`` cache entry, treating any corruption as a miss.
+
+        Truncated/garbled archives raise ``zipfile.BadZipFile`` or
+        ``OSError`` and entries written by an incompatible build miss keys;
+        all of it means "retrain", never "crash".  Unreadable files are
+        removed so the retrained artefact can overwrite them cleanly.
+        """
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as npz:
+                data = {k: npz[k] for k in (keys or npz.files)}
+        except (zipfile.BadZipFile, OSError, KeyError, ValueError, EOFError):
+            path.unlink(missing_ok=True)
+            return None
+        return data
+
     def _save_net(self, name: str, net: Sequential, accuracy: float) -> None:
         state = net.state_dict()
         state["__test_accuracy__"] = np.array(accuracy)
         np.savez_compressed(self._cache_path(name), **state)
 
     def _load_net(self, name: str, net: Sequential) -> float | None:
-        path = self._cache_path(name)
-        if not path.exists():
+        data = self._read_cache(self._cache_path(name))
+        if data is None or "__test_accuracy__" not in data:
             return None
-        data = dict(np.load(path))
         accuracy = float(data.pop("__test_accuracy__"))
         try:
             net.load_state_dict(data)
@@ -230,10 +248,9 @@ class Workbench:
     def _scores_for(self, name: str, images: np.ndarray, labels: np.ndarray) -> ScoreDataset:
         """BNN scores for a split, cached on disk (inference is minutes)."""
         path = self._cache_path(f"scores_{name}")
-        if path.exists():
-            data = np.load(path)
-            if data["scores"].shape[0] == images.shape[0]:
-                return build_score_dataset(data["scores"], labels)
+        data = self._read_cache(path, "scores")
+        if data is not None and data["scores"].shape[0] == images.shape[0]:
+            return build_score_dataset(data["scores"], labels)
         scores = self.folded_bnn.class_scores(normalize_to_pm1(images))
         np.savez_compressed(path, scores=scores)
         return build_score_dataset(scores, labels)
@@ -260,8 +277,8 @@ class Workbench:
     def dmu(self) -> DecisionMakingUnit:
         if self._dmu is None:
             path = self._cache_path("dmu")
-            if path.exists():
-                data = np.load(path)
+            data = self._read_cache(path, "weights", "bias")
+            if data is not None:
                 self._dmu = DecisionMakingUnit(
                     data["weights"], float(data["bias"]), self.config.dmu_threshold
                 )

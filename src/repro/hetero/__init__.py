@@ -2,7 +2,7 @@
 
 from .devices import FPGAExecutor, HostExecutor
 from .gantt import gantt_chart
-from .metrics import AnalyticComparison, compare_with_eq1
+from .metrics import AnalyticComparison, compare_serving_with_eq1, compare_with_eq1
 from .scheduler import (
     BatchRecord,
     SimulationResult,
@@ -22,5 +22,6 @@ __all__ = [
     "flagged_per_batch",
     "AnalyticComparison",
     "compare_with_eq1",
+    "compare_serving_with_eq1",
     "gantt_chart",
 ]

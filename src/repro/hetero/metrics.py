@@ -1,13 +1,17 @@
-"""Comparison of simulated cascade timing against the Eq. (1) closed form."""
+"""Comparison of simulated/served cascade timing against Eq. (1)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.analytic import multi_precision_interval
 from .scheduler import SimulationResult
 
-__all__ = ["AnalyticComparison", "compare_with_eq1"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..serve.metrics import MetricsSnapshot
+
+__all__ = ["AnalyticComparison", "compare_with_eq1", "compare_serving_with_eq1"]
 
 
 @dataclass(frozen=True)
@@ -45,5 +49,25 @@ def compare_with_eq1(
     analytic = multi_precision_interval(t_fp, t_bnn, result.rerun_ratio)
     return AnalyticComparison(
         simulated_seconds_per_image=result.seconds_per_image,
+        analytic_seconds_per_image=analytic,
+    )
+
+
+def compare_serving_with_eq1(
+    snapshot: "MetricsSnapshot", t_fp: float, t_bnn: float, num_host_workers: int = 1
+) -> AnalyticComparison:
+    """Compare a live-serving window against Eq. (1), like the simulator.
+
+    The served system differs from Eq. (1)'s ideal in exactly the ways
+    the simulator does (ramp-up, batching quantisation) plus queueing and
+    thread scheduling, so the measured interval sits above the bound; the
+    host term is divided by the worker-pool size since Eq. (1) models a
+    single host executor.
+    """
+    analytic = multi_precision_interval(
+        t_fp / num_host_workers, t_bnn, snapshot.rerun_ratio
+    )
+    return AnalyticComparison(
+        simulated_seconds_per_image=snapshot.seconds_per_image,
         analytic_seconds_per_image=analytic,
     )

@@ -1,0 +1,39 @@
+"""Concurrent cascade serving layer (request-driven Fig. 1).
+
+Turns the offline :class:`repro.core.MultiPrecisionPipeline` into a
+request-driven system: a size/deadline micro-batcher feeds the BNN
+stage, a bounded queue with backpressure feeds a host re-inference
+worker pool, and an adaptive controller holds the DMU threshold at the
+operating point the paper selects statically.  ``python -m repro
+serve-bench`` exercises the whole stack under load.
+"""
+
+from .batcher import MicroBatcher
+from .bench import (
+    ServeBenchConfig,
+    ServeBenchReport,
+    ServeBenchRun,
+    format_serve_bench,
+    run_serve_bench,
+    synthetic_serving_stack,
+)
+from .controller import AdaptiveThresholdController
+from .metrics import MetricsSnapshot, QueueStats, ServerMetrics, StageStats
+from .server import CascadeServer, ServeResult
+
+__all__ = [
+    "MicroBatcher",
+    "AdaptiveThresholdController",
+    "ServerMetrics",
+    "MetricsSnapshot",
+    "StageStats",
+    "QueueStats",
+    "CascadeServer",
+    "ServeResult",
+    "ServeBenchConfig",
+    "ServeBenchRun",
+    "ServeBenchReport",
+    "synthetic_serving_stack",
+    "run_serve_bench",
+    "format_serve_bench",
+]

@@ -1,0 +1,137 @@
+"""Micro-batcher: coalesce request-at-a-time traffic into BNN batches.
+
+The FPGA-style BNN path is efficient only on batches (the paper streams
+batches through the fabric; per-image dispatch would waste it), but a
+serving front door receives one image per request.  The batcher holds
+requests in a small pending buffer and flushes a batch downstream when it
+is *full* (``max_batch_size``) or *old* (the oldest pending request has
+waited ``max_delay_s``) — the classic size-or-deadline rule, so light
+traffic still meets the latency bound and heavy traffic gets full
+batches.
+
+``submit`` applies front-door backpressure: when the pending buffer is at
+capacity it blocks until the flusher drains, so an open-loop client can
+never grow memory without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Generic, TypeVar
+
+__all__ = ["MicroBatcher"]
+
+T = TypeVar("T")
+
+
+class MicroBatcher(Generic[T]):
+    """Size/deadline-bounded batch coalescer with a dedicated flush thread.
+
+    Parameters
+    ----------
+    emit:
+        Called with each flushed batch (a non-empty list), from the
+        batcher thread.  May block — e.g. a bounded ``Queue.put`` — which
+        transparently extends backpressure to ``submit``.
+    max_batch_size:
+        Flush as soon as this many items are pending.
+    max_delay_s:
+        Flush no later than this long after the *oldest* pending item
+        arrived, regardless of batch size.
+    max_pending:
+        Capacity of the pending buffer; ``submit`` blocks when reached.
+        Defaults to ``2 * max_batch_size``.
+    """
+
+    def __init__(
+        self,
+        emit: Callable[[list[T]], None],
+        max_batch_size: int = 32,
+        max_delay_s: float = 0.005,
+        max_pending: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay_s <= 0:
+            raise ValueError("max_delay_s must be positive")
+        self._emit = emit
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_s = float(max_delay_s)
+        self.max_pending = int(max_pending) if max_pending is not None else 2 * max_batch_size
+        if self.max_pending < self.max_batch_size:
+            raise ValueError("max_pending must be >= max_batch_size")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._has_work = threading.Condition(self._lock)
+        self._has_room = threading.Condition(self._lock)
+        self._pending: list[T] = []
+        self._oldest_ts: float | None = None
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, name="micro-batcher", daemon=True)
+        self._thread.start()
+
+    # -- producer side ------------------------------------------------------
+    def submit(self, item: T) -> None:
+        """Enqueue one item; blocks while the pending buffer is full."""
+        with self._lock:
+            while len(self._pending) >= self.max_pending and not self._closed:
+                self._has_room.wait()
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            if not self._pending:
+                self._oldest_ts = self._clock()
+            self._pending.append(item)
+            self._has_work.notify()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- flusher ------------------------------------------------------------
+    def _take_batch_locked(self) -> list[T]:
+        batch = self._pending[: self.max_batch_size]
+        del self._pending[: self.max_batch_size]
+        self._oldest_ts = self._clock() if self._pending else None
+        self._has_room.notify_all()
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while True:
+                    if self._pending:
+                        if len(self._pending) >= self.max_batch_size or self._closed:
+                            break
+                        deadline = self._oldest_ts + self.max_delay_s
+                        remaining = deadline - self._clock()
+                        if remaining <= 0:
+                            break
+                        self._has_work.wait(timeout=remaining)
+                    elif self._closed:
+                        return
+                    else:
+                        self._has_work.wait()
+                batch = self._take_batch_locked()
+            # Emit outside the lock: a blocking downstream put must not
+            # freeze submitters that still have buffer room.
+            self._emit(batch)
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Flush everything still pending and stop the flusher thread."""
+        with self._lock:
+            if self._closed:
+                self._thread.join(timeout=timeout)
+                return
+            self._closed = True
+            self._has_work.notify_all()
+            self._has_room.notify_all()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher[T]":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

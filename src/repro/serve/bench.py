@@ -1,0 +1,267 @@
+"""Load-test harness for the cascade server (``repro serve-bench``).
+
+Drives :class:`~repro.serve.server.CascadeServer` with a closed-loop
+client fleet over a synthetic score stream and compares a *naive* static
+threshold (chosen as if the host were infinitely fast) against the
+adaptive controller, both against the Eq. (1) analytic throughput bound
+
+    fps_bound = 1 / max(t_fp * R_target / n_hosts, t_bnn)
+
+The synthetic stack keeps the cascade *control* behaviour real while
+making the compute cost explicit: each "image" is already a 10-way score
+vector, the BNN stage sleeps ``t_bnn`` per image and returns the scores,
+the host stage sleeps ``t_fp`` per image and returns the argmax, and a
+fixed margin-reading DMU converts scores to confidence.  Timing is then
+a controlled experiment in queueing, not in numpy throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ascii_chart import line_chart
+from ..core.dmu import DecisionMakingUnit
+from ..core.report import format_percent, format_rate, render_table
+from .controller import AdaptiveThresholdController
+from .metrics import MetricsSnapshot
+from .server import CascadeServer
+
+__all__ = [
+    "ServeBenchConfig",
+    "ServeBenchRun",
+    "ServeBenchReport",
+    "synthetic_serving_stack",
+    "run_serve_bench",
+    "format_serve_bench",
+]
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """One serve-bench scenario (defaults: host-bound at R_target=0.3).
+
+    The generator offers load at ``arrival_rate_fraction`` of the Eq. (1)
+    capacity: right at the knee where a naive (accuracy-only) threshold
+    floods the host queue — its flag rate is ``~0.7 / t_fp`` against a
+    drain rate of ``1 / t_fp`` — while the target rerun ratio is exactly
+    sustainable.  Holding that operating point *is* the controller's job.
+    """
+
+    num_requests: int = 3000
+    num_clients: int = 8
+    #: Offered arrival rate as a fraction of ``analytic_bound_fps``.
+    arrival_rate_fraction: float = 0.9
+    target_rerun_ratio: float = 0.30
+    #: Static threshold a naive deployment might pick for accuracy alone.
+    naive_threshold: float = 0.97
+    t_bnn: float = 0.00025      # seconds/image, fast stage
+    t_fp: float = 0.008         # seconds/image, host stage
+    max_batch_size: int = 32
+    batch_delay_s: float = 0.004
+    host_queue_capacity: int = 48
+    num_host_workers: int = 1
+    host_batch_size: int = 8
+    controller_gain: float = 0.08
+    seed: int = 0
+
+    @property
+    def analytic_bound_fps(self) -> float:
+        """Eq. (1) at the target rerun ratio, with the host pool scaled."""
+        t_host = self.t_fp * self.target_rerun_ratio / self.num_host_workers
+        return 1.0 / max(t_host, self.t_bnn)
+
+    @property
+    def offered_fps(self) -> float:
+        return self.arrival_rate_fraction * self.analytic_bound_fps
+
+
+def synthetic_serving_stack(config: ServeBenchConfig):
+    """(bnn_scores_fn, dmu, host_predict_fn, score_stream) for a scenario.
+
+    The DMU reads the sorted-score margin — ``sigmoid(4*(top1 - top2))``
+    — so its confidence CDF is continuous and every rerun ratio in (0, 1)
+    is reachable by some threshold, which is what gives the adaptive
+    controller a well-posed plant.
+    """
+    rng = np.random.default_rng(config.seed)
+    scores = rng.normal(0.0, 1.0, size=(config.num_requests, 10))
+    weights = np.zeros(10)
+    weights[0], weights[1] = 4.0, -4.0
+    dmu = DecisionMakingUnit(weights, bias=0.0, threshold=config.naive_threshold)
+
+    def bnn_scores_fn(images: np.ndarray) -> np.ndarray:
+        time.sleep(config.t_bnn * len(images))
+        return images
+
+    def host_predict_fn(images: np.ndarray) -> np.ndarray:
+        time.sleep(config.t_fp * len(images))
+        return images.argmax(axis=1)
+
+    return bnn_scores_fn, dmu, host_predict_fn, scores
+
+
+@dataclass(frozen=True)
+class ServeBenchRun:
+    """Outcome of one server configuration under the client fleet."""
+
+    label: str
+    total: MetricsSnapshot
+    steady: MetricsSnapshot        # second-half window (steady state)
+    final_threshold: float
+    analytic_bound_fps: float
+
+    @property
+    def bound_fraction(self) -> float:
+        """Steady throughput as a fraction of the Eq. (1) bound."""
+        return self.steady.images_per_second / self.analytic_bound_fps
+
+
+@dataclass(frozen=True)
+class ServeBenchReport:
+    config: ServeBenchConfig
+    naive: ServeBenchRun
+    adaptive: ServeBenchRun
+
+
+def _drive(
+    server: CascadeServer, scores: np.ndarray, config: ServeBenchConfig, label: str
+) -> tuple[MetricsSnapshot, MetricsSnapshot]:
+    """Paced open-loop generators: offered rate = ``config.offered_fps``.
+
+    Each generator submits its stride of the stream on an absolute-time
+    schedule (no drift accumulation); the server's front-door
+    backpressure is the only brake.  All futures are awaited at the end,
+    so every request is answered before the final snapshot.
+    """
+    num_clients = max(1, config.num_clients)
+    interval = num_clients / config.offered_fps
+    futures: list[list] = [[] for _ in range(num_clients)]
+
+    def generator(lane: int) -> None:
+        next_ts = time.monotonic() + interval
+        for index in range(lane, len(scores), num_clients):
+            try:
+                futures[lane].append(server.submit(scores[index]))
+            except RuntimeError:
+                return  # server closed under us (e.g. Ctrl-C teardown)
+            sleep_for = next_ts - time.monotonic()
+            if sleep_for > 0:
+                time.sleep(sleep_for)
+            next_ts += interval
+
+    threads = [
+        threading.Thread(target=generator, args=(i,), name=f"{label}-gen-{i}", daemon=True)
+        for i in range(num_clients)
+    ]
+    for t in threads:
+        t.start()
+    # Steady-state window: everything after the first half completes.
+    warmup = len(scores) // 2
+    while server.snapshot().completed < warmup:
+        time.sleep(0.005)
+    mid = server.snapshot()
+    for t in threads:
+        t.join()
+    for lane in futures:
+        for future in lane:
+            future.result()
+    end = server.snapshot()
+    return end, end.since(mid)
+
+
+def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
+    config = config or ServeBenchConfig()
+    runs = {}
+    for label in ("naive", "adaptive"):
+        bnn_fn, dmu, host_fn, scores = synthetic_serving_stack(config)
+        if label == "adaptive":
+            # Start from the same bad operating point the naive run uses:
+            # convergence, not initialization, must close the gap.
+            controller: AdaptiveThresholdController | float = AdaptiveThresholdController(
+                initial_threshold=config.naive_threshold,
+                target_rerun_ratio=config.target_rerun_ratio,
+                gain=config.controller_gain,
+            )
+        else:
+            controller = config.naive_threshold
+        server = CascadeServer(
+            bnn_fn,
+            dmu,
+            host_fn,
+            controller=controller,
+            max_batch_size=config.max_batch_size,
+            batch_delay_s=config.batch_delay_s,
+            host_queue_capacity=config.host_queue_capacity,
+            num_host_workers=config.num_host_workers,
+            host_batch_size=config.host_batch_size,
+        )
+        with server:
+            total, steady = _drive(server, scores, config, label)
+            final_threshold = server.threshold
+        runs[label] = ServeBenchRun(
+            label=label,
+            total=total,
+            steady=steady,
+            final_threshold=final_threshold,
+            analytic_bound_fps=config.analytic_bound_fps,
+        )
+    return ServeBenchReport(config=config, naive=runs["naive"], adaptive=runs["adaptive"])
+
+
+def format_serve_bench(report: ServeBenchReport) -> str:
+    cfg = report.config
+    rows = []
+    for run in (report.naive, report.adaptive):
+        host_queue = run.total.queues["host"]
+        rows.append(
+            [
+                run.label,
+                f"{run.final_threshold:.3f}",
+                format_percent(run.steady.rerun_ratio),
+                format_percent(run.steady.degraded_ratio),
+                format_rate(run.steady.images_per_second),
+                format_rate(run.analytic_bound_fps),
+                f"{run.bound_fraction:.2f}x",
+                f"{host_queue.max_depth}/{host_queue.capacity}",
+            ]
+        )
+    table = render_table(
+        [
+            "policy",
+            "final thr",
+            "R_rerun",
+            "degraded",
+            "img/s (steady)",
+            "Eq.(1) bound",
+            "of bound",
+            "host q max",
+        ],
+        rows,
+        title=(
+            "serve-bench: adaptive DMU threshold vs naive static threshold\n"
+            f"(target R_rerun={cfg.target_rerun_ratio:.2f}, t_fp={cfg.t_fp * 1e3:.1f} ms, "
+            f"t_bnn={cfg.t_bnn * 1e3:.2f} ms, {cfg.num_host_workers} host worker(s), "
+            f"offered {cfg.offered_fps:.0f} img/s = {cfg.arrival_rate_fraction:.0%} of the "
+            f"Eq. (1) bound, {cfg.num_requests} requests/run)"
+        ),
+    )
+    trajectory = report.adaptive.total.threshold_trajectory
+    chart = ""
+    if len(trajectory) >= 2:
+        chart = "\n\n" + line_chart(
+            list(range(len(trajectory))),
+            {"threshold": list(trajectory)},
+            title="adaptive threshold trajectory (per BNN batch)",
+            x_label="batch",
+            y_label="thr",
+        )
+    notes = (
+        "\nnaive saturates the host queue and sheds load (degraded); the\n"
+        "controller walks the threshold down until the rerun ratio holds the\n"
+        "target, keeping the host pool busy but un-saturated (Eq. (1) regime)."
+    )
+    return table + chart + notes

@@ -1,0 +1,125 @@
+"""Adaptive DMU-threshold control (the paper's operating point, closed-loop).
+
+The paper selects the DMU threshold *offline*: sweep thresholds on the
+training set and pick the one whose rerun ratio hits the wanted
+accuracy/throughput balance (Fig. 5).  That choice bakes in one score
+distribution; live traffic drifts, and by Eq. (1) the host stage
+saturates as soon as the realized ``R_rerun`` exceeds
+``t_bnn / t_fp`` — throughput then collapses to ``1 / (t_fp * R_rerun)``.
+
+:class:`AdaptiveThresholdController` makes the selection dynamic: an
+integral controller nudges the threshold after every BNN batch so the
+exponentially-weighted rerun ratio tracks ``target_rerun_ratio``, and
+overload feedback (images the server had to degrade because the host
+queue was full) pushes the threshold down further, shedding host work
+*before* queueing delay explodes.  Static thresholds remain available by
+passing ``gain=0``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdaptiveThresholdController"]
+
+
+class AdaptiveThresholdController:
+    """Integral controller holding the cascade's rerun ratio at a target.
+
+    The plant: with DMU confidence ``c`` an image is rerun iff
+    ``c < threshold``, so the rerun ratio is the confidence CDF at the
+    threshold — continuous and non-decreasing in the threshold.  An
+    integral term therefore converges to the unique threshold whose rerun
+    ratio equals the target whenever the target is reachable.
+
+    Parameters
+    ----------
+    initial_threshold:
+        Starting DMU threshold (also the value used before any feedback).
+    target_rerun_ratio:
+        Steady-state fraction of traffic to re-process on the host.
+    gain:
+        Integral gain in threshold-units per unit of rerun-ratio error
+        per observation.  ``0`` freezes the threshold (static operation).
+    ewma_alpha:
+        Smoothing of the observed rerun ratio (1 = use only the latest
+        batch).
+    overload_backoff:
+        Extra threshold decrement per observation, scaled by the fraction
+        of the batch that had to be degraded (host queue full).
+    min_threshold / max_threshold:
+        Clamp range; also the graceful-degradation floor/ceiling.
+    """
+
+    def __init__(
+        self,
+        initial_threshold: float = 0.84,
+        target_rerun_ratio: float = 0.3,
+        gain: float = 0.08,
+        ewma_alpha: float = 0.25,
+        overload_backoff: float = 0.2,
+        min_threshold: float = 0.0,
+        max_threshold: float = 1.0,
+    ):
+        if not 0.0 <= initial_threshold <= 1.0:
+            raise ValueError("initial_threshold must be in [0, 1]")
+        if not 0.0 <= target_rerun_ratio <= 1.0:
+            raise ValueError("target_rerun_ratio must be in [0, 1]")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if gain < 0 or overload_backoff < 0:
+            raise ValueError("gain and overload_backoff must be >= 0")
+        if not 0.0 <= min_threshold <= max_threshold <= 1.0:
+            raise ValueError("need 0 <= min_threshold <= max_threshold <= 1")
+        self.target_rerun_ratio = float(target_rerun_ratio)
+        self.gain = float(gain)
+        self.ewma_alpha = float(ewma_alpha)
+        self.overload_backoff = float(overload_backoff)
+        self.min_threshold = float(min_threshold)
+        self.max_threshold = float(max_threshold)
+        self._lock = threading.Lock()
+        self._threshold = float(initial_threshold)
+        self._ewma_rerun: float | None = None
+        self._observations = 0
+
+    @property
+    def threshold(self) -> float:
+        with self._lock:
+            return self._threshold
+
+    @property
+    def observed_rerun_ratio(self) -> float:
+        """Current EWMA of the rerun ratio (target before any feedback)."""
+        with self._lock:
+            return self.target_rerun_ratio if self._ewma_rerun is None else self._ewma_rerun
+
+    @property
+    def observations(self) -> int:
+        with self._lock:
+            return self._observations
+
+    def observe(self, total: int, rerun: int, degraded: int = 0) -> float:
+        """Feed one batch's decisions back; returns the updated threshold.
+
+        ``rerun`` counts images *flagged* for the host (including those
+        later degraded); ``degraded`` counts the subset the server had to
+        answer with the BNN result because the host queue was full.
+        """
+        if total <= 0:
+            return self.threshold
+        if not 0 <= rerun <= total or not 0 <= degraded <= rerun:
+            raise ValueError("need 0 <= degraded <= rerun <= total")
+        batch_ratio = rerun / total
+        with self._lock:
+            if self._ewma_rerun is None:
+                self._ewma_rerun = batch_ratio
+            else:
+                a = self.ewma_alpha
+                self._ewma_rerun = (1 - a) * self._ewma_rerun + a * batch_ratio
+            step = self.gain * (self.target_rerun_ratio - self._ewma_rerun)
+            step -= self.overload_backoff * (degraded / total)
+            self._threshold = min(
+                self.max_threshold, max(self.min_threshold, self._threshold + step)
+            )
+            self._observations += 1
+            return self._threshold

@@ -1,0 +1,186 @@
+"""Serving metrics: per-stage latency/throughput, queues, threshold trace.
+
+One :class:`ServerMetrics` instance is shared by every component of a
+:class:`repro.serve.CascadeServer` (batcher, BNN worker, host pool,
+controller).  All mutation goes through a single lock, and
+:meth:`ServerMetrics.snapshot` returns an immutable, self-consistent view
+that the reporting layers — ``repro.cli serve-bench`` and
+:func:`repro.hetero.metrics.compare_serving_with_eq1` — consume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "StageStats",
+    "QueueStats",
+    "MetricsSnapshot",
+    "ServerMetrics",
+]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregated latency of one pipeline stage (immutable view)."""
+
+    name: str
+    count: int
+    total_seconds: float
+    max_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Depth gauge of one bounded queue (immutable view)."""
+
+    name: str
+    capacity: int
+    depth: int
+    max_depth: int
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Self-consistent point-in-time view of a serving run."""
+
+    stages: dict[str, StageStats]
+    queues: dict[str, QueueStats]
+    completed: int
+    accepted: int          # answered with the BNN result (DMU confident)
+    rerun: int             # re-classified by a host worker
+    degraded: int          # BNN result kept because the host was saturated
+    threshold: float
+    threshold_trajectory: tuple[float, ...]
+    wall_seconds: float
+
+    @property
+    def rerun_ratio(self) -> float:
+        """R_rerun of Eq. (1): fraction of answers sent to the host."""
+        return self.rerun / self.completed if self.completed else 0.0
+
+    @property
+    def degraded_ratio(self) -> float:
+        return self.degraded / self.completed if self.completed else 0.0
+
+    @property
+    def seconds_per_image(self) -> float:
+        return self.wall_seconds / self.completed if self.completed else float("inf")
+
+    @property
+    def images_per_second(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def since(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Windowed delta (``self - earlier``) for steady-state readings.
+
+        Stage/queue gauges keep the later values; the counters and the
+        wall clock become the difference, so ``rerun_ratio`` and
+        ``images_per_second`` describe only the window.
+        """
+        return MetricsSnapshot(
+            stages=self.stages,
+            queues=self.queues,
+            completed=self.completed - earlier.completed,
+            accepted=self.accepted - earlier.accepted,
+            rerun=self.rerun - earlier.rerun,
+            degraded=self.degraded - earlier.degraded,
+            threshold=self.threshold,
+            threshold_trajectory=self.threshold_trajectory,
+            wall_seconds=self.wall_seconds - earlier.wall_seconds,
+        )
+
+
+class _MutableStage:
+    __slots__ = ("count", "total_seconds", "max_seconds")
+
+    def __init__(self):
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+
+class ServerMetrics:
+    """Thread-safe metrics facade for the cascade serving layer."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._stages: dict[str, _MutableStage] = {}
+        self._queue_capacity: dict[str, int] = {}
+        self._queue_depth: dict[str, int] = {}
+        self._queue_max_depth: dict[str, int] = {}
+        self._accepted = 0
+        self._rerun = 0
+        self._degraded = 0
+        self._threshold = float("nan")
+        self._trajectory: list[float] = []
+        self._started = clock()
+
+    # -- stage latency ------------------------------------------------------
+    def observe_stage(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record that *count* images spent *seconds* in stage *name*."""
+        with self._lock:
+            stage = self._stages.setdefault(name, _MutableStage())
+            stage.count += count
+            stage.total_seconds += seconds
+            stage.max_seconds = max(stage.max_seconds, seconds)
+
+    # -- queues -------------------------------------------------------------
+    def register_queue(self, name: str, capacity: int) -> None:
+        with self._lock:
+            self._queue_capacity[name] = capacity
+            self._queue_depth.setdefault(name, 0)
+            self._queue_max_depth.setdefault(name, 0)
+
+    def set_queue_depth(self, name: str, depth: int) -> None:
+        with self._lock:
+            self._queue_depth[name] = depth
+            if depth > self._queue_max_depth.get(name, 0):
+                self._queue_max_depth[name] = depth
+
+    # -- cascade decisions ----------------------------------------------------
+    def record_decisions(self, accepted: int = 0, rerun: int = 0, degraded: int = 0) -> None:
+        with self._lock:
+            self._accepted += accepted
+            self._rerun += rerun
+            self._degraded += degraded
+
+    def record_threshold(self, threshold: float) -> None:
+        with self._lock:
+            self._threshold = float(threshold)
+            self._trajectory.append(float(threshold))
+
+    # -- reading ------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            stages = {
+                name: StageStats(name, s.count, s.total_seconds, s.max_seconds)
+                for name, s in self._stages.items()
+            }
+            queues = {
+                name: QueueStats(
+                    name,
+                    self._queue_capacity.get(name, 0),
+                    self._queue_depth.get(name, 0),
+                    self._queue_max_depth.get(name, 0),
+                )
+                for name in self._queue_capacity
+            }
+            return MetricsSnapshot(
+                stages=stages,
+                queues=queues,
+                completed=self._accepted + self._rerun + self._degraded,
+                accepted=self._accepted,
+                rerun=self._rerun,
+                degraded=self._degraded,
+                threshold=self._threshold,
+                threshold_trajectory=tuple(self._trajectory),
+                wall_seconds=self._clock() - self._started,
+            )

@@ -1,0 +1,309 @@
+"""Concurrent cascade inference server (Fig. 1, request-driven).
+
+:class:`repro.core.MultiPrecisionPipeline` computes the cascade offline,
+one big array in, one big array out.  :class:`CascadeServer` runs the
+same BNN → DMU → host cascade as a concurrent system of workers joined
+by bounded queues, which is how the paper's hardware actually behaves
+(the FPGA streams batches while the ARM host re-processes the previous
+batch's flagged subset in parallel):
+
+    submit() ──► MicroBatcher ──► bnn queue ──► BNN worker ──► futures
+                  (size/deadline)   (bounded)       │ DMU accept
+                                                    │ DMU flag
+                                              host queue (bounded)
+                                                    │        │ Full → degrade:
+                                              host workers   │ answer with the
+                                                    └──► futures  BNN result
+
+    Every bounded queue exerts backpressure upstream; the only queue that
+    *sheds* instead of blocking is the host queue, because blocking there
+    would stall the BNN for the exact traffic mix (R_rerun too high) that
+    Eq. (1) says the host cannot absorb anyway.
+
+An :class:`~repro.serve.controller.AdaptiveThresholdController` closes
+the loop between the two stages at runtime; a plain float threshold
+reproduces the paper's static operating point.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.dmu import DecisionMakingUnit
+from .batcher import MicroBatcher
+from .controller import AdaptiveThresholdController
+from .metrics import MetricsSnapshot, ServerMetrics
+
+__all__ = ["ServeResult", "CascadeServer"]
+
+_SHUTDOWN = object()
+
+BNN_QUEUE = "bnn"
+HOST_QUEUE = "host"
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Answer to one serving request."""
+
+    prediction: int
+    bnn_prediction: int
+    confidence: float
+    source: str                # "bnn" | "host" | "degraded"
+    latency_seconds: float
+
+    @property
+    def rerun(self) -> bool:
+        return self.source == "host"
+
+
+class _Request:
+    __slots__ = ("image", "future", "submit_ts", "bnn_prediction", "confidence")
+
+    def __init__(self, image: np.ndarray, submit_ts: float):
+        self.image = image
+        self.future: Future[ServeResult] = Future()
+        self.submit_ts = submit_ts
+        self.bnn_prediction = -1
+        self.confidence = float("nan")
+
+
+class CascadeServer:
+    """Request-driven BNN + DMU + host cascade with adaptive thresholding.
+
+    Parameters
+    ----------
+    bnn_scores_fn:
+        Batch scorer of the fast stage: ``(N, ...) images -> (N, C)``
+        class scores (e.g. :meth:`repro.bnn.FoldedBNN.class_scores`).
+    dmu:
+        Trained :class:`repro.core.DecisionMakingUnit`.
+    host_predict_fn:
+        Batch classifier of the accurate stage: ``(N, ...) images ->
+        (N,)`` class labels (e.g. ``Sequential.predict_classes``).
+    controller:
+        Threshold policy.  A float gives the paper's static threshold; an
+        :class:`AdaptiveThresholdController` adapts it at runtime.
+        ``None`` uses ``dmu.threshold`` statically.
+    max_batch_size / batch_delay_s:
+        Micro-batcher limits for the BNN stage.
+    bnn_queue_capacity / host_queue_capacity:
+        Bounds of the inter-stage queues (batches / images respectively).
+    num_host_workers:
+        Host re-inference worker threads (the paper has one ARM core
+        pool; scale up for stronger hosts).
+    host_batch_size:
+        Greedy drain limit per host inference call.
+    """
+
+    def __init__(
+        self,
+        bnn_scores_fn: Callable[[np.ndarray], np.ndarray],
+        dmu: DecisionMakingUnit,
+        host_predict_fn: Callable[[np.ndarray], np.ndarray],
+        controller: AdaptiveThresholdController | float | None = None,
+        max_batch_size: int = 32,
+        batch_delay_s: float = 0.002,
+        bnn_queue_capacity: int = 4,
+        host_queue_capacity: int = 64,
+        num_host_workers: int = 1,
+        host_batch_size: int = 8,
+        metrics: ServerMetrics | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if num_host_workers < 1:
+            raise ValueError("num_host_workers must be >= 1")
+        if host_queue_capacity < 1 or bnn_queue_capacity < 1:
+            raise ValueError("queue capacities must be >= 1")
+        self._bnn_scores_fn = bnn_scores_fn
+        self._dmu = dmu
+        self._host_predict_fn = host_predict_fn
+        if controller is None:
+            controller = float(dmu.threshold)
+        if isinstance(controller, AdaptiveThresholdController):
+            self._controller: AdaptiveThresholdController | None = controller
+            self._static_threshold = controller.threshold
+        else:
+            self._controller = None
+            self._static_threshold = float(controller)
+            if not 0.0 <= self._static_threshold <= 1.0:
+                raise ValueError("threshold must be in [0, 1]")
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else ServerMetrics(clock=clock)
+        self.metrics.register_queue(BNN_QUEUE, bnn_queue_capacity)
+        self.metrics.register_queue(HOST_QUEUE, host_queue_capacity)
+        self.metrics.record_threshold(self.threshold)
+
+        self._bnn_queue: queue.Queue = queue.Queue(maxsize=bnn_queue_capacity)
+        self._host_queue: queue.Queue = queue.Queue(maxsize=host_queue_capacity)
+        self._host_batch_size = max(1, int(host_batch_size))
+        self._closed = False
+        self._close_lock = threading.Lock()
+
+        self._batcher: MicroBatcher[_Request] = MicroBatcher(
+            emit=self._enqueue_bnn_batch,
+            max_batch_size=max_batch_size,
+            max_delay_s=batch_delay_s,
+            clock=clock,
+        )
+        self._bnn_thread = threading.Thread(
+            target=self._bnn_loop, name="serve-bnn", daemon=True
+        )
+        self._host_threads = [
+            threading.Thread(target=self._host_loop, name=f"serve-host-{i}", daemon=True)
+            for i in range(num_host_workers)
+        ]
+        self._bnn_thread.start()
+        for t in self._host_threads:
+            t.start()
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """The DMU threshold currently applied to new batches."""
+        if self._controller is not None:
+            return self._controller.threshold
+        return self._static_threshold
+
+    def submit(self, image: np.ndarray) -> Future:
+        """Enqueue one image; resolves to a :class:`ServeResult`.
+
+        Blocks (backpressure) while the front buffer is full; raises
+        ``RuntimeError`` once the server is closed.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        request = _Request(np.asarray(image), self._clock())
+        self._batcher.submit(request)
+        return request.future
+
+    def classify_many(self, images: Iterable[np.ndarray], timeout: float | None = None) -> list[ServeResult]:
+        """Convenience: submit a stream and wait for every answer."""
+        futures = [self.submit(img) for img in images]
+        return [f.result(timeout=timeout) for f in futures]
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.metrics.snapshot()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain every stage and join every worker thread.
+
+        All requests accepted before ``close`` are answered; the call is
+        idempotent and afterwards no worker threads remain.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._batcher.close(timeout=timeout)
+        self._bnn_queue.put(_SHUTDOWN)
+        self._bnn_thread.join(timeout=timeout)
+        for _ in self._host_threads:
+            self._host_queue.put(_SHUTDOWN)
+        for t in self._host_threads:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "CascadeServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internal: batcher -> BNN queue -------------------------------------
+    def _enqueue_bnn_batch(self, batch: list[_Request]) -> None:
+        self._bnn_queue.put(batch)  # bounded: blocks, pushing backpressure up
+        self.metrics.set_queue_depth(BNN_QUEUE, self._bnn_queue.qsize())
+
+    # -- internal: BNN worker ------------------------------------------------
+    def _resolve(self, request: _Request, prediction: int, source: str) -> None:
+        request.future.set_result(
+            ServeResult(
+                prediction=int(prediction),
+                bnn_prediction=int(request.bnn_prediction),
+                confidence=float(request.confidence),
+                source=source,
+                latency_seconds=self._clock() - request.submit_ts,
+            )
+        )
+
+    def _bnn_loop(self) -> None:
+        while True:
+            batch = self._bnn_queue.get()
+            self.metrics.set_queue_depth(BNN_QUEUE, self._bnn_queue.qsize())
+            if batch is _SHUTDOWN:
+                return
+            start = self._clock()
+            images = np.stack([r.image for r in batch])
+            scores = np.asarray(self._bnn_scores_fn(images))
+            predictions = scores.argmax(axis=1)
+            confidence = np.atleast_1d(self._dmu.confidence(scores))
+            threshold = self.threshold
+            accept = confidence >= threshold
+            self.metrics.observe_stage("bnn", self._clock() - start, count=len(batch))
+
+            accepted = degraded = 0
+            for i, request in enumerate(batch):
+                request.bnn_prediction = int(predictions[i])
+                request.confidence = float(confidence[i])
+                if accept[i]:
+                    self._resolve(request, predictions[i], "bnn")
+                    accepted += 1
+                    continue
+                try:
+                    self._host_queue.put_nowait(request)
+                    self.metrics.set_queue_depth(HOST_QUEUE, self._host_queue.qsize())
+                except queue.Full:
+                    # Graceful degradation: the host stage is saturated, so
+                    # answer with the BNN result instead of stalling the
+                    # fast stage (Eq. (1)'s host-bound regime).
+                    self._resolve(request, predictions[i], "degraded")
+                    degraded += 1
+            flagged = len(batch) - accepted
+            self.metrics.record_decisions(
+                accepted=accepted, rerun=flagged - degraded, degraded=degraded
+            )
+            if self._controller is not None:
+                new_threshold = self._controller.observe(
+                    total=len(batch), rerun=flagged, degraded=degraded
+                )
+                self.metrics.record_threshold(new_threshold)
+
+    # -- internal: host workers ----------------------------------------------
+    def _take_host_requests(self) -> list[_Request] | None:
+        first = self._host_queue.get()
+        if first is _SHUTDOWN:
+            return None
+        requests = [first]
+        while len(requests) < self._host_batch_size:
+            try:
+                item = self._host_queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Not ours to consume: hand it to a sibling worker.  Safe
+                # to block — sentinels are only enqueued after the BNN
+                # producer has exited.
+                self._host_queue.put(item)
+                break
+            requests.append(item)
+        self.metrics.set_queue_depth(HOST_QUEUE, self._host_queue.qsize())
+        return requests
+
+    def _host_loop(self) -> None:
+        while True:
+            requests = self._take_host_requests()
+            if requests is None:
+                return
+            start = self._clock()
+            images = np.stack([r.image for r in requests])
+            predictions = np.asarray(self._host_predict_fn(images)).reshape(-1)
+            self.metrics.observe_stage("host", self._clock() - start, count=len(requests))
+            for request, prediction in zip(requests, predictions):
+                self._resolve(request, prediction, "host")

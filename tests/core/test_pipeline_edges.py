@@ -1,0 +1,110 @@
+"""Cascade edge cases: empty batches, threshold extremes, monotonicity.
+
+Convention under test (``MultiPrecisionPipeline``): an image is rerun on
+the host iff its DMU confidence is *strictly below* the threshold.
+Sigmoid confidence lies in the open interval (0, 1), so threshold 0
+accepts every image (pure-BNN operation) and threshold 1 reruns every
+image (pure-host operation) — the two ends of the paper's
+accuracy/throughput knob.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CascadeResult, DecisionMakingUnit, MultiPrecisionPipeline
+
+NUM_CLASSES = 10
+
+
+class _ScoreBNN:
+    """Fake BNN that reads the score vector out of the image channels."""
+
+    def class_scores(self, images, batch_size=128):
+        return images.reshape(images.shape[0], NUM_CLASSES)
+
+
+class _OffsetHost:
+    """Fake host whose answer provably differs from the BNN's."""
+
+    def predict_classes(self, images, batch_size=128):
+        scores = images.reshape(images.shape[0], NUM_CLASSES)
+        return (scores.argmax(axis=1) + 1) % NUM_CLASSES
+
+
+def margin_dmu(threshold: float) -> DecisionMakingUnit:
+    weights = np.zeros(NUM_CLASSES)
+    weights[0], weights[1] = 4.0, -4.0
+    return DecisionMakingUnit(weights, bias=0.0, threshold=threshold)
+
+
+def score_images(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, NUM_CLASSES, 1, 1))
+
+
+def run_cascade(threshold: float, images: np.ndarray) -> CascadeResult:
+    pipe = MultiPrecisionPipeline(_ScoreBNN(), margin_dmu(threshold), _OffsetHost())
+    return pipe.classify(images)
+
+
+class TestEmptyBatch:
+    def test_classify_empty_batch(self):
+        result = run_cascade(0.5, score_images(0))
+        assert result.predictions.shape == (0,)
+        assert result.bnn_predictions.shape == (0,)
+        assert result.rerun_mask.shape == (0,)
+        assert result.rerun_ratio == 0.0
+        assert result.accuracy(np.empty(0, dtype=np.int64)) == 0.0
+        assert result.bnn_accuracy(np.empty(0, dtype=np.int64)) == 0.0
+        assert np.isnan(result.host_subset_accuracy(np.empty(0, dtype=np.int64)))
+
+    def test_accuracy_rejects_mismatched_labels(self):
+        result = run_cascade(0.5, score_images(4))
+        with pytest.raises(ValueError):
+            result.accuracy(np.zeros(5, dtype=np.int64))
+
+
+class TestThresholdExtremes:
+    def test_threshold_zero_accepts_everything(self):
+        result = run_cascade(0.0, score_images(64))
+        assert result.rerun_ratio == 0.0
+        assert not result.rerun_mask.any()
+        np.testing.assert_array_equal(result.predictions, result.bnn_predictions)
+        assert result.host_predictions.size == 0
+
+    def test_threshold_one_reruns_everything(self):
+        images = score_images(64)
+        result = run_cascade(1.0, images)
+        assert result.rerun_ratio == 1.0
+        assert result.rerun_mask.all()
+        expected_host = _OffsetHost().predict_classes(images)
+        np.testing.assert_array_equal(result.predictions, expected_host)
+        assert not np.array_equal(result.predictions, result.bnn_predictions)
+
+
+class TestMonotonicity:
+    """R_rerun is non-decreasing in the threshold on a fixed score set.
+
+    This is the property that makes the paper's Fig. 5 sweep (and the
+    serving layer's integral controller) well-posed.
+    """
+
+    IMAGES = score_images(96, seed=7)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        t_a=st.floats(min_value=0.0, max_value=1.0),
+        t_b=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_rerun_ratio_non_decreasing_in_threshold(self, t_a, t_b):
+        lo, hi = sorted((t_a, t_b))
+        assert run_cascade(lo, self.IMAGES).rerun_ratio <= run_cascade(hi, self.IMAGES).rerun_ratio
+
+    def test_full_sweep_is_sorted(self):
+        ratios = [
+            run_cascade(t, self.IMAGES).rerun_ratio for t in np.linspace(0.0, 1.0, 21)
+        ]
+        assert ratios == sorted(ratios)
+        assert ratios[0] == 0.0 and ratios[-1] == 1.0

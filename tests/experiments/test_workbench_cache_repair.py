@@ -1,0 +1,68 @@
+"""Regression: corrupt ``.workbench_cache`` entries must mean retrain, not crash.
+
+The seed repository shipped truncated ``.npz`` blobs that made every
+cache load raise ``zipfile.BadZipFile`` before a single test ran.  These
+tests pre-seed a cache directory with each corruption mode the loaders
+must survive — truncated zip, empty file, wrong keys — across all three
+loader paths (``_load_net``, ``_scores_for``, the ``dmu`` property) and
+assert ``prepare_all`` silently retrains and rewrites valid entries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Workbench, WorkbenchConfig
+
+TINY_CONFIG = WorkbenchConfig(
+    num_train=80,
+    num_test=40,
+    bnn_scale=0.1,
+    host_scale=0.15,
+    bnn_epochs=1,
+    host_epochs=1,
+)
+
+TRUNCATED_NPZ = b"PK\x03\x04this is not a complete zip archive"
+
+
+def corrupt_cache(cache_dir):
+    """One corruption mode per loader path."""
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    (cache_dir / "finn_cnv.npz").write_bytes(TRUNCATED_NPZ)        # _load_net: bad zip
+    (cache_dir / "model_a.npz").write_bytes(b"")                   # _load_net: empty file
+    np.savez(cache_dir / "model_b.npz", wrong_key=np.zeros(3))     # _load_net: missing keys
+    (cache_dir / "scores_train.npz").write_bytes(TRUNCATED_NPZ)    # _scores_for: bad zip
+    np.savez(cache_dir / "scores_test.npz", wrong_key=np.zeros(3)) # _scores_for: missing key
+    np.savez(cache_dir / "dmu.npz", weights=np.zeros(10))          # dmu: missing 'bias'
+
+
+class TestCacheRepair:
+    def test_prepare_all_recovers_from_corrupt_cache(self, tmp_path):
+        workbench = Workbench(TINY_CONFIG, cache_dir=tmp_path)
+        corrupt_cache(workbench.cache_dir)
+
+        workbench.prepare_all()  # must retrain everything, not raise
+
+        assert 0.0 <= workbench.bnn_accuracy <= 1.0
+        assert 0.0 <= workbench.host_accuracy("model_a") <= 1.0
+        assert workbench.dmu.weights.shape == (10,)
+        assert len(workbench.train_scores) == TINY_CONFIG.num_train
+        assert len(workbench.test_scores) == TINY_CONFIG.num_test
+
+        # The corrupt entries were replaced by loadable artefacts ...
+        for name in ("finn_cnv", "model_a", "model_b", "scores_train", "scores_test", "dmu"):
+            with np.load(workbench.cache_dir / f"{name}.npz") as data:
+                assert data.files, name
+
+        # ... which a fresh workbench now loads (same artefacts, no retrain).
+        reloaded = Workbench(TINY_CONFIG, cache_dir=tmp_path)
+        assert reloaded.bnn_accuracy == pytest.approx(workbench.bnn_accuracy)
+        np.testing.assert_array_equal(reloaded.dmu.weights, workbench.dmu.weights)
+
+    def test_dmu_truncated_zip_is_also_a_miss(self, tmp_path):
+        workbench = Workbench(TINY_CONFIG, cache_dir=tmp_path)
+        workbench.cache_dir.mkdir(parents=True, exist_ok=True)
+        (workbench.cache_dir / "dmu.npz").write_bytes(TRUNCATED_NPZ)
+        dmu = workbench.dmu  # trains BNN + scores + DMU from scratch
+        assert dmu.weights.shape == (10,)
+        assert np.isfinite(dmu.bias)

@@ -1,0 +1,54 @@
+"""Seeded workbench runs are bit-identical; cache keys hash the right fields."""
+
+import numpy as np
+
+from repro.data import normalize_to_pm1
+from repro.experiments import Workbench, WorkbenchConfig
+
+TINY_CONFIG = WorkbenchConfig(
+    num_train=80,
+    num_test=40,
+    bnn_scale=0.1,
+    host_scale=0.15,
+    bnn_epochs=1,
+    host_epochs=1,
+)
+
+
+def bnn_artifacts(cache_dir):
+    """(test-set class scores, DMU weights, DMU bias) of a fresh run."""
+    workbench = Workbench(TINY_CONFIG, cache_dir=cache_dir)
+    scores = workbench.folded_bnn.class_scores(
+        normalize_to_pm1(workbench.splits.test.images)
+    )
+    dmu = workbench.dmu
+    return scores, dmu.weights.copy(), dmu.bias
+
+
+class TestSeedDeterminism:
+    def test_same_seed_fresh_caches_identical_bnn_and_dmu(self, tmp_path):
+        scores_a, weights_a, bias_a = bnn_artifacts(tmp_path / "run_a")
+        scores_b, weights_b, bias_b = bnn_artifacts(tmp_path / "run_b")
+        np.testing.assert_array_equal(scores_a, scores_b)
+        np.testing.assert_array_equal(
+            scores_a.argmax(axis=1), scores_b.argmax(axis=1)
+        )
+        np.testing.assert_array_equal(weights_a, weights_b)
+        assert bias_a == bias_b
+
+
+class TestCacheKey:
+    def test_insensitive_to_threshold_metadata(self):
+        base = WorkbenchConfig()
+        assert base.cache_key() == WorkbenchConfig(dmu_threshold=0.5).cache_key()
+        assert base.cache_key() == WorkbenchConfig(target_rerun_ratio=0.25).cache_key()
+        assert (
+            base.cache_key()
+            == WorkbenchConfig(dmu_threshold=0.1, target_rerun_ratio=0.9).cache_key()
+        )
+
+    def test_sensitive_to_training_fields(self):
+        base = WorkbenchConfig()
+        assert base.cache_key() != WorkbenchConfig(seed=1).cache_key()
+        assert base.cache_key() != WorkbenchConfig(num_train=base.num_train + 1).cache_key()
+        assert base.cache_key() != WorkbenchConfig(bnn_epochs=base.bnn_epochs + 1).cache_key()

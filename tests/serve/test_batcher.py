@@ -1,0 +1,124 @@
+"""Micro-batcher: size flush, deadline flush, backpressure, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+class Collector:
+    """Thread-safe sink recording emitted batches and their arrival time."""
+
+    def __init__(self, block_on: threading.Event | None = None):
+        self.batches: list[list[int]] = []
+        self.times: list[float] = []
+        self._lock = threading.Lock()
+        self._block_on = block_on
+
+    def __call__(self, batch):
+        if self._block_on is not None:
+            self._block_on.wait()
+        with self._lock:
+            self.batches.append(list(batch))
+            self.times.append(time.monotonic())
+
+    def wait_for(self, num_batches: int, timeout: float = 2.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self.batches) >= num_batches:
+                    return
+            time.sleep(0.001)
+        raise AssertionError(f"never saw {num_batches} batches: {self.batches}")
+
+
+class TestFlushRules:
+    def test_size_flush_does_not_wait_for_deadline(self):
+        sink = Collector()
+        with MicroBatcher(sink, max_batch_size=4, max_delay_s=30.0) as batcher:
+            start = time.monotonic()
+            for i in range(4):
+                batcher.submit(i)
+            sink.wait_for(1)
+        assert sink.batches[0] == [0, 1, 2, 3]
+        assert sink.times[0] - start < 5.0  # long before the 30 s deadline
+
+    def test_deadline_flush_emits_partial_batch(self):
+        sink = Collector()
+        with MicroBatcher(sink, max_batch_size=64, max_delay_s=0.05) as batcher:
+            start = time.monotonic()
+            for i in range(3):
+                batcher.submit(i)
+            sink.wait_for(1)
+        elapsed = sink.times[0] - start
+        assert sink.batches[0] == [0, 1, 2]
+        assert 0.04 <= elapsed < 1.0  # flushed by deadline, not by close()
+
+    def test_order_preserved_across_batches(self):
+        sink = Collector()
+        with MicroBatcher(sink, max_batch_size=5, max_delay_s=0.01) as batcher:
+            for i in range(23):
+                batcher.submit(i)
+        flat = [item for batch in sink.batches for item in batch]
+        assert flat == list(range(23))
+
+    def test_oversize_stream_splits_into_max_size_batches(self):
+        sink = Collector()
+        with MicroBatcher(sink, max_batch_size=8, max_delay_s=10.0) as batcher:
+            for i in range(16):
+                batcher.submit(i)
+            sink.wait_for(2)
+        assert [len(b) for b in sink.batches[:2]] == [8, 8]
+
+
+class TestBackpressure:
+    def test_submit_blocks_when_pending_full(self):
+        gate = threading.Event()
+        sink = Collector(block_on=gate)
+        batcher = MicroBatcher(sink, max_batch_size=2, max_delay_s=0.001, max_pending=4)
+        try:
+            # The flusher takes one batch of 2 and blocks in emit; filling
+            # the 4-slot pending buffer afterwards strands the producer.
+            for i in range(6):
+                batcher.submit(i)
+            blocked = threading.Thread(target=batcher.submit, args=(99,), daemon=True)
+            blocked.start()
+            blocked.join(timeout=0.2)
+            assert blocked.is_alive(), "submit should block while pending is full"
+            gate.set()  # unblock the sink -> flusher drains -> submit resumes
+            blocked.join(timeout=2.0)
+            assert not blocked.is_alive()
+        finally:
+            gate.set()
+            batcher.close()
+        flat = [item for batch in sink.batches for item in batch]
+        assert sorted(flat) == sorted(list(range(6)) + [99])
+
+
+class TestShutdown:
+    def test_close_flushes_remainder_and_stops_thread(self):
+        sink = Collector()
+        batcher = MicroBatcher(sink, max_batch_size=64, max_delay_s=30.0)
+        batcher.submit("a")
+        batcher.submit("b")
+        batcher.close()
+        assert sink.batches == [["a", "b"]]
+        assert not batcher._thread.is_alive()
+
+    def test_close_is_idempotent_and_submit_raises_after(self):
+        sink = Collector()
+        batcher = MicroBatcher(sink, max_batch_size=2, max_delay_s=0.01)
+        batcher.close()
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit(1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, max_delay_s=0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda b: None, max_batch_size=8, max_pending=4)

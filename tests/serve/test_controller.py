@@ -1,0 +1,95 @@
+"""Adaptive threshold controller: convergence, clamping, overload backoff."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.serve import AdaptiveThresholdController
+
+
+def margin_confidences(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Confidence population of the serve-bench DMU: sigmoid(4 * margin)."""
+    scores = np.sort(rng.normal(size=(n, 10)), axis=1)
+    return F.sigmoid(4.0 * (scores[:, -1] - scores[:, -2]))
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("target", [0.2, 0.5])
+    def test_holds_rerun_ratio_at_target(self, target):
+        rng = np.random.default_rng(0)
+        controller = AdaptiveThresholdController(
+            initial_threshold=0.97, target_rerun_ratio=target, gain=0.08
+        )
+        ratios = []
+        for _ in range(400):
+            confidence = margin_confidences(rng, 64)
+            rerun = int((confidence < controller.threshold).sum())
+            controller.observe(total=64, rerun=rerun)
+            ratios.append(rerun / 64)
+        steady = float(np.mean(ratios[-100:]))
+        assert abs(steady - target) < 0.05
+        assert abs(controller.observed_rerun_ratio - target) < 0.05
+
+    def test_zero_gain_is_static(self):
+        controller = AdaptiveThresholdController(
+            initial_threshold=0.8, target_rerun_ratio=0.3, gain=0.0, overload_backoff=0.0
+        )
+        for _ in range(50):
+            controller.observe(total=32, rerun=32)
+        assert controller.threshold == 0.8
+
+    def test_threshold_stays_clamped(self):
+        controller = AdaptiveThresholdController(
+            initial_threshold=0.5, target_rerun_ratio=1.0, gain=5.0,
+            min_threshold=0.1, max_threshold=0.9,
+        )
+        for _ in range(20):
+            controller.observe(total=10, rerun=0)   # far below target -> push up
+        assert controller.threshold == 0.9
+        controller = AdaptiveThresholdController(
+            initial_threshold=0.5, target_rerun_ratio=0.0, gain=5.0,
+            min_threshold=0.1, max_threshold=0.9,
+        )
+        for _ in range(20):
+            controller.observe(total=10, rerun=10)  # far above target -> push down
+        assert controller.threshold == 0.1
+
+
+class TestOverloadBackoff:
+    def test_degradation_pushes_threshold_below_no_overload_case(self):
+        def run(degraded: int) -> float:
+            controller = AdaptiveThresholdController(
+                initial_threshold=0.8, target_rerun_ratio=0.3, gain=0.05,
+                overload_backoff=0.3,
+            )
+            for _ in range(30):
+                controller.observe(total=32, rerun=10, degraded=degraded)
+            return controller.threshold
+
+        assert run(degraded=8) < run(degraded=0)
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(initial_threshold=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(target_rerun_ratio=-0.1)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(gain=-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(min_threshold=0.8, max_threshold=0.2)
+
+    def test_observe_validates_counts(self):
+        controller = AdaptiveThresholdController()
+        with pytest.raises(ValueError):
+            controller.observe(total=10, rerun=11)
+        with pytest.raises(ValueError):
+            controller.observe(total=10, rerun=5, degraded=6)
+
+    def test_observe_empty_batch_is_a_noop(self):
+        controller = AdaptiveThresholdController(initial_threshold=0.7)
+        assert controller.observe(total=0, rerun=0) == 0.7
+        assert controller.observations == 0

@@ -1,0 +1,117 @@
+"""Serving metrics facade and its Eq. (1) bridge into repro.hetero."""
+
+import pytest
+
+from repro.hetero import AnalyticComparison, compare_serving_with_eq1
+from repro.serve import MetricsSnapshot, ServerMetrics
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clocked():
+    clock = FakeClock()
+    return clock, ServerMetrics(clock=clock)
+
+
+class TestStages:
+    def test_observe_aggregates_latency(self, clocked):
+        _, metrics = clocked
+        metrics.observe_stage("bnn", 0.2, count=10)
+        metrics.observe_stage("bnn", 0.4, count=10)
+        stage = metrics.snapshot().stages["bnn"]
+        assert stage.count == 20
+        assert stage.total_seconds == pytest.approx(0.6)
+        assert stage.max_seconds == pytest.approx(0.4)
+        assert stage.mean_seconds == pytest.approx(0.03)
+
+
+class TestQueues:
+    def test_depth_gauge_tracks_maximum(self, clocked):
+        _, metrics = clocked
+        metrics.register_queue("host", capacity=8)
+        for depth in (3, 7, 2):
+            metrics.set_queue_depth("host", depth)
+        q = metrics.snapshot().queues["host"]
+        assert (q.capacity, q.depth, q.max_depth) == (8, 2, 7)
+
+
+class TestDecisions:
+    def test_counters_and_ratios(self, clocked):
+        clock, metrics = clocked
+        metrics.record_decisions(accepted=60, rerun=30, degraded=10)
+        clock.now = 2.0
+        snap = metrics.snapshot()
+        assert snap.completed == 100
+        assert snap.rerun_ratio == pytest.approx(0.3)
+        assert snap.degraded_ratio == pytest.approx(0.1)
+        assert snap.images_per_second == pytest.approx(50.0)
+        assert snap.seconds_per_image == pytest.approx(0.02)
+
+    def test_empty_snapshot_is_well_defined(self, clocked):
+        _, metrics = clocked
+        snap = metrics.snapshot()
+        assert snap.completed == 0
+        assert snap.rerun_ratio == 0.0
+        assert snap.images_per_second == 0.0
+        assert snap.seconds_per_image == float("inf")
+
+    def test_threshold_trajectory_records_every_update(self, clocked):
+        _, metrics = clocked
+        for t in (0.9, 0.8, 0.7):
+            metrics.record_threshold(t)
+        snap = metrics.snapshot()
+        assert snap.threshold == 0.7
+        assert snap.threshold_trajectory == (0.9, 0.8, 0.7)
+
+    def test_since_windows_counters_and_wall_clock(self, clocked):
+        clock, metrics = clocked
+        metrics.record_decisions(accepted=50, rerun=50)
+        clock.now = 1.0
+        earlier = metrics.snapshot()
+        metrics.record_decisions(accepted=90, rerun=10)
+        clock.now = 2.0
+        window = metrics.snapshot().since(earlier)
+        assert window.completed == 100
+        assert window.rerun_ratio == pytest.approx(0.1)
+        assert window.wall_seconds == pytest.approx(1.0)
+        assert window.images_per_second == pytest.approx(100.0)
+
+
+class TestEq1Bridge:
+    def _snapshot(self, completed_rerun: tuple[int, int], wall: float) -> MetricsSnapshot:
+        accepted = completed_rerun[0] - completed_rerun[1]
+        return MetricsSnapshot(
+            stages={}, queues={}, completed=completed_rerun[0],
+            accepted=accepted, rerun=completed_rerun[1], degraded=0,
+            threshold=0.8, threshold_trajectory=(), wall_seconds=wall,
+        )
+
+    def test_host_bound_window(self):
+        # 1000 images in 4 s at 30% rerun, t_fp = 10 ms: Eq. (1) says
+        # 3 ms/img, so the measured 4 ms/img is 33% above the bound.
+        snap = self._snapshot((1000, 300), wall=4.0)
+        cmp = compare_serving_with_eq1(snap, t_fp=0.010, t_bnn=0.001)
+        assert isinstance(cmp, AnalyticComparison)
+        assert cmp.analytic_seconds_per_image == pytest.approx(0.003)
+        assert cmp.relative_error == pytest.approx(1 / 3)
+
+    def test_host_pool_scales_the_bound(self):
+        snap = self._snapshot((1000, 300), wall=4.0)
+        one = compare_serving_with_eq1(snap, t_fp=0.010, t_bnn=0.0001)
+        two = compare_serving_with_eq1(snap, t_fp=0.010, t_bnn=0.0001, num_host_workers=2)
+        assert two.analytic_seconds_per_image == pytest.approx(
+            one.analytic_seconds_per_image / 2
+        )
+
+    def test_bnn_bound_window(self):
+        snap = self._snapshot((1000, 0), wall=1.5)
+        cmp = compare_serving_with_eq1(snap, t_fp=0.010, t_bnn=0.001)
+        assert cmp.analytic_seconds_per_image == pytest.approx(0.001)
+        assert cmp.simulated_fps == pytest.approx(1000 / 1.5)

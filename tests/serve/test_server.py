@@ -1,0 +1,180 @@
+"""Cascade server: semantics, backpressure, degradation, clean shutdown."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DecisionMakingUnit, MultiPrecisionPipeline
+from repro.serve import AdaptiveThresholdController, CascadeServer
+
+NUM_CLASSES = 10
+
+
+def make_dmu(threshold: float = 0.7) -> DecisionMakingUnit:
+    weights = np.zeros(NUM_CLASSES)
+    weights[0], weights[1] = 4.0, -4.0  # read the sorted top-2 margin
+    return DecisionMakingUnit(weights, bias=0.0, threshold=threshold)
+
+
+def make_images(n: int, seed: int = 0) -> np.ndarray:
+    """4-D images whose channels encode the BNN score vector directly."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, NUM_CLASSES, 1, 1))
+
+
+def bnn_scores_fn(images: np.ndarray) -> np.ndarray:
+    return images.reshape(len(images), NUM_CLASSES)
+
+
+def host_predict_fn(images: np.ndarray) -> np.ndarray:
+    # Deliberately different from the BNN's argmax so rerun is observable.
+    return (images.reshape(len(images), NUM_CLASSES).argmax(axis=1) + 1) % NUM_CLASSES
+
+
+class StubFoldedBNN:
+    def class_scores(self, images, batch_size=128):
+        return bnn_scores_fn(images)
+
+
+class StubHostNet:
+    def predict_classes(self, images, batch_size=256):
+        return host_predict_fn(images)
+
+
+def serve_all(server: CascadeServer, images: np.ndarray):
+    return server.classify_many(list(images), timeout=10.0)
+
+
+class TestCascadeSemantics:
+    def test_matches_offline_pipeline(self):
+        """The served answers are exactly the offline cascade's answers."""
+        images = make_images(100)
+        dmu = make_dmu(threshold=0.7)
+        offline = MultiPrecisionPipeline(StubFoldedBNN(), dmu, StubHostNet()).classify(images)
+        with CascadeServer(
+            bnn_scores_fn, dmu, host_predict_fn,
+            batch_delay_s=0.001, host_queue_capacity=256,
+        ) as server:
+            results = serve_all(server, images)
+
+        assert [r.prediction for r in results] == offline.predictions.tolist()
+        assert [r.bnn_prediction for r in results] == offline.bnn_predictions.tolist()
+        assert [r.source == "host" for r in results] == offline.rerun_mask.tolist()
+        np.testing.assert_allclose(
+            [r.confidence for r in results], offline.confidence, rtol=1e-12
+        )
+        assert all(r.latency_seconds >= 0 for r in results)
+
+    def test_all_accept_and_all_rerun_extremes(self):
+        images = make_images(40)
+        with CascadeServer(
+            bnn_scores_fn, make_dmu(), host_predict_fn,
+            controller=0.0, batch_delay_s=0.001,
+        ) as server:
+            results = serve_all(server, images)
+        assert {r.source for r in results} == {"bnn"}
+
+        with CascadeServer(
+            bnn_scores_fn, make_dmu(), host_predict_fn,
+            controller=1.0, batch_delay_s=0.001, host_queue_capacity=256,
+        ) as server:
+            results = serve_all(server, images)
+        assert {r.source for r in results} == {"host"}
+        assert all(r.rerun for r in results)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CascadeServer(bnn_scores_fn, make_dmu(), host_predict_fn, controller=1.5)
+
+
+class TestBackpressureAndDegradation:
+    def _slow_host(self, images):
+        time.sleep(0.002 * len(images))
+        return host_predict_fn(images)
+
+    def test_bounded_host_queue_never_exceeded(self):
+        capacity = 4
+        images = make_images(80)
+        with CascadeServer(
+            bnn_scores_fn, make_dmu(), self._slow_host,
+            controller=1.0,  # flag everything: worst case for the queue
+            batch_delay_s=0.001, host_queue_capacity=capacity, host_batch_size=2,
+        ) as server:
+            results = serve_all(server, images)
+            snapshot = server.snapshot()
+        assert snapshot.queues["host"].max_depth <= capacity
+        assert len(results) == len(images)
+
+    def test_overload_degrades_to_bnn_answer(self):
+        images = make_images(120)
+        with CascadeServer(
+            bnn_scores_fn, make_dmu(), self._slow_host,
+            controller=1.0, batch_delay_s=0.001,
+            host_queue_capacity=2, host_batch_size=1,
+        ) as server:
+            results = serve_all(server, images)
+            snapshot = server.snapshot()
+        degraded = [r for r in results if r.source == "degraded"]
+        assert degraded, "tiny queue + slow host must shed load"
+        for r in degraded:
+            assert r.prediction == r.bnn_prediction
+        assert snapshot.degraded == len(degraded)
+        assert snapshot.completed == len(images)
+
+    def test_no_degradation_with_ample_capacity(self):
+        images = make_images(60)
+        with CascadeServer(
+            bnn_scores_fn, make_dmu(), host_predict_fn,
+            batch_delay_s=0.001, host_queue_capacity=256,
+        ) as server:
+            results = serve_all(server, images)
+        assert all(r.source != "degraded" for r in results)
+
+
+class TestAdaptiveIntegration:
+    def test_controller_drives_threshold_and_metrics_record_it(self):
+        controller = AdaptiveThresholdController(
+            initial_threshold=0.97, target_rerun_ratio=0.3, gain=0.1
+        )
+        images = make_images(600, seed=3)
+        with CascadeServer(
+            bnn_scores_fn, make_dmu(), host_predict_fn,
+            controller=controller, max_batch_size=32,
+            batch_delay_s=0.001, host_queue_capacity=512,
+        ) as server:
+            serve_all(server, images)
+            snapshot = server.snapshot()
+        assert snapshot.threshold == controller.threshold
+        assert len(snapshot.threshold_trajectory) > 10
+        assert snapshot.threshold_trajectory[-1] < 0.97  # walked down from naive
+        assert abs(controller.observed_rerun_ratio - 0.3) < 0.15
+
+
+class TestShutdown:
+    def test_close_leaves_no_dangling_threads(self):
+        before = set(threading.enumerate())
+        server = CascadeServer(
+            bnn_scores_fn, make_dmu(), host_predict_fn,
+            batch_delay_s=0.001, num_host_workers=3,
+        )
+        futures = [server.submit(img) for img in make_images(50)]
+        server.close()
+        # Every request accepted before close() is answered.
+        assert all(f.result(timeout=1.0) is not None for f in futures)
+        leftovers = set(threading.enumerate()) - before
+        assert not leftovers, f"dangling worker threads: {leftovers}"
+
+    def test_close_idempotent_and_submit_rejected_after(self):
+        server = CascadeServer(bnn_scores_fn, make_dmu(), host_predict_fn)
+        server.close()
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.submit(make_images(1)[0])
+
+    def test_context_manager_closes(self):
+        before = set(threading.enumerate())
+        with CascadeServer(bnn_scores_fn, make_dmu(), host_predict_fn) as server:
+            server.classify_many(list(make_images(10)))
+        assert set(threading.enumerate()) - before == set()
