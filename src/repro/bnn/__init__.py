@@ -9,6 +9,7 @@ bit-exact functional model of the FPGA datapath
 """
 
 from .binarize import binarize_sign, clip_weights, ste_mask
+from .bitops import popcount, popcount_rows
 from .export import load_folded_bnn, save_folded_bnn
 from .inference import (
     FloatDenseHead,
@@ -18,6 +19,16 @@ from .inference import (
     FoldedPool,
     fold_network,
 )
+from .kernels import (
+    ENV_BACKEND,
+    BinaryKernel,
+    available_backends,
+    default_backend,
+    get_kernel,
+    register_kernel,
+    select_backend,
+)
+from .packing import PackedMaps, PackedRows, maxpool_packed
 from .layers import BinaryActivation, BinaryConv2D, BinaryDense
 from .quantize import (
     QuantizedActivation,
@@ -33,6 +44,18 @@ __all__ = [
     "binarize_sign",
     "ste_mask",
     "clip_weights",
+    "popcount",
+    "popcount_rows",
+    "BinaryKernel",
+    "register_kernel",
+    "get_kernel",
+    "available_backends",
+    "default_backend",
+    "select_backend",
+    "ENV_BACKEND",
+    "PackedRows",
+    "PackedMaps",
+    "maxpool_packed",
     "BinaryConv2D",
     "BinaryDense",
     "BinaryActivation",

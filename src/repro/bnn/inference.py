@@ -7,14 +7,21 @@ deployment arithmetic:
 
 * first layer: real-valued inputs times {-1,+1} weights ("regular
   operations" in the paper), thresholded to {-1,+1};
-* inner layers: bit-packed XNOR-popcount integer accumulation followed by
-  integer threshold comparison;
-* last layer: XNOR-popcount accumulation with *no* activation — the raw
-  class scores, to which the trained BatchNorm affine is applied so scores
+* inner layers: bit-packed binary matrix products (pluggable backends,
+  :mod:`repro.bnn.kernels`) followed by integer threshold comparison;
+* last layer: binary accumulation with *no* activation — the raw class
+  scores, to which the trained BatchNorm affine is applied so scores
   keep the scale the DMU was trained on.
 
+Activations stay **bit-packed between stages** (:mod:`repro.bnn.packing`):
+thresholds emit packed words directly, convolution unrolling is a packed
+byte gather, and max pooling is a bitwise OR — unpacking happens only at
+the network boundary, mirroring FINN's on-chip dataflow.  Every stage
+still accepts plain ±1 float arrays when called standalone.
+
 The folded network's class decisions are bit-exact equal to the eval-mode
-training network (verified by the test suite).
+training network (verified by the test suite), independent of the kernel
+backend and of whether the packed pipeline is active.
 """
 
 from __future__ import annotations
@@ -29,9 +36,11 @@ from ..nn.layers.dense import Dense
 from ..nn.layers.flatten import Flatten
 from ..nn.layers.pool import MaxPool2D
 from ..nn.network import Sequential
+from .kernels import default_backend, get_kernel, select_backend
 from .layers import BinaryActivation, BinaryConv2D, BinaryDense
+from .packing import PackedMaps, PackedRows, conv_weight_words, dense_weight_words_hwc, maxpool_packed
 from .thresholding import ChannelThresholds, fold_batchnorm
-from .xnor import pack_pm1, xnor_popcount_matmul
+from .xnor import pack_pm1
 
 __all__ = [
     "FoldedConv",
@@ -41,6 +50,27 @@ __all__ = [
     "FoldedBNN",
     "fold_network",
 ]
+
+
+def _kernel_matmul(
+    prep_cache: dict,
+    weight_words: np.ndarray,
+    layout_key: str,
+    a_words: np.ndarray,
+    n_bits: int,
+    backend: str | None,
+) -> np.ndarray:
+    """Run one backend matmul, caching per-(backend, layout) weight prep."""
+    name = backend or default_backend()
+    if name == "auto":
+        name = select_backend(a_words.shape[0], weight_words.shape[0], n_bits)
+    kernel = get_kernel(name)
+    key = (name, layout_key)
+    prep = prep_cache.get(key)
+    if prep is None:
+        prep = kernel.prepare(weight_words, n_bits)
+        prep_cache[key] = prep
+    return kernel.matmul(a_words, prep, n_bits)
 
 
 @dataclass
@@ -56,25 +86,63 @@ class FoldedConv:
     binary_input: bool
     packed_weight: np.ndarray = field(init=False, repr=False)
     fan_in: int = field(init=False)
+    _prep_cache: dict = field(init=False, default_factory=dict, repr=False)
+    _spatial_weight: np.ndarray | None = field(init=False, default=None, repr=False)
 
     def __post_init__(self):
-        self.packed_weight, self.fan_in = pack_pm1(self.weight_matrix)
+        self.packed_weight, self.fan_in = pack_pm1(self.weight_matrix, validate=False)
 
     @property
     def out_channels(self) -> int:
         return int(self.weight_matrix.shape[0])
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        n = x.shape[0]
+    def _spatial_weight_words(self) -> np.ndarray:
+        if self._spatial_weight is None:
+            self._spatial_weight = conv_weight_words(
+                self.weight_matrix, self.in_channels, self.kernel_size
+            )
+        return self._spatial_weight
+
+    def __call__(
+        self,
+        x: np.ndarray | PackedMaps,
+        emit_packed: bool = False,
+        backend: str | None = None,
+    ) -> np.ndarray | PackedMaps:
         k = self.kernel_size
-        oh = F.conv_output_size(x.shape[2], k, self.stride, self.pad)
-        ow = F.conv_output_size(x.shape[3], k, self.stride, self.pad)
-        cols = F.im2col(x, k, k, self.stride, self.pad)
-        if self.binary_input:
-            packed, bits = pack_pm1(cols)
-            acc = xnor_popcount_matmul(packed, self.packed_weight, bits).astype(np.float64)
+        if isinstance(x, PackedMaps):
+            if not self.binary_input:
+                raise TypeError("packed input fed to a real-valued-input engine")
+            if self.pad != 0:
+                raise ValueError("packed conv path requires pad == 0 (no ±1 zero-pad)")
+            if x.channels != self.in_channels:
+                raise ValueError(f"expected {self.in_channels} channels, got {x.channels}")
+            n = x.batch
+            oh = F.conv_output_size(x.height, k, self.stride, 0)
+            ow = F.conv_output_size(x.width, k, self.stride, 0)
+            rows = F.im2col_packed(x.words, k, k, self.stride)
+            acc = _kernel_matmul(
+                self._prep_cache, self._spatial_weight_words(), "spatial",
+                rows, self.fan_in, backend,
+            )
         else:
-            acc = cols @ self.weight_matrix.T
+            n = x.shape[0]
+            oh = F.conv_output_size(x.shape[2], k, self.stride, self.pad)
+            ow = F.conv_output_size(x.shape[3], k, self.stride, self.pad)
+            cols = F.im2col(x, k, k, self.stride, self.pad)
+            if self.binary_input:
+                packed, bits = pack_pm1(cols, validate=False)
+                acc = _kernel_matmul(
+                    self._prep_cache, self.packed_weight, "plain",
+                    packed, bits, backend,
+                )
+            else:
+                acc = cols @ self.weight_matrix.T
+        if emit_packed:
+            words = self.thresholds.apply_bits(acc)
+            return PackedMaps(words.reshape(n, oh, ow, -1), self.out_channels)
+        if acc.dtype != np.float64:
+            acc = acc.astype(np.float64)
         acc = acc.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
         return self.thresholds.apply(acc, channel_axis=1)
 
@@ -89,19 +157,53 @@ class FoldedDense:
     output_offset: np.ndarray | None = None
     packed_weight: np.ndarray = field(init=False, repr=False)
     fan_in: int = field(init=False)
+    _prep_cache: dict = field(init=False, default_factory=dict, repr=False)
+    _layout_weights: dict = field(init=False, default_factory=dict, repr=False)
 
     def __post_init__(self):
-        self.packed_weight, self.fan_in = pack_pm1(self.weight_matrix)
+        self.packed_weight, self.fan_in = pack_pm1(self.weight_matrix, validate=False)
 
     @property
     def out_features(self) -> int:
         return int(self.weight_matrix.shape[0])
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        packed, bits = pack_pm1(x)
-        acc = xnor_popcount_matmul(packed, self.packed_weight, bits).astype(np.float64)
+    def _weights_for_layout(self, layout: tuple | None) -> tuple[np.ndarray, str]:
+        if layout is None:
+            return self.packed_weight, "plain"
+        tag, h, w, c = layout
+        if tag != "hwc":
+            raise ValueError(f"unsupported input layout {layout!r}")
+        words = self._layout_weights.get(layout)
+        if words is None:
+            words = dense_weight_words_hwc(self.weight_matrix, h, w, c)
+            self._layout_weights[layout] = words
+        return words, f"hwc:{h}x{w}x{c}"
+
+    def __call__(
+        self,
+        x: np.ndarray | PackedRows,
+        emit_packed: bool = False,
+        backend: str | None = None,
+    ) -> np.ndarray | PackedRows:
+        if isinstance(x, PackedRows):
+            if x.n != self.fan_in:
+                raise ValueError(f"expected fan-in {self.fan_in}, got {x.n}")
+            weight_words, layout_key = self._weights_for_layout(x.layout)
+            acc = _kernel_matmul(
+                self._prep_cache, weight_words, layout_key,
+                x.words, self.fan_in, backend,
+            )
+        else:
+            packed, bits = pack_pm1(x, validate=False)
+            acc = _kernel_matmul(
+                self._prep_cache, self.packed_weight, "plain",
+                packed, bits, backend,
+            )
         if self.thresholds is not None:
-            return self.thresholds.apply(acc, channel_axis=1)
+            if emit_packed:
+                return PackedRows(self.thresholds.apply_bits(acc), self.out_features)
+            return self.thresholds.apply(acc.astype(np.float64), channel_axis=1)
+        acc = acc.astype(np.float64)
         if self.output_scale is not None:
             acc = acc * self.output_scale + self.output_offset
         return acc
@@ -109,14 +211,27 @@ class FoldedDense:
 
 @dataclass
 class FoldedPool:
-    """Max pooling over {-1,+1} maps — a boolean OR in FINN hardware."""
+    """Max pooling over {-1,+1} maps — a boolean OR in FINN hardware.
+
+    Packed inputs stay packed: pooling is then a literal bitwise OR over
+    the window, matching the hardware datapath.  The float fallback keeps
+    one :class:`MaxPool2D` for the life of the stage instead of building
+    a fresh layer per invocation.
+    """
 
     window: int
     stride: int
+    _pool: MaxPool2D = field(init=False, repr=False)
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        pool = MaxPool2D(self.window, self.stride)
-        return pool.forward(x)
+    def __post_init__(self):
+        self._pool = MaxPool2D(self.window, self.stride)
+
+    def __call__(self, x: np.ndarray | PackedMaps) -> np.ndarray | PackedMaps:
+        if isinstance(x, PackedMaps):
+            return maxpool_packed(x, self.window, self.stride)
+        # windows().max avoids MaxPool2D.forward's argmax bookkeeping (only
+        # needed for backward) and leaves no cache alive between batches.
+        return self._pool._windows(x).max(axis=(4, 5))
 
 
 @dataclass
@@ -143,7 +258,9 @@ class FloatDenseHead:
     def out_features(self) -> int:
         return int(self.weight.shape[1])
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def __call__(self, x: np.ndarray | PackedRows) -> np.ndarray:
+        if isinstance(x, PackedRows):
+            x = x.to_pm1()  # network boundary: back to full precision
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -151,23 +268,96 @@ class FloatDenseHead:
 
 
 class FoldedBNN:
-    """Deployment-form binarized network (the FPGA's functional model)."""
+    """Deployment-form binarized network (the FPGA's functional model).
 
-    def __init__(self, stages: list, num_classes: int = 10):
+    Parameters
+    ----------
+    stages:
+        Engine list produced by :func:`fold_network` (or deserialized).
+    num_classes:
+        True class count (FINN pads the last layer).
+    backend:
+        Binary-kernel backend for every stage: a name from
+        :func:`repro.bnn.kernels.available_backends`, ``"auto"`` for the
+        per-shape autotuner, or ``None`` to defer to the
+        ``REPRO_BNN_BACKEND`` environment override (default ``auto``).
+        All backends are bit-exact, so this is purely a speed knob.
+    packed:
+        Keep activations bit-packed between stages (default).  ``False``
+        forces the float ±1 representation everywhere — same results,
+        used for equivalence testing.
+    """
+
+    def __init__(
+        self,
+        stages: list,
+        num_classes: int = 10,
+        backend: str | None = None,
+        packed: bool = True,
+    ):
         if not stages:
             raise ValueError("folded network needs at least one stage")
         self.stages = stages
         self.num_classes = num_classes
+        self.backend = backend
+        self.packed = packed
+        self._plan: list[bool] | None = None
 
+    def with_backend(self, backend: str | None) -> "FoldedBNN":
+        """Same stages (weight prep caches included), different backend."""
+        clone = FoldedBNN(self.stages, self.num_classes, backend=backend, packed=self.packed)
+        return clone
+
+    # -- packed-pipeline planning -------------------------------------------
+    def _consumer_after(self, index: int):
+        """Next non-pool stage (pools preserve representation)."""
+        for stage in self.stages[index + 1 :]:
+            if not isinstance(stage, FoldedPool):
+                return stage
+        return None
+
+    def _emit_plan(self) -> list[bool]:
+        """Which stages should emit packed bits instead of ±1 floats.
+
+        A thresholding stage emits packed output when the next consuming
+        stage can take bits: a pad-free binary-input conv, any dense
+        engine, or the float head (which unpacks at the boundary).  The
+        network output itself is always float.
+        """
+        if self._plan is None:
+            plan = []
+            for i, stage in enumerate(self.stages):
+                emit = False
+                if self.packed and (
+                    isinstance(stage, FoldedConv)
+                    or (isinstance(stage, FoldedDense) and stage.thresholds is not None)
+                ):
+                    consumer = self._consumer_after(i)
+                    if isinstance(consumer, FoldedConv):
+                        emit = consumer.binary_input and consumer.pad == 0
+                    elif isinstance(consumer, (FoldedDense, FloatDenseHead)):
+                        emit = True
+                plan.append(emit)
+            self._plan = plan
+        return self._plan
+
+    # -- inference -----------------------------------------------------------
     def forward(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
         """Raw output scores (N, out_features of the last engine)."""
+        plan = self._emit_plan()
         outputs = []
         for start in range(0, images.shape[0], batch_size):
-            x = images[start : start + batch_size]
-            for stage in self.stages:
-                if isinstance(stage, (FoldedDense, FloatDenseHead)) and x.ndim == 4:
-                    x = x.reshape(x.shape[0], -1)
-                x = stage(x)
+            x: np.ndarray | PackedMaps | PackedRows = images[start : start + batch_size]
+            for stage, emit in zip(self.stages, plan):
+                if isinstance(stage, (FoldedDense, FloatDenseHead)):
+                    if isinstance(x, PackedMaps):
+                        x = x.flatten_rows()
+                    elif isinstance(x, np.ndarray) and x.ndim == 4:
+                        x = x.reshape(x.shape[0], -1)
+                if isinstance(stage, (FoldedConv, FoldedDense)):
+                    x = stage(x, emit_packed=emit, backend=self.backend)
+                else:
+                    x = stage(x)
             outputs.append(x)
         return np.concatenate(outputs, axis=0)
 
@@ -184,7 +374,12 @@ def _conv_weight_matrix(layer: BinaryConv2D) -> np.ndarray:
     return w.reshape(w.shape[0], -1)
 
 
-def fold_network(net: Sequential, num_classes: int = 10) -> FoldedBNN:
+def fold_network(
+    net: Sequential,
+    num_classes: int = 10,
+    backend: str | None = None,
+    packed: bool = True,
+) -> FoldedBNN:
     """Fold a trained binarized Sequential into deployment form.
 
     Recognized patterns (in order):
@@ -196,6 +391,9 @@ def fold_network(net: Sequential, num_classes: int = 10) -> FoldedBNN:
       (partially-binarised network, Section II)
     * ``MaxPool2D`` -> :class:`FoldedPool`
     * ``Flatten`` -> implicit (handled at runtime)
+
+    ``backend`` and ``packed`` configure the runtime datapath (see
+    :class:`FoldedBNN`); they do not affect the folded weights.
     """
     stages: list = []
     layers = list(net.layers)
@@ -258,7 +456,7 @@ def fold_network(net: Sequential, num_classes: int = 10) -> FoldedBNN:
                 "BatchNorm/BinaryActivation/MaxPool2D/Flatten, optionally with "
                 "a terminal full-precision Dense head"
             )
-    return FoldedBNN(stages, num_classes=num_classes)
+    return FoldedBNN(stages, num_classes=num_classes, backend=backend, packed=packed)
 
 
 def _expect_bn_act(layers, i, layer):

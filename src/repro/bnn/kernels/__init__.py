@@ -1,0 +1,45 @@
+"""Pluggable binary-kernel backends for folded BNN inference.
+
+Three bit-exact implementations of the packed {-1, +1} matrix product:
+
+* ``reference`` — the original chunked uint8 XOR + popcount datapath;
+* ``bitplane``  — bit-planes through BLAS GEMM: the 0/1 activation
+  plane against a ±1 float32 weight plane
+  (``dot = 2*(a01 @ (2*w01 - 1).T) + n - 2*rowsum(w)``);
+* ``lut64``     — uint64-word XOR with a 16-bit lookup-table popcount
+  (no ``np.bitwise_count``, so it also serves NumPy < 2.0).
+
+Backend choice is threaded through :class:`repro.bnn.FoldedBNN`; the
+default is ``"auto"``, which microbenchmarks the candidates on each
+layer's actual matmul shape (:func:`select_backend`).  The
+``REPRO_BNN_BACKEND`` environment variable overrides the default for a
+whole process.
+"""
+
+from .base import (
+    ENV_BACKEND,
+    BinaryKernel,
+    available_backends,
+    default_backend,
+    get_kernel,
+    register_kernel,
+)
+from .bitplane import BitplaneGemmKernel
+from .lut64 import Lut64Kernel
+from .reference import ReferenceXnorKernel
+from .select import clear_selection_cache, select_backend, selection_cache
+
+__all__ = [
+    "BinaryKernel",
+    "ReferenceXnorKernel",
+    "BitplaneGemmKernel",
+    "Lut64Kernel",
+    "register_kernel",
+    "get_kernel",
+    "available_backends",
+    "default_backend",
+    "select_backend",
+    "selection_cache",
+    "clear_selection_cache",
+    "ENV_BACKEND",
+]

@@ -1,0 +1,109 @@
+"""Binary-kernel backend interface and registry.
+
+A :class:`BinaryKernel` evaluates the {-1, +1} matrix product over
+bit-packed operands:
+
+* activations ``a_words``: (M, B) uint8, one row per receptive field;
+* weights prepared once per layer via :meth:`BinaryKernel.prepare` from
+  the same packed representation;
+* ``n``: the number of *valid* bit positions per row.
+
+The packed layout contract is shared by every backend: bit 1 encodes +1,
+bit 0 encodes -1, and any pad position (trailing byte fill or embedded
+channel-group padding) is 0 in **both** operands.  Under that contract a
+pad position contributes nothing to XOR-popcounts, 0/1 products, or row
+popcounts, so every backend computes the exact integer dot product
+``sum(a_i * w_i)`` over the ``n`` valid positions — backends are
+interchangeable bit-for-bit, and the autotuner may pick freely on speed.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+
+import numpy as np
+
+__all__ = [
+    "BinaryKernel",
+    "register_kernel",
+    "get_kernel",
+    "available_backends",
+    "default_backend",
+    "ENV_BACKEND",
+]
+
+#: Environment variable overriding the backend for every folded network:
+#: one of the registered names, or "auto" for the per-shape autotuner.
+ENV_BACKEND = "REPRO_BNN_BACKEND"
+
+
+class BinaryKernel(abc.ABC):
+    """One implementation of the packed {-1, +1} matrix product."""
+
+    #: Registry name; subclasses set it.
+    name: str = ""
+
+    def prepare(self, w_words: np.ndarray, n: int):
+        """Fold-time weight preparation; result is passed to :meth:`matmul`.
+
+        The default keeps the packed words as-is.  Backends may unpack,
+        widen, or precompute row statistics here — it runs once per
+        (layer, backend) while ``matmul`` runs per batch.
+        """
+        return w_words
+
+    @abc.abstractmethod
+    def matmul(self, a_words: np.ndarray, w_prep, n: int) -> np.ndarray:
+        """(M, N) int64 matrix of ±1 dot products over ``n`` valid bits."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: dict[str, BinaryKernel] = {}
+
+
+def register_kernel(kernel: BinaryKernel) -> BinaryKernel:
+    """Add a kernel instance to the registry (last registration wins)."""
+    if not kernel.name:
+        raise ValueError("kernel must define a non-empty name")
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, reference first."""
+    names = sorted(_REGISTRY)
+    if "reference" in names:
+        names.remove("reference")
+        names.insert(0, "reference")
+    return tuple(names)
+
+
+def get_kernel(name: str) -> BinaryKernel:
+    """Look up a backend by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown binary-kernel backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def default_backend() -> str:
+    """Session default: the ``REPRO_BNN_BACKEND`` override, else "auto".
+
+    Read per call (not cached) so tests and long-lived servers can switch
+    via the environment.
+    """
+    name = os.environ.get(ENV_BACKEND, "").strip()
+    if not name:
+        return "auto"
+    if name != "auto" and name not in _REGISTRY:
+        raise KeyError(
+            f"{ENV_BACKEND}={name!r} does not name a backend; "
+            f"available: auto, {', '.join(available_backends())}"
+        )
+    return name

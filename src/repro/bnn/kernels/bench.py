@@ -1,0 +1,259 @@
+"""Kernel benchmark harness (``repro bench-kernels``).
+
+Times every registered binary-kernel backend on (a) the individual matmul
+shapes of the folded CNV network's binary layers and (b) end-to-end
+folded inference, verifying bit-exactness along the way, and emits a JSON
+report (``BENCH_kernels.json``) so the perf trajectory of the BNN
+datapath is tracked in-repo from PR to PR.
+
+The end-to-end leg runs an *untrained* width-scaled CNV: kernel
+throughput does not depend on the weight values, so no training budget is
+needed, and the same topology/scale is reproducible everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .base import available_backends, get_kernel
+from .select import select_backend
+
+__all__ = ["KernelBenchConfig", "run_kernel_bench", "format_kernel_bench", "write_kernel_bench"]
+
+
+@dataclass(frozen=True)
+class KernelBenchConfig:
+    """One benchmark scenario.
+
+    ``smoke`` shrinks batch/repetitions to a few seconds of runtime for
+    CI, without changing the report schema.
+    """
+
+    scale: float = 0.25          # CNV width scale for shapes + end-to-end
+    batch_size: int = 64         # images per folded forward
+    num_images: int = 128        # end-to-end images timed
+    repeats: int = 3             # best-of timing repetitions
+    image_size: int = 32
+    seed: int = 0
+    smoke: bool = False
+
+    def effective(self) -> "KernelBenchConfig":
+        if not self.smoke:
+            return self
+        from dataclasses import replace
+
+        return replace(self, batch_size=16, num_images=32, repeats=1)
+
+
+def _cnv_binary_shapes(scale: float, image_size: int) -> list[dict]:
+    """(label, M-per-image, N, n_bits) of every binary matmul in scaled CNV."""
+    from ...models.finn_cnv import CNV_FC_WIDTH, scaled_channels
+
+    c = scaled_channels(scale)
+    shapes = []
+    size = image_size
+    sizes = []
+    for i in range(6):
+        size -= 2  # 3x3 conv, no padding
+        sizes.append(size)
+        if i in (1, 3):
+            size //= 2  # 2x2 maxpool
+    # conv1 is the real-valued-input engine (float GEMM) — not a binary matmul.
+    for i in range(1, 6):
+        shapes.append(
+            {
+                "label": f"conv{i + 1}",
+                "rows_per_image": sizes[i] * sizes[i],
+                "n_out": c[i],
+                "n_bits": c[i - 1] * 9,
+            }
+        )
+    flat = c[5] * sizes[5] * sizes[5]
+    for j, (n_in, n_out) in enumerate(
+        [(flat, CNV_FC_WIDTH), (CNV_FC_WIDTH, CNV_FC_WIDTH), (CNV_FC_WIDTH, CNV_FC_WIDTH)]
+    ):
+        shapes.append(
+            {"label": f"fc{j + 1}", "rows_per_image": 1, "n_out": n_out, "n_bits": n_in}
+        )
+    return shapes
+
+
+def _time_call(fn, repeats: int) -> float:
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_shapes(config: KernelBenchConfig, backends: tuple[str, ...]) -> list[dict]:
+    rng = np.random.default_rng(config.seed)
+    results = []
+    for shape in _cnv_binary_shapes(config.scale, config.image_size):
+        m = shape["rows_per_image"] * config.batch_size
+        n_out, n_bits = shape["n_out"], shape["n_bits"]
+        words = -(-n_bits // 8)
+        a = rng.integers(0, 256, size=(m, words), dtype=np.uint8)
+        w = rng.integers(0, 256, size=(n_out, words), dtype=np.uint8)
+        tail = n_bits % 8
+        if tail:
+            mask = np.uint8(0xFF << (8 - tail) & 0xFF)
+            a[:, -1] &= mask
+            w[:, -1] &= mask
+
+        reference = None
+        timings, exact = {}, {}
+        for name in backends:
+            kernel = get_kernel(name)
+            prep = kernel.prepare(w, n_bits)
+            out = kernel.matmul(a, prep, n_bits)
+            if reference is None:
+                reference = out
+            exact[name] = bool(np.array_equal(out, reference))
+            timings[name] = _time_call(lambda: kernel.matmul(a, prep, n_bits), config.repeats)
+        base = timings[backends[0]]
+        results.append(
+            {
+                **shape,
+                "m": m,
+                "timings_s": timings,
+                "speedup_vs_reference": {k: base / v for k, v in timings.items()},
+                "bit_exact": exact,
+                "autotuned": select_backend(m, n_out, n_bits, candidates=backends),
+            }
+        )
+    return results
+
+
+def _bench_end_to_end(config: KernelBenchConfig, backends: tuple[str, ...]) -> dict:
+    from ...data import normalize_to_pm1, synthetic_cifar10
+    from ...models import build_finn_cnv
+    from ..inference import fold_network
+
+    net = build_finn_cnv(scale=config.scale, rng=np.random.default_rng(config.seed))
+    net.eval_mode()
+    images = normalize_to_pm1(
+        synthetic_cifar10(num_train=1, num_test=config.num_images, seed=config.seed).test.images
+    )
+
+    runs: dict[str, dict] = {}
+    baseline_pred = None
+    # Seed datapath first: reference kernel over the unpacked float pipeline.
+    variants = [("reference (unpacked)", "reference", False)]
+    variants += [(name, name, True) for name in backends]
+    variants.append(("auto", "auto", True))
+    for label, backend, packed in variants:
+        folded = fold_network(net, backend=backend, packed=packed)
+        pred = folded.predict(images, batch_size=config.batch_size)
+        if baseline_pred is None:
+            baseline_pred = pred
+        seconds = _time_call(
+            lambda: folded.class_scores(images, batch_size=config.batch_size),
+            config.repeats,
+        )
+        runs[label] = {
+            "img_per_s": len(images) / seconds,
+            "seconds": seconds,
+            "predictions_match_reference": bool(np.array_equal(pred, baseline_pred)),
+        }
+    base = runs["reference (unpacked)"]["img_per_s"]
+    for run in runs.values():
+        run["speedup_vs_reference"] = run["img_per_s"] / base
+    return {"num_images": len(images), "runs": runs}
+
+
+def run_kernel_bench(
+    config: KernelBenchConfig | None = None, backends: tuple[str, ...] | None = None
+) -> dict:
+    """Full benchmark report as a JSON-serializable dict."""
+    config = (config or KernelBenchConfig()).effective()
+    backends = tuple(backends) if backends else available_backends()
+    if backends[0] != "reference":
+        raise ValueError("backends must lead with 'reference' (the speedup baseline)")
+
+    shapes = _bench_shapes(config, backends)
+    # Dominant shape: where the reference kernel burns the most time.
+    dominant = max(shapes, key=lambda s: s["timings_s"]["reference"])
+    report = {
+        "config": {
+            "scale": config.scale,
+            "batch_size": config.batch_size,
+            "num_images": config.num_images,
+            "repeats": config.repeats,
+            "smoke": config.smoke,
+        },
+        "environment": {
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "backends": list(backends),
+        "shapes": shapes,
+        "dominant_shape": {
+            "label": dominant["label"],
+            "speedup_vs_reference": dominant["speedup_vs_reference"],
+            "autotuned": dominant["autotuned"],
+        },
+        "end_to_end": _bench_end_to_end(config, backends),
+    }
+    return report
+
+
+def format_kernel_bench(report: dict) -> str:
+    """Human-readable summary of a :func:`run_kernel_bench` report."""
+    from ...core.report import render_table
+
+    backends = report["backends"]
+    rows = []
+    for s in report["shapes"]:
+        rows.append(
+            [
+                s["label"],
+                f"{s['m']}x{s['n_bits']}x{s['n_out']}",
+                *(f"{s['timings_s'][b] * 1e3:.2f}" for b in backends),
+                f"{max(s['speedup_vs_reference'].values()):.1f}x",
+                s["autotuned"],
+            ]
+        )
+    shape_table = render_table(
+        ["layer", "MxKxN", *(f"{b} (ms)" for b in backends), "best", "autotuned"],
+        rows,
+        title=(
+            f"binary-kernel matmul timings (CNV scale={report['config']['scale']}, "
+            f"batch={report['config']['batch_size']})"
+        ),
+    )
+    e2e_rows = [
+        [label, f"{run['img_per_s']:.0f}", f"{run['speedup_vs_reference']:.2f}x",
+         "yes" if run["predictions_match_reference"] else "NO"]
+        for label, run in report["end_to_end"]["runs"].items()
+    ]
+    e2e_table = render_table(
+        ["datapath", "img/s", "vs seed", "bit-exact"],
+        e2e_rows,
+        title=f"end-to-end folded CNV inference ({report['end_to_end']['num_images']} images)",
+    )
+    dom = report["dominant_shape"]
+    note = (
+        f"\ndominant shape: {dom['label']} — best backend "
+        f"{max(dom['speedup_vs_reference'], key=dom['speedup_vs_reference'].get)} at "
+        f"{max(dom['speedup_vs_reference'].values()):.1f}x the reference kernel "
+        f"(autotuner picks {dom['autotuned']})."
+    )
+    return shape_table + "\n\n" + e2e_table + note
+
+
+def write_kernel_bench(report: dict, path: str | Path) -> Path:
+    """Write the JSON artifact (``BENCH_kernels.json``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,46 @@
+"""uint64-word XOR backend with 16-bit lookup-table popcount.
+
+Same arithmetic as the reference backend (``dot = n - 2 * popcount(xor)``)
+but over 8-byte machine words: the (chunk, N, W) XOR broadcast holds 8x
+fewer elements than the uint8 path, and the popcount is four table
+gathers per word from a 64 KiB uint16 table — no ``np.bitwise_count``,
+so this path is also the performant option on NumPy < 2.0 where the
+native popcount ufunc does not exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitops import LUT16, words_u8_to_u64
+from .base import BinaryKernel, register_kernel
+
+__all__ = ["Lut64Kernel"]
+
+
+class Lut64Kernel(BinaryKernel):
+    """Chunked uint64 XOR + LUT16 popcount."""
+
+    name = "lut64"
+
+    def __init__(self, chunk: int = 512):
+        self.chunk = int(chunk)
+
+    def prepare(self, w_words: np.ndarray, n: int):
+        return words_u8_to_u64(w_words)
+
+    def matmul(self, a_words: np.ndarray, w_prep: np.ndarray, n: int) -> np.ndarray:
+        a64 = words_u8_to_u64(a_words)
+        m, n_out = a64.shape[0], w_prep.shape[0]
+        out = np.empty((m, n_out), dtype=np.int64)
+        for start in range(0, m, self.chunk):
+            block = a64[start : start + self.chunk]
+            xor = block[:, None, :] ^ w_prep[None, :, :]
+            # Each uint64 word popcounts as four uint16 table lookups.
+            v16 = xor.view(np.uint16).reshape(block.shape[0], n_out, -1)
+            disagreements = LUT16[v16].sum(axis=2, dtype=np.int64)
+            out[start : start + self.chunk] = n - 2 * disagreements
+        return out
+
+
+register_kernel(Lut64Kernel())

@@ -1,0 +1,28 @@
+"""Reference backend: chunked uint8 XOR + popcount (the seed implementation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..xnor import xnor_popcount_matmul
+from .base import BinaryKernel, register_kernel
+
+__all__ = ["ReferenceXnorKernel"]
+
+
+class ReferenceXnorKernel(BinaryKernel):
+    """Direct FINN arithmetic: ``dot = n - 2 * popcount(xor(a, w))``.
+
+    Materializes a (chunk, N, B) uint8 XOR broadcast per row chunk —
+    O(M·N·B) memory traffic with no BLAS — which makes it the ground
+    truth the faster backends are verified against, and the baseline the
+    benchmark harness reports speedups over.
+    """
+
+    name = "reference"
+
+    def matmul(self, a_words: np.ndarray, w_prep: np.ndarray, n: int) -> np.ndarray:
+        return xnor_popcount_matmul(a_words, w_prep, n)
+
+
+register_kernel(ReferenceXnorKernel())

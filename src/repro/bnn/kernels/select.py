@@ -1,0 +1,92 @@
+"""Per-shape backend autotuning.
+
+Which kernel wins depends on the matmul shape: tall-skinny conv unrollings
+amortize the bit-plane GEMM's unpack cost, tiny FC layers may not, and the
+relative cost of popcount vs BLAS varies across machines and NumPy builds.
+``select_backend`` settles it empirically: microbenchmark every candidate
+on synthetic operands of the actual layer shape and cache the winner, so
+each folded network pays the (few-ms) tuning cost once per distinct shape
+per process.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .base import available_backends, get_kernel
+
+__all__ = ["select_backend", "clear_selection_cache", "selection_cache"]
+
+#: (m_bucket, n_out, n_bits, candidates) -> winning backend name.
+_CACHE: dict[tuple, str] = {}
+
+#: Row count used for timing; larger M only amplifies the same per-row work.
+_BENCH_ROWS = 128
+#: Timing repetitions (after one warmup); best-of is robust to scheduler noise.
+_BENCH_REPS = 2
+
+
+def _bucket_rows(m: int) -> int:
+    """Round M up to a power of two so batch-size jitter reuses the cache."""
+    m = max(1, int(m))
+    return 1 << (m - 1).bit_length()
+
+
+def selection_cache() -> dict[tuple, str]:
+    """Read-only view of the tuning decisions made so far (for reporting)."""
+    return dict(_CACHE)
+
+
+def clear_selection_cache() -> None:
+    _CACHE.clear()
+
+
+def _time_kernel(kernel, a_words: np.ndarray, w_words: np.ndarray, n: int) -> float:
+    prep = kernel.prepare(w_words, n)
+    kernel.matmul(a_words, prep, n)  # warmup (allocations, lazy tables)
+    best = float("inf")
+    for _ in range(_BENCH_REPS):
+        start = time.perf_counter()
+        kernel.matmul(a_words, prep, n)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def select_backend(
+    m: int,
+    n_out: int,
+    n_bits: int,
+    candidates: tuple[str, ...] | None = None,
+) -> str:
+    """Fastest backend for an (M, n_bits) x (n_bits, N) binary matmul.
+
+    All backends are bit-exact, so the choice is purely a performance
+    decision; results are cached per (bucketed M, N, n_bits, candidates).
+    """
+    names = tuple(candidates) if candidates is not None else available_backends()
+    if len(names) == 1:
+        return names[0]
+    m_bucket = _bucket_rows(m)
+    key = (m_bucket, int(n_out), int(n_bits), names)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    rows = min(m_bucket, _BENCH_ROWS)
+    words = -(-int(n_bits) // 8)
+    rng = np.random.default_rng(n_bits * 7919 + n_out)
+    a_words = rng.integers(0, 256, size=(rows, words), dtype=np.uint8)
+    w_words = rng.integers(0, 256, size=(int(n_out), words), dtype=np.uint8)
+    # Zero the pad bits so operands honor the packed-layout contract.
+    tail = int(n_bits) % 8
+    if tail:
+        mask = np.uint8(0xFF << (8 - tail) & 0xFF)
+        a_words[:, -1] &= mask
+        w_words[:, -1] &= mask
+
+    timings = {name: _time_kernel(get_kernel(name), a_words, w_words, int(n_bits)) for name in names}
+    winner = min(timings, key=timings.get)
+    _CACHE[key] = winner
+    return winner

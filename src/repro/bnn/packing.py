@@ -1,0 +1,168 @@
+"""Packed bit-tensor containers flowing between folded BNN stages.
+
+FINN keeps activations as bit vectors end-to-end; the functional model
+does the same.  Two containers cover the datapath:
+
+* :class:`PackedRows` — matmul operands: (M, B) uint8 rows, ``n`` valid
+  bits each.  ``layout`` records the bit ordering so consumers can align
+  their weight columns (``None`` = plain feature order; ``("hwc", H, W,
+  C)`` = flattened conv maps, see below).
+* :class:`PackedMaps` — spatial feature maps: (N, H, W, Bc) uint8, each
+  pixel holding its C channel bits padded to whole bytes.
+
+The spatial layout packs **channels innermost** so a packed im2col is a
+pure byte-gather (:func:`repro.nn.functional.im2col_packed`): receptive
+fields concatenate whole pixel byte-groups in (kh, kw, c) order.  Weight
+matrices, stored in the conventional (c, kh, kw) column order, are
+permuted once at fold time to match (:func:`conv_weight_words`,
+:func:`dense_weight_words_hwc`).  Channel padding bits are zero in both
+operands and excluded from ``n``, which the kernel contract
+(:mod:`repro.bnn.kernels.base`) makes free.
+
+Bit 1 encodes +1, bit 0 encodes -1, as everywhere in :mod:`repro.bnn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PackedRows",
+    "PackedMaps",
+    "conv_weight_words",
+    "dense_weight_words_hwc",
+    "maxpool_packed",
+]
+
+
+def _channel_bytes(channels: int) -> int:
+    return -(-channels // 8)
+
+
+@dataclass(frozen=True)
+class PackedRows:
+    """Bit-packed ±1 matrix: (M, B) uint8 words, ``n`` valid bits per row."""
+
+    words: np.ndarray
+    n: int
+    layout: tuple | None = None
+
+    def __post_init__(self):
+        if self.words.ndim != 2 or self.words.dtype != np.uint8:
+            raise ValueError("PackedRows.words must be a 2-D uint8 array")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.words.shape[0])
+
+    def to_pm1(self) -> np.ndarray:
+        """Unpack to a float64 (M, n) ±1 matrix in plain feature order."""
+        if self.layout is None:
+            bits = np.unpackbits(self.words, axis=1)[:, : self.n]
+            return bits.astype(np.float64) * 2.0 - 1.0
+        tag, h, w, c = self.layout
+        if tag != "hwc":
+            raise ValueError(f"unknown PackedRows layout {self.layout!r}")
+        m = self.words.shape[0]
+        bits = np.unpackbits(self.words, axis=1)
+        bits = bits.reshape(m, h, w, _channel_bytes(c) * 8)[..., :c]
+        # (h, w, c) bit order back to the (c, h, w) flatten convention.
+        return bits.transpose(0, 3, 1, 2).reshape(m, c * h * w).astype(np.float64) * 2.0 - 1.0
+
+
+@dataclass(frozen=True)
+class PackedMaps:
+    """Bit-packed ±1 feature maps: (N, H, W, Bc) uint8, C valid channels."""
+
+    words: np.ndarray
+    channels: int
+
+    def __post_init__(self):
+        if self.words.ndim != 4 or self.words.dtype != np.uint8:
+            raise ValueError("PackedMaps.words must be a 4-D uint8 array")
+        if self.words.shape[3] != _channel_bytes(self.channels):
+            raise ValueError(
+                f"expected {_channel_bytes(self.channels)} bytes per pixel for "
+                f"{self.channels} channels, got {self.words.shape[3]}"
+            )
+
+    @property
+    def batch(self) -> int:
+        return int(self.words.shape[0])
+
+    @property
+    def height(self) -> int:
+        return int(self.words.shape[1])
+
+    @property
+    def width(self) -> int:
+        return int(self.words.shape[2])
+
+    def flatten_rows(self) -> PackedRows:
+        """Byte-level flatten for a dense stage (layout ``("hwc", H, W, C)``)."""
+        n, h, w, b = self.words.shape
+        return PackedRows(
+            words=np.ascontiguousarray(self.words.reshape(n, h * w * b)),
+            n=self.channels * h * w,
+            layout=("hwc", h, w, self.channels),
+        )
+
+    def to_pm1(self) -> np.ndarray:
+        """Unpack to float64 NCHW ±1 maps."""
+        bits = np.unpackbits(self.words, axis=3)[..., : self.channels]
+        return bits.transpose(0, 3, 1, 2).astype(np.float64) * 2.0 - 1.0
+
+
+def conv_weight_words(weight_matrix: np.ndarray, in_channels: int, kernel_size: int) -> np.ndarray:
+    """Pack a (OD, C*K*K) ±1 conv weight matrix into the packed-im2col layout.
+
+    Columns arrive in the (c, kh, kw) order :func:`repro.nn.functional.im2col`
+    produces; the packed path consumes (kh, kw, c-padded) byte groups, so
+    permute, zero-pad channels to whole bytes, and pack.
+    """
+    od = weight_matrix.shape[0]
+    k = kernel_size
+    w4 = weight_matrix.reshape(od, in_channels, k, k)
+    padded = np.zeros((od, k, k, _channel_bytes(in_channels) * 8), dtype=np.uint8)
+    padded[..., :in_channels] = (w4 > 0).transpose(0, 2, 3, 1)
+    return np.packbits(padded.reshape(od, -1), axis=1)
+
+
+def dense_weight_words_hwc(weight_matrix: np.ndarray, h: int, w: int, c: int) -> np.ndarray:
+    """Pack a (OD, C*H*W) ±1 dense weight matrix for ``("hwc", H, W, C)`` input.
+
+    The training-side ``Flatten`` emits (c, h, w) feature order; packed conv
+    maps flatten as (h, w, c-padded) byte groups instead.
+    """
+    od, features = weight_matrix.shape
+    if features != c * h * w:
+        raise ValueError(f"weight fan-in {features} != {c}*{h}*{w}")
+    w3 = weight_matrix.reshape(od, c, h, w)
+    padded = np.zeros((od, h, w, _channel_bytes(c) * 8), dtype=np.uint8)
+    padded[..., :c] = (w3 > 0).transpose(0, 2, 3, 1)
+    return np.packbits(padded.reshape(od, -1), axis=1)
+
+
+def maxpool_packed(maps: PackedMaps, window: int, stride: int) -> PackedMaps:
+    """Max-pool ±1 maps in bit form: a bitwise OR over each window.
+
+    ``max`` over {-1, +1} is +1 iff any element is +1 — exactly the OR of
+    the bit encodings, which is how FINN implements binary max pooling in
+    hardware ("boolean OR", paper Section II).
+    """
+    words = maps.words
+    n, h, w, b = words.shape
+    oh = (h - window) // stride + 1
+    ow = (w - window) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"window {window} (stride {stride}) does not fit {h}x{w} maps")
+    sn, sh, sw, sb = words.strides
+    windows = np.lib.stride_tricks.as_strided(
+        words,
+        shape=(n, oh, ow, window, window, b),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sb),
+        writeable=False,
+    )
+    return PackedMaps(np.bitwise_or.reduce(windows, axis=(3, 4)), maps.channels)

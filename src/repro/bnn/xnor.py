@@ -11,19 +11,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from .bitops import popcount
+
 __all__ = ["pack_pm1", "unpack_pm1", "xnor_popcount_matmul", "binary_dot"]
 
 
-def pack_pm1(values: np.ndarray) -> tuple[np.ndarray, int]:
+def pack_pm1(values: np.ndarray, validate: bool = True) -> tuple[np.ndarray, int]:
     """Pack a {-1, +1} matrix (M, n) into uint8 bit words.
 
     Returns ``(packed, n)`` where ``packed`` has shape (M, ceil(n/8)).
     Padding bits are 0; the matmul corrects for them using ``n``.
+
+    ``validate=False`` skips the domain check — an O(M*n) extra pass and
+    allocation — and is used by the folded inference stages, whose inputs
+    are thresholder outputs already guaranteed to be in {-1, +1}.  Public
+    callers should keep the default.
     """
     values = np.asarray(values)
     if values.ndim == 1:
         values = values[None, :]
-    if not np.isin(values, (-1.0, 1.0)).all():
+    if validate and not np.isin(values, (-1.0, 1.0)).all():
         raise ValueError("pack_pm1 expects values in {-1, +1}")
     bits = (values > 0).astype(np.uint8)
     return np.packbits(bits, axis=1), values.shape[1]
@@ -36,7 +43,9 @@ def unpack_pm1(packed: np.ndarray, n: int) -> np.ndarray:
 
 
 def _popcount(words: np.ndarray) -> np.ndarray:
-    return np.bitwise_count(words)
+    # ``np.bitwise_count`` needs NumPy>=2.0; bitops falls back to a
+    # lookup table on older installs (pyproject allows numpy>=1.24).
+    return popcount(words)
 
 
 def xnor_popcount_matmul(

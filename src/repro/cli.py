@@ -15,6 +15,12 @@ The serving layer has its own load-test subcommand:
 
     python -m repro serve-bench
     python -m repro serve-bench --target-rerun 0.25 --host-workers 2
+    python -m repro serve-bench --measure-t-bnn 0.25 --bnn-backend bitplane
+
+and the binary-kernel backends have a benchmark harness:
+
+    python -m repro bench-kernels
+    python -m repro bench-kernels --smoke --output /tmp/BENCH_kernels.json
 """
 
 from __future__ import annotations
@@ -117,6 +123,17 @@ def serve_bench_main(argv: list[str]) -> int:
     parser.add_argument("--host-workers", type=int, default=defaults.num_host_workers)
     parser.add_argument("--host-queue", type=int, default=defaults.host_queue_capacity)
     parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--bnn-backend", default=None,
+        help="binary-kernel backend for the BNN stage (reference/bitplane/lut64/auto)",
+    )
+    parser.add_argument(
+        "--measure-t-bnn", type=float, default=None, metavar="SCALE",
+        help=(
+            "replace the constant --t-bnn with the measured seconds/image of the "
+            "real folded CNV at this width scale under --bnn-backend"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.target_rerun <= 1.0:
@@ -130,6 +147,8 @@ def serve_bench_main(argv: list[str]) -> int:
             parser.error(f"--{name.replace('_', '-')} must be >= 1")
     if args.t_fp <= 0 or args.t_bnn <= 0:
         parser.error("--t-fp and --t-bnn must be positive")
+    if args.measure_t_bnn is not None and args.measure_t_bnn <= 0:
+        parser.error("--measure-t-bnn scale must be positive")
 
     config = replace(
         ServeBenchConfig(),
@@ -143,6 +162,8 @@ def serve_bench_main(argv: list[str]) -> int:
         num_host_workers=args.host_workers,
         host_queue_capacity=args.host_queue,
         seed=args.seed,
+        bnn_backend=args.bnn_backend,
+        measured_bnn_scale=args.measure_t_bnn,
     )
     print(
         f"serve-bench: 2 runs x {config.num_requests} requests, "
@@ -153,10 +174,82 @@ def serve_bench_main(argv: list[str]) -> int:
     return 0
 
 
+def bench_kernels_main(argv: list[str]) -> int:
+    """``repro bench-kernels``: time the binary-kernel backends."""
+    from .bnn.kernels import available_backends
+    from .bnn.kernels.bench import (
+        KernelBenchConfig,
+        format_kernel_bench,
+        run_kernel_bench,
+        write_kernel_bench,
+    )
+
+    defaults = KernelBenchConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro bench-kernels",
+        description=(
+            "Benchmark every binary-kernel backend on the folded CNV network's "
+            "matmul shapes and end-to-end, verify bit-exactness, and write a "
+            "JSON report tracking the BNN datapath's performance."
+        ),
+    )
+    parser.add_argument("--scale", type=float, default=defaults.scale,
+                        help="CNV width scale (default %(default)s)")
+    parser.add_argument("--batch-size", type=int, default=defaults.batch_size)
+    parser.add_argument("--images", type=int, default=defaults.num_images,
+                        help="end-to-end images timed (default %(default)s)")
+    parser.add_argument("--repeats", type=int, default=defaults.repeats)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: shrink batch/reps to run in seconds")
+    parser.add_argument(
+        "--backends", nargs="+", default=None,
+        help=f"backend subset to time (default: all = {', '.join(available_backends())})",
+    )
+    parser.add_argument(
+        "--output", default="benchmarks/results/BENCH_kernels.json",
+        help="JSON report path, or '-' to skip writing (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+    for name in ("batch_size", "images", "repeats"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name.replace('_', '-')} must be >= 1")
+    if args.backends:
+        unknown = [b for b in args.backends if b not in available_backends()]
+        if unknown:
+            parser.error(f"unknown backend(s): {', '.join(unknown)}")
+        if args.backends[0] != "reference":
+            parser.error("--backends must start with 'reference' (the baseline)")
+
+    config = KernelBenchConfig(
+        scale=args.scale,
+        batch_size=args.batch_size,
+        num_images=args.images,
+        repeats=args.repeats,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    print("bench-kernels: timing backends (bit-exactness verified per shape) ...",
+          file=sys.stderr)
+    report = run_kernel_bench(config, backends=args.backends)
+    print(format_kernel_bench(report))
+    if args.output != "-":
+        path = write_kernel_bench(report, args.output)
+        print(f"\nwrote {path}", file=sys.stderr)
+    exact = all(all(s["bit_exact"].values()) for s in report["shapes"]) and all(
+        run["predictions_match_reference"] for run in report["end_to_end"]["runs"].values()
+    )
+    return 0 if exact else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "bench-kernels":
+        return bench_kernels_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the DATE'18 multi-precision CNN paper.",

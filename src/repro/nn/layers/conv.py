@@ -86,7 +86,9 @@ class Conv2D(Layer):
         out = cols @ wmat.T
         if self.bias is not None:
             out += self.bias.value
-        self._cache = (x.shape, cols)
+        # The im2col matrix is only needed for backward; holding it during
+        # eval-mode inference keeps multi-MB activations alive per layer.
+        self._cache = (x.shape, cols) if self.training else None
         return out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

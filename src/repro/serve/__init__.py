@@ -13,7 +13,9 @@ from .bench import (
     ServeBenchConfig,
     ServeBenchReport,
     ServeBenchRun,
+    folded_bnn_scores_fn,
     format_serve_bench,
+    measured_t_bnn,
     run_serve_bench,
     synthetic_serving_stack,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "ServeBenchRun",
     "ServeBenchReport",
     "synthetic_serving_stack",
+    "folded_bnn_scores_fn",
+    "measured_t_bnn",
     "run_serve_bench",
     "format_serve_bench",
 ]

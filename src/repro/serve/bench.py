@@ -35,6 +35,8 @@ __all__ = [
     "ServeBenchRun",
     "ServeBenchReport",
     "synthetic_serving_stack",
+    "folded_bnn_scores_fn",
+    "measured_t_bnn",
     "run_serve_bench",
     "format_serve_bench",
 ]
@@ -67,6 +69,14 @@ class ServeBenchConfig:
     host_batch_size: int = 8
     controller_gain: float = 0.08
     seed: int = 0
+    #: Binary-kernel backend for the BNN stage (``repro.bnn.kernels``):
+    #: a backend name, "auto", or None for the REPRO_BNN_BACKEND default.
+    bnn_backend: str | None = None
+    #: When set, replace the constant ``t_bnn`` with a *measured*
+    #: seconds/image of the real folded CNV datapath at this width scale
+    #: under ``bnn_backend`` — so a faster kernel backend directly raises
+    #: the Eq. (1) bound the server is driven against.
+    measured_bnn_scale: float | None = None
 
     @property
     def analytic_bound_fps(self) -> float:
@@ -77,6 +87,49 @@ class ServeBenchConfig:
     @property
     def offered_fps(self) -> float:
         return self.arrival_rate_fraction * self.analytic_bound_fps
+
+
+def folded_bnn_scores_fn(folded, batch_size: int = 128):
+    """Adapt a :class:`repro.bnn.FoldedBNN` to the CascadeServer BNN stage.
+
+    The folded network's kernel backend (``FoldedBNN(backend=...)`` or the
+    ``REPRO_BNN_BACKEND`` override) carries through unchanged — this is
+    how a deployment serves real images instead of the synthetic stream.
+    """
+
+    def fn(images: np.ndarray) -> np.ndarray:
+        return folded.class_scores(images, batch_size=batch_size)
+
+    return fn
+
+
+def measured_t_bnn(
+    scale: float = 0.25,
+    backend: str | None = None,
+    batch_size: int = 64,
+    num_images: int = 128,
+    seed: int = 0,
+) -> float:
+    """Measured seconds/image of the real folded CNV datapath.
+
+    Uses an untrained width-scaled CNV (kernel cost is independent of the
+    weight values), so the serve bench can anchor its Eq. (1) bound to the
+    actual BNN throughput of the chosen kernel backend.
+    """
+    from ..bnn import fold_network
+    from ..data import normalize_to_pm1, synthetic_cifar10
+    from ..models import build_finn_cnv
+
+    net = build_finn_cnv(scale=scale, rng=np.random.default_rng(seed))
+    net.eval_mode()
+    folded = fold_network(net, backend=backend)
+    images = normalize_to_pm1(
+        synthetic_cifar10(num_train=1, num_test=num_images, seed=seed).test.images
+    )
+    folded.class_scores(images[:batch_size], batch_size=batch_size)  # warmup + autotune
+    start = time.perf_counter()
+    folded.class_scores(images, batch_size=batch_size)
+    return (time.perf_counter() - start) / len(images)
 
 
 def synthetic_serving_stack(config: ServeBenchConfig):
@@ -175,6 +228,17 @@ def _drive(
 
 def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
     config = config or ServeBenchConfig()
+    if config.measured_bnn_scale is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            t_bnn=measured_t_bnn(
+                scale=config.measured_bnn_scale,
+                backend=config.bnn_backend,
+                seed=config.seed,
+            ),
+        )
     runs = {}
     for label in ("naive", "adaptive"):
         bnn_fn, dmu, host_fn, scores = synthetic_serving_stack(config)

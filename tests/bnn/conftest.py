@@ -1,0 +1,31 @@
+"""Trained micro workbench for BNN regression tests.
+
+Same configuration (and therefore the same on-disk cache entry) as the
+experiment-layer tests, so the training cost is paid once per checkout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Workbench, WorkbenchConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+MICRO_CONFIG = WorkbenchConfig(
+    num_train=300,
+    num_test=120,
+    bnn_scale=0.1,
+    host_scale=0.15,
+    bnn_epochs=2,
+    host_epochs=2,
+)
+
+
+@pytest.fixture(scope="session")
+def micro_workbench() -> Workbench:
+    wb = Workbench(MICRO_CONFIG, cache_dir=REPO_ROOT / ".workbench_cache")
+    wb.prepare_all()
+    return wb

@@ -1,0 +1,37 @@
+"""Backend regression on a *trained* network.
+
+The property tests cover random operands; this pins the full deployed
+artifact: every kernel backend and both datapaths (packed and unpacked)
+must produce identical class scores — hence identical predictions and
+accuracy — for the trained micro-workbench CNV on its real test split.
+"""
+
+import numpy as np
+
+from repro.bnn import fold_network
+from repro.bnn.kernels import available_backends
+from repro.data import normalize_to_pm1
+
+
+def test_trained_network_identical_across_backends(micro_workbench):
+    net = micro_workbench.bnn_net
+    images = normalize_to_pm1(micro_workbench.splits.test.images)
+
+    baseline = fold_network(net, backend="reference", packed=False)
+    scores = baseline.class_scores(images, batch_size=64)
+    np.testing.assert_allclose(
+        scores, net.predict(images)[:, :10], rtol=1e-9, atol=1e-9
+    )
+
+    for backend in (*available_backends(), "auto"):
+        folded = fold_network(net, backend=backend, packed=True)
+        np.testing.assert_allclose(
+            folded.class_scores(images, batch_size=64),
+            scores,
+            rtol=1e-9,
+            atol=1e-9,
+            err_msg=backend,
+        )
+        np.testing.assert_array_equal(
+            folded.predict(images, batch_size=64), scores.argmax(axis=1), err_msg=backend
+        )

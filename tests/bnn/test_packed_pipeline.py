@@ -1,0 +1,166 @@
+"""Packed activation pipeline: bit containers vs the float datapath.
+
+Each packed building block (im2col byte-gather, threshold-to-bits,
+boolean-OR max pooling, weight permutation) must reproduce its float
+counterpart exactly, and the whole packed FoldedBNN must produce scores
+identical to the unpacked pipeline on every backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnn import (
+    BinaryActivation,
+    BinaryConv2D,
+    BinaryDense,
+    PackedMaps,
+    PackedRows,
+    fold_network,
+    maxpool_packed,
+)
+from repro.bnn.kernels import available_backends
+from repro.bnn.packing import conv_weight_words, dense_weight_words_hwc
+from repro.bnn.thresholding import ChannelThresholds
+from repro.bnn.xnor import pack_pm1
+from repro.nn import BatchNorm, Flatten, MaxPool2D, Sequential
+from repro.nn.functional import im2col, im2col_packed
+
+
+def pack_maps(x):
+    """Bit-pack float ±1 NCHW maps into the channel-innermost layout."""
+    n, c, h, w = x.shape
+    bc = -(-c // 8)
+    bits = np.zeros((n, h, w, bc * 8), dtype=np.uint8)
+    bits[..., :c] = (x > 0).transpose(0, 2, 3, 1)
+    return PackedMaps(np.packbits(bits.reshape(n, h, w, -1), axis=3), c)
+
+
+def random_pm1_maps(rng, n, c, h, w):
+    return rng.choice([-1.0, 1.0], size=(n, c, h, w))
+
+
+@pytest.mark.parametrize("channels", [1, 3, 8, 11])
+def test_packed_maps_round_trip(channels):
+    rng = np.random.default_rng(0)
+    x = random_pm1_maps(rng, 2, channels, 5, 4)
+    maps = pack_maps(x)
+    np.testing.assert_array_equal(maps.to_pm1(), x)
+    # Flattened rows unpack back to the (c, h, w) feature order Flatten uses.
+    np.testing.assert_array_equal(maps.flatten_rows().to_pm1(), x.reshape(2, -1))
+
+
+@pytest.mark.parametrize("channels,kernel", [(3, 3), (8, 3), (11, 2)])
+def test_packed_im2col_matches_float_im2col(channels, kernel):
+    """Packed conv = byte-gather im2col x permuted weights, bit for bit."""
+    rng = np.random.default_rng(1)
+    x = random_pm1_maps(rng, 2, channels, 7, 6)
+    weights = rng.choice([-1.0, 1.0], size=(5, channels * kernel * kernel))
+
+    cols = im2col(x, kernel, kernel, stride=1, pad=0)
+    expected = (cols @ weights.T).astype(np.int64)
+
+    packed_cols = im2col_packed(pack_maps(x).words, kernel, kernel, stride=1)
+    w_words = conv_weight_words(weights, channels, kernel)
+    n = channels * kernel * kernel
+    rows = PackedRows(packed_cols, n=n, layout=None)  # pads are zero both sides
+    from repro.bnn.kernels import get_kernel
+
+    for name in available_backends():
+        k = get_kernel(name)
+        out = k.matmul(rows.words, k.prepare(w_words, n), n)
+        np.testing.assert_array_equal(out, expected, err_msg=name)
+
+
+def test_dense_weight_words_hwc_matches_flatten_order():
+    rng = np.random.default_rng(2)
+    c, h, w = 11, 3, 4
+    x = random_pm1_maps(rng, 3, c, h, w)
+    weights = rng.choice([-1.0, 1.0], size=(6, c * h * w))
+    expected = (x.reshape(3, -1) @ weights.T).astype(np.int64)
+
+    rows = pack_maps(x).flatten_rows()
+    w_words = dense_weight_words_hwc(weights, h, w, c)
+    from repro.bnn.kernels import get_kernel
+
+    k = get_kernel("reference")
+    out = k.matmul(rows.words, k.prepare(w_words, rows.n), rows.n)
+    np.testing.assert_array_equal(out, expected)
+
+
+def test_apply_bits_matches_apply():
+    rng = np.random.default_rng(3)
+    channels = 13
+    thresholds = ChannelThresholds(
+        tau=rng.normal(0, 3, size=channels),
+        sign=rng.choice([-1.0, 0.0, 1.0], size=channels),
+        constant=rng.choice([-1.0, 1.0], size=channels),
+    )
+    y = rng.integers(-20, 20, size=(9, channels)).astype(np.float64)
+    # Include exact-threshold ties: sign(0) = +1 convention must survive.
+    y[0] = thresholds.tau
+
+    expected = thresholds.apply(y, channel_axis=1)
+    words = thresholds.apply_bits(y)
+    unpacked = np.unpackbits(words, axis=1)[:, :channels].astype(np.float64) * 2.0 - 1.0
+    np.testing.assert_array_equal(unpacked, expected)
+
+
+@pytest.mark.parametrize("channels", [3, 8, 9])
+def test_maxpool_packed_matches_float_maxpool(channels):
+    rng = np.random.default_rng(4)
+    x = random_pm1_maps(rng, 2, channels, 8, 8)
+    pooled = MaxPool2D(2).forward(x)
+    packed = maxpool_packed(pack_maps(x), window=2, stride=2)
+    np.testing.assert_array_equal(packed.to_pm1(), pooled)
+
+
+def random_bnn(rng, in_channels=3, channels=8, fc_width=16, num_classes=4):
+    net = Sequential(
+        [
+            BinaryConv2D(in_channels, channels, 3, rng=rng),
+            BatchNorm(channels),
+            BinaryActivation(),
+            BinaryConv2D(channels, channels, 3, rng=rng),
+            BatchNorm(channels),
+            BinaryActivation(),
+            MaxPool2D(2),
+            Flatten(),
+            BinaryDense(channels * 2 * 2, fc_width, rng=rng),
+            BatchNorm(fc_width),
+            BinaryActivation(),
+            BinaryDense(fc_width, num_classes, rng=rng),
+            BatchNorm(num_classes),
+        ]
+    )
+    for layer in net:
+        if isinstance(layer, BatchNorm):
+            n = layer.num_features
+            layer.running_mean.value = rng.normal(0, 2, size=n)
+            layer.running_var.value = rng.uniform(0.3, 3.0, size=n)
+            layer.gamma.value = rng.normal(0, 1, size=n)
+            layer.beta.value = rng.normal(0, 1, size=n)
+    net.eval_mode()
+    return net
+
+
+def test_packed_pipeline_matches_unpacked_on_all_backends():
+    rng = np.random.default_rng(5)
+    net = random_bnn(rng)
+    x = rng.uniform(-1, 1, size=(6, 3, 8, 8))
+    baseline = fold_network(net, num_classes=4, backend="reference", packed=False).forward(x)
+    np.testing.assert_allclose(baseline, net.forward(x), rtol=1e-9, atol=1e-9)
+    for backend in (*available_backends(), "auto"):
+        folded = fold_network(net, num_classes=4, backend=backend, packed=True)
+        np.testing.assert_allclose(
+            folded.forward(x), baseline, rtol=1e-9, atol=1e-9, err_msg=backend
+        )
+
+
+def test_with_backend_rebinds_without_refolding():
+    rng = np.random.default_rng(6)
+    net = random_bnn(rng)
+    x = rng.uniform(-1, 1, size=(3, 3, 8, 8))
+    folded = fold_network(net, num_classes=4, backend="reference")
+    rebased = folded.with_backend("bitplane")
+    assert rebased.stages is folded.stages
+    np.testing.assert_allclose(rebased.forward(x), folded.forward(x), rtol=1e-9, atol=1e-9)

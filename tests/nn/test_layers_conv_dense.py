@@ -87,6 +87,7 @@ class TestConv2DBackward:
     def test_grad_accumulates(self):
         rng = np.random.default_rng(2)
         layer = Conv2D(2, 2, 3, rng=rng)
+        layer.train_mode()
         x = rng.normal(size=(1, 2, 5, 5))
         layer.forward(x)
         layer.backward(np.ones((1, 2, 3, 3)))

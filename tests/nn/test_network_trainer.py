@@ -46,6 +46,7 @@ class TestSequential:
     def test_forward_backward_shapes(self):
         rng = np.random.default_rng(0)
         net = tiny_cnn(rng)
+        net.train_mode()  # backward needs the training-mode im2col cache
         x = rng.normal(size=(5, 1, 8, 8))
         out = net.forward(x)
         assert out.shape == (5, 3)
