@@ -24,6 +24,13 @@ Subpackages
     analytic Eqs. (1)-(2), and the multi-precision cascade pipeline.
 ``repro.hetero``
     Discrete-event simulator of the FPGA/CPU pipelined execution (Fig. 2).
+``repro.serve``
+    Concurrent cascade serving layer (request-driven Fig. 1).
+``repro.stream``
+    Live-video / ROI workload the paper motivates.
+``repro.obs``
+    Tracing & profiling: span tracer, counters/gauges, Chrome-trace
+    export, Eq. (1)/(3)-(5) predicted-vs-measured residuals.
 ``repro.experiments``
     One runner per paper table/figure.
 """

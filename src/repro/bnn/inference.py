@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..nn import functional as F
 from ..nn.layers.batchnorm import BatchNorm
 from ..nn.layers.dense import Dense
@@ -70,7 +71,13 @@ def _kernel_matmul(
     if prep is None:
         prep = kernel.prepare(weight_words, n_bits)
         prep_cache[key] = prep
-    return kernel.matmul(a_words, prep, n_bits)
+    if not obs.enabled():
+        return kernel.matmul(a_words, prep, n_bits)
+    with obs.trace_span(
+        "kernel." + name, category="kernel",
+        m=int(a_words.shape[0]), n_out=int(weight_words.shape[0]), n_bits=int(n_bits),
+    ):
+        return kernel.matmul(a_words, prep, n_bits)
 
 
 @dataclass
@@ -302,6 +309,7 @@ class FoldedBNN:
         self.backend = backend
         self.packed = packed
         self._plan: list[bool] | None = None
+        self._span_names: list[str] | None = None
 
     def with_backend(self, backend: str | None) -> "FoldedBNN":
         """Same stages (weight prep caches included), different backend."""
@@ -341,23 +349,57 @@ class FoldedBNN:
             self._plan = plan
         return self._plan
 
+    @property
+    def stage_labels(self) -> list[str]:
+        """CNV-style names per stage: ``conv1..convN``, ``pool1..``, ``fc1..``.
+
+        Matches the paper's Table I engine naming for the standard CNV
+        topology, so traced per-layer spans (``bnn.conv2`` ...) line up
+        with the Eq. (3)-(5) cycle-model predictions layer for layer.
+        """
+        if self._span_names is None:
+            counts = {"conv": 0, "fc": 0, "pool": 0, "head": 0}
+            labels = []
+            for stage in self.stages:
+                if isinstance(stage, FoldedConv):
+                    counts["conv"] += 1
+                    labels.append(f"conv{counts['conv']}")
+                elif isinstance(stage, FoldedDense):
+                    counts["fc"] += 1
+                    labels.append(f"fc{counts['fc']}")
+                elif isinstance(stage, FoldedPool):
+                    counts["pool"] += 1
+                    labels.append(f"pool{counts['pool']}")
+                else:
+                    counts["head"] += 1
+                    labels.append(f"head{counts['head']}")
+            self._span_names = labels
+        return self._span_names
+
     # -- inference -----------------------------------------------------------
     def forward(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-        """Raw output scores (N, out_features of the last engine)."""
+        """Raw output scores (N, out_features of the last engine).
+
+        With a :mod:`repro.obs` tracer installed, every stage emits a
+        ``bnn.<label>`` span (see :attr:`stage_labels`); without one the
+        per-stage overhead is a single global read.
+        """
         plan = self._emit_plan()
+        labels = self.stage_labels
         outputs = []
         for start in range(0, images.shape[0], batch_size):
             x: np.ndarray | PackedMaps | PackedRows = images[start : start + batch_size]
-            for stage, emit in zip(self.stages, plan):
+            for i, (stage, emit) in enumerate(zip(self.stages, plan)):
                 if isinstance(stage, (FoldedDense, FloatDenseHead)):
                     if isinstance(x, PackedMaps):
                         x = x.flatten_rows()
                     elif isinstance(x, np.ndarray) and x.ndim == 4:
                         x = x.reshape(x.shape[0], -1)
-                if isinstance(stage, (FoldedConv, FoldedDense)):
-                    x = stage(x, emit_packed=emit, backend=self.backend)
-                else:
-                    x = stage(x)
+                with obs.trace_span("bnn." + labels[i], category="bnn"):
+                    if isinstance(stage, (FoldedConv, FoldedDense)):
+                        x = stage(x, emit_packed=emit, backend=self.backend)
+                    else:
+                        x = stage(x)
             outputs.append(x)
         return np.concatenate(outputs, axis=0)
 

@@ -8,6 +8,12 @@ bit-packed operands:
   the same packed representation;
 * ``n``: the number of *valid* bit positions per row.
 
+This is the software stand-in for the paper's FPGA compute fabric: one
+``matmul`` call corresponds to what a FINN PE×SIMD engine array does in
+``CC`` cycles under Eqs. (3)-(4) (see :mod:`repro.finn`), which is why
+the kernel benchmark compares per-layer measured time against that
+cycle model (:func:`repro.obs.eq345_layer_residuals`).
+
 The packed layout contract is shared by every backend: bit 1 encodes +1,
 bit 0 encodes -1, and any pad position (trailing byte fill or embedded
 channel-group padding) is 0 in **both** operands.  Under that contract a

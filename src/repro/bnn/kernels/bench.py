@@ -9,6 +9,12 @@ datapath is tracked in-repo from PR to PR.
 The end-to-end leg runs an *untrained* width-scaled CNV: kernel
 throughput does not depend on the weight values, so no training budget is
 needed, and the same topology/scale is reproducible everywhere.
+
+Paper anchors: the timed shapes are exactly the binary-layer workloads
+of Table I's CNV (width-scaled); the report's ``finn_prediction``
+section compares each layer's measured time share against the FINN
+cycle model of Eqs. (3)-(5) at P = S = 1
+(:func:`repro.obs.eq345_layer_residuals`).
 """
 
 from __future__ import annotations
@@ -24,7 +30,13 @@ import numpy as np
 from .base import available_backends, get_kernel
 from .select import select_backend
 
-__all__ = ["KernelBenchConfig", "run_kernel_bench", "format_kernel_bench", "write_kernel_bench"]
+__all__ = [
+    "KernelBenchConfig",
+    "cnv_binary_shapes",
+    "run_kernel_bench",
+    "format_kernel_bench",
+    "write_kernel_bench",
+]
 
 
 @dataclass(frozen=True)
@@ -51,8 +63,13 @@ class KernelBenchConfig:
         return replace(self, batch_size=16, num_images=32, repeats=1)
 
 
-def _cnv_binary_shapes(scale: float, image_size: int) -> list[dict]:
-    """(label, M-per-image, N, n_bits) of every binary matmul in scaled CNV."""
+def cnv_binary_shapes(scale: float, image_size: int = 32) -> list[dict]:
+    """(label, M-per-image, N, n_bits) of every binary matmul in scaled CNV.
+
+    ``n_out * n_bits * rows_per_image`` is each layer's Eq. (3)/(4) cycle
+    count at P = S = 1, which is what :mod:`repro.obs.residuals` compares
+    measured per-layer time against.
+    """
     from ...models.finn_cnv import CNV_FC_WIDTH, scaled_channels
 
     c = scaled_channels(scale)
@@ -97,7 +114,7 @@ def _time_call(fn, repeats: int) -> float:
 def _bench_shapes(config: KernelBenchConfig, backends: tuple[str, ...]) -> list[dict]:
     rng = np.random.default_rng(config.seed)
     results = []
-    for shape in _cnv_binary_shapes(config.scale, config.image_size):
+    for shape in cnv_binary_shapes(config.scale, config.image_size):
         m = shape["rows_per_image"] * config.batch_size
         n_out, n_bits = shape["n_out"], shape["n_bits"]
         words = -(-n_bits // 8)
@@ -182,6 +199,23 @@ def run_kernel_bench(
     shapes = _bench_shapes(config, backends)
     # Dominant shape: where the reference kernel burns the most time.
     dominant = max(shapes, key=lambda s: s["timings_s"]["reference"])
+    # Eqs. (3)-(5) check: predicted per-layer work share (cycle model at
+    # P = S = 1) vs the measured time share of each layer's autotuned
+    # backend — where the software datapath diverges from the FINN model.
+    from ...obs.residuals import eq345_layer_residuals
+
+    finn_prediction = eq345_layer_residuals(
+        [
+            {
+                "label": s["label"],
+                "rows_per_image": s["rows_per_image"],
+                "n_out": s["n_out"],
+                "n_bits": s["n_bits"],
+                "measured_seconds": s["timings_s"][s["autotuned"]],
+            }
+            for s in shapes
+        ]
+    )
     report = {
         "config": {
             "scale": config.scale,
@@ -202,6 +236,7 @@ def run_kernel_bench(
             "speedup_vs_reference": dominant["speedup_vs_reference"],
             "autotuned": dominant["autotuned"],
         },
+        "finn_prediction": finn_prediction,
         "end_to_end": _bench_end_to_end(config, backends),
     }
     return report
@@ -248,7 +283,24 @@ def format_kernel_bench(report: dict) -> str:
         f"{max(dom['speedup_vs_reference'].values()):.1f}x the reference kernel "
         f"(autotuner picks {dom['autotuned']})."
     )
-    return shape_table + "\n\n" + e2e_table + note
+    finn = report.get("finn_prediction", [])
+    finn_table = ""
+    if finn:
+        finn_rows = [
+            [
+                row["label"],
+                f"{row['predicted_fraction']:.1%}",
+                f"{row['measured_fraction']:.1%}",
+                f"{row['residual_fraction']:+.1%}",
+            ]
+            for row in finn
+        ]
+        finn_table = "\n\n" + render_table(
+            ["layer", "Eq.(3)/(4) share", "measured share", "residual"],
+            finn_rows,
+            title="FINN cycle-model (Eqs. 3-5) predicted vs measured time share",
+        )
+    return shape_table + "\n\n" + e2e_table + finn_table + note
 
 
 def write_kernel_bench(report: dict, path: str | Path) -> Path:

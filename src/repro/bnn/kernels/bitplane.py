@@ -21,6 +21,10 @@ integer bounded by ``n``; float32 represents integers exactly up to
 used beyond that).  Pad bits are 0 in the activation plane, so whatever
 the weight plane holds at pad positions contributes nothing, and the
 weight row-sum counts set bits (valid positions) only.
+
+Paper anchor: computes the same binary-layer product FINN's PE array
+evaluates (Sec. II-B, the workload Eqs. (3)-(4) count cycles for) —
+the algebra above is just the fastest numpy route to that result.
 """
 
 from __future__ import annotations

@@ -6,6 +6,10 @@ fewer elements than the uint8 path, and the popcount is four table
 gathers per word from a 64 KiB uint16 table — no ``np.bitwise_count``,
 so this path is also the performant option on NumPy < 2.0 where the
 native popcount ufunc does not exist.
+
+Paper anchor: same FINN XNOR-popcount arithmetic as the reference
+backend (Sec. II-B), bit-exact by construction — only the word width
+and popcount mechanism differ.
 """
 
 from __future__ import annotations

@@ -1,4 +1,11 @@
-"""Reference backend: chunked uint8 XOR + popcount (the seed implementation)."""
+"""Reference backend: chunked uint8 XOR + popcount (the seed implementation).
+
+This is the straight software transliteration of the FINN PE datapath
+the paper builds on (Sec. II-B): XNOR the packed ±1 operands, popcount,
+then ``dot = n - 2 * popcount(xor(a, w))``.  Every other backend in
+:mod:`repro.bnn.kernels` must match it bit-for-bit; it is also the
+baseline all ``repro bench-kernels`` speedups are quoted against.
+"""
 
 from __future__ import annotations
 

@@ -15,6 +15,7 @@ import time
 
 import numpy as np
 
+from ...obs.tracer import active as _active_tracer
 from .base import available_backends, get_kernel
 
 __all__ = ["select_backend", "clear_selection_cache", "selection_cache"]
@@ -86,7 +87,16 @@ def select_backend(
         a_words[:, -1] &= mask
         w_words[:, -1] &= mask
 
+    tracer = _active_tracer()
+    tune_start = tracer.now() if tracer is not None else None
     timings = {name: _time_kernel(get_kernel(name), a_words, w_words, int(n_bits)) for name in names}
     winner = min(timings, key=timings.get)
     _CACHE[key] = winner
+    if tracer is not None:
+        # One span per cache miss: the autotune cost and its decision.
+        tracer.add_span(
+            "kernel.autotune", tune_start, tracer.now(), category="kernel",
+            m_bucket=m_bucket, n_out=int(n_out), n_bits=int(n_bits), winner=winner,
+            timings_ms={name: t * 1e3 for name, t in timings.items()},
+        )
     return winner

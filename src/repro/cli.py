@@ -21,6 +21,13 @@ and the binary-kernel backends have a benchmark harness:
 
     python -m repro bench-kernels
     python -m repro bench-kernels --smoke --output /tmp/BENCH_kernels.json
+
+``repro trace`` records one served cascade run with the :mod:`repro.obs`
+tracer and writes a Chrome trace-event timeline (Eq. (1) overlap made
+visible, Eqs. (3)-(5) per-layer breakdown printed):
+
+    python -m repro trace --output trace.json
+    python -m repro trace --backend bitplane --simulated trace_sim.json
 """
 
 from __future__ import annotations
@@ -134,6 +141,13 @@ def serve_bench_main(argv: list[str]) -> int:
             "real folded CNV at this width scale under --bnn-backend"
         ),
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "record the adaptive leg with repro.obs and write a Chrome "
+            "trace-event JSON (chrome://tracing / Perfetto) to PATH"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.target_rerun <= 1.0:
@@ -164,6 +178,7 @@ def serve_bench_main(argv: list[str]) -> int:
         seed=args.seed,
         bnn_backend=args.bnn_backend,
         measured_bnn_scale=args.measure_t_bnn,
+        trace_path=args.trace,
     )
     print(
         f"serve-bench: 2 runs x {config.num_requests} requests, "
@@ -210,6 +225,13 @@ def bench_kernels_main(argv: list[str]) -> int:
         "--output", default="benchmarks/results/BENCH_kernels.json",
         help="JSON report path, or '-' to skip writing (default %(default)s)",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help=(
+            "run the benchmark under a repro.obs tracer (kernel.* and bnn.* "
+            "spans, autotune decisions) and write Chrome trace JSON to PATH"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.scale <= 0:
         parser.error("--scale must be positive")
@@ -233,7 +255,15 @@ def bench_kernels_main(argv: list[str]) -> int:
     )
     print("bench-kernels: timing backends (bit-exactness verified per shape) ...",
           file=sys.stderr)
-    report = run_kernel_bench(config, backends=args.backends)
+    if args.trace:
+        from . import obs
+
+        with obs.tracing() as tracer:
+            report = run_kernel_bench(config, backends=args.backends)
+        trace_path = obs.write_chrome_trace(tracer, args.trace)
+        print(f"wrote {trace_path} ({len(tracer.spans)} spans)", file=sys.stderr)
+    else:
+        report = run_kernel_bench(config, backends=args.backends)
     print(format_kernel_bench(report))
     if args.output != "-":
         path = write_kernel_bench(report, args.output)
@@ -244,12 +274,122 @@ def bench_kernels_main(argv: list[str]) -> int:
     return 0 if exact else 1
 
 
+def trace_main(argv: list[str]) -> int:
+    """``repro trace``: record one traced cascade run and export it."""
+    from .obs.run import (
+        TraceRunConfig,
+        format_trace_report,
+        run_traced_cascade,
+        write_simulated_trace,
+        write_trace,
+    )
+
+    defaults = TraceRunConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Serve a synthetic image stream through the real folded-CNV + host "
+            "cascade with the repro.obs tracer installed; print the span "
+            "summary, the Eq. (1) overlap/residual checks and the Eqs. (3)-(5) "
+            "per-layer breakdown; write a Chrome trace-event JSON timeline."
+        ),
+    )
+    parser.add_argument("--requests", type=int, default=defaults.num_images,
+                        help="images served (default %(default)s)")
+    parser.add_argument("--scale", type=float, default=defaults.scale,
+                        help="CNV width scale of the BNN stage (default %(default)s)")
+    parser.add_argument("--host-scale", type=float, default=defaults.host_scale,
+                        help="Model A width scale of the host stage (default %(default)s)")
+    parser.add_argument(
+        "--backend", default=None,
+        help="binary-kernel backend (reference/bitplane/lut64/auto; default: env/auto)",
+    )
+    parser.add_argument("--target-rerun", type=float, default=defaults.target_rerun_ratio,
+                        help="DMU threshold is calibrated to this rerun ratio")
+    parser.add_argument("--batch-size", type=int, default=defaults.max_batch_size)
+    parser.add_argument("--host-workers", type=int, default=defaults.num_host_workers)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--output", default="trace.json", metavar="PATH",
+        help="Chrome trace JSON path, '-' to skip writing (default %(default)s)",
+    )
+    parser.add_argument(
+        "--simulated", default=None, metavar="PATH",
+        help=(
+            "also write the idealized repro.hetero simulation of the same run "
+            "(measured stage times, perfect pipelining) as a second trace"
+        ),
+    )
+    parser.add_argument(
+        "--summary-json", default=None, metavar="PATH",
+        help="write the span-summary/residual digest as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.scale <= 0 or args.host_scale <= 0:
+        parser.error("--scale and --host-scale must be positive")
+    if not 0.0 <= args.target_rerun <= 1.0:
+        parser.error(f"--target-rerun must be in [0, 1], got {args.target_rerun}")
+    for name in ("batch_size", "host_workers"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name.replace('_', '-')} must be >= 1")
+
+    config = TraceRunConfig(
+        num_images=args.requests,
+        scale=args.scale,
+        host_scale=args.host_scale,
+        backend=args.backend,
+        target_rerun_ratio=args.target_rerun,
+        max_batch_size=args.batch_size,
+        num_host_workers=args.host_workers,
+        seed=args.seed,
+    )
+    print(
+        f"trace: serving {config.num_images} synthetic images through the "
+        f"folded CNV (scale={config.scale}) + host cascade ...",
+        file=sys.stderr,
+    )
+    report = run_traced_cascade(config)
+    print(format_trace_report(report))
+    if args.output != "-":
+        path = write_trace(report.tracer, args.output)
+        print(f"\nwrote {path} — load it in chrome://tracing or ui.perfetto.dev",
+              file=sys.stderr)
+    if args.simulated:
+        path = write_simulated_trace(report, args.simulated)
+        print(f"wrote {path} (idealized hetero simulation of the same run)",
+              file=sys.stderr)
+    if args.summary_json:
+        import json
+        from pathlib import Path
+
+        digest = {
+            "summary": report.summary,
+            "overlap_seconds": report.overlap_seconds,
+            "bnn_busy_seconds": report.bnn_busy_seconds,
+            "host_busy_seconds": report.host_busy_seconds,
+            "layer_residuals": report.layer_residuals,
+            "eq1": report.eq1,
+            "rerun_ratio": report.rerun_ratio,
+            "completed": report.completed,
+            "wall_seconds": report.wall_seconds,
+        }
+        path = Path(args.summary_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
     if argv and argv[0] == "bench-kernels":
         return bench_kernels_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of the DATE'18 multi-precision CNN paper.",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..bnn.inference import FoldedBNN
 from ..nn import Sequential
 from .dmu import DecisionMakingUnit
@@ -107,17 +108,21 @@ class MultiPrecisionPipeline:
         if bnn_in.shape[0] != images.shape[0]:
             raise ValueError("images and bnn_images must align")
 
-        scores = self.bnn.class_scores(bnn_in, batch_size=batch_size)
-        bnn_pred = scores.argmax(axis=1)
-        confidence = self.dmu.confidence(scores)
-        rerun = confidence < self.threshold
+        with obs.trace_span("cascade.bnn", images=int(images.shape[0])):
+            scores = self.bnn.class_scores(bnn_in, batch_size=batch_size)
+        with obs.trace_span("cascade.dmu"):
+            bnn_pred = scores.argmax(axis=1)
+            confidence = self.dmu.confidence(scores)
+            rerun = confidence < self.threshold
 
         predictions = bnn_pred.copy()
         if rerun.any():
-            host_pred = self.host_net.predict_classes(images[rerun], batch_size=batch_size)
+            with obs.trace_span("cascade.host", images=int(rerun.sum())):
+                host_pred = self.host_net.predict_classes(images[rerun], batch_size=batch_size)
             predictions[rerun] = host_pred
         else:
             host_pred = np.empty(0, dtype=bnn_pred.dtype)
+        obs.count("cascade.rerun", int(rerun.sum()))
         return CascadeResult(
             predictions=predictions,
             bnn_predictions=bnn_pred,

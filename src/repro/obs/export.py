@@ -1,0 +1,183 @@
+"""Trace exporters: Chrome trace-event JSON and plain JSON summaries.
+
+``chrome://tracing`` / Perfetto's legacy JSON format renders the
+cascade's timeline directly: one track per thread, nested "X" (complete)
+events for spans, "C" (counter) tracks for queue depths and R_rerun
+counters, "i" (instant) markers for decisions.  Loading the emitted file
+makes the paper's Eq. (1) overlap claim *visible* — the ``serve.bnn``
+and ``serve.host`` tracks run simultaneously when the cascade pipelines
+correctly.
+
+Format reference: the Trace Event Format (Google, "JSON Array Format" /
+"JSON Object Format").  Timestamps are microseconds; we emit the object
+form ``{"traceEvents": [...]}`` which both viewers accept.
+
+:func:`timeline_to_chrome` converts the *simulated* timeline of
+:mod:`repro.hetero` (virtual seconds, one track per device) to the same
+format, so measured and simulated cascades can be compared in one UI.
+The function duck-types on ``timeline.intervals`` to keep ``repro.obs``
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .stats import summarize_spans
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "trace_summary",
+    "timeline_to_chrome",
+]
+
+_PID = 1
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """All tracer events as Chrome trace-event dicts (ts in microseconds)."""
+    events: list[dict] = []
+    thread_names: dict[int, str] = {}
+
+    for span in tracer.spans:
+        thread_names.setdefault(span.thread_id, span.thread_name)
+        args = {"depth": span.depth}
+        if span.parent:
+            args["parent"] = span.parent
+        args.update(span.args)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": _PID,
+                "tid": span.thread_id,
+                "args": args,
+            }
+        )
+
+    for name, ts, tid, args in tracer.instants:
+        events.append(
+            {
+                "name": name,
+                "cat": "instant",
+                "ph": "i",
+                "s": "t",          # thread-scoped marker
+                "ts": ts * 1e6,
+                "pid": _PID,
+                "tid": tid,
+                "args": dict(args),
+            }
+        )
+
+    for name, samples in tracer.counter_samples().items():
+        for ts, value in samples:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": ts * 1e6,
+                    "pid": _PID,
+                    "args": {"value": value},
+                }
+            )
+    for name, samples in tracer.gauge_samples().items():
+        for ts, value in samples:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "gauge",
+                    "ph": "C",
+                    "ts": ts * 1e6,
+                    "pid": _PID,
+                    "args": {"value": value},
+                }
+            )
+
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": thread_name},
+        }
+        for tid, thread_name in sorted(thread_names.items())
+    ]
+    return metadata + sorted(events, key=lambda e: e["ts"])
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """The full Chrome-loadable trace object."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "spans": len(tracer.spans),
+            "dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write the trace JSON; load the file in chrome://tracing or Perfetto."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(tracer), indent=1) + "\n")
+    return path
+
+
+def trace_summary(tracer: Tracer) -> dict:
+    """JSON-serializable digest: span summaries + final counters + drops."""
+    return {
+        "spans": {
+            name: summary.as_dict()
+            for name, summary in summarize_spans(tracer.spans).items()
+        },
+        "counters": tracer.counters(),
+        "dropped": tracer.dropped,
+    }
+
+
+def timeline_to_chrome(timeline, time_scale: float = 1e6) -> dict:
+    """Convert a :class:`repro.hetero.Timeline` to Chrome trace format.
+
+    The simulator runs in virtual seconds; ``time_scale`` maps them to
+    trace microseconds (default 1:1 real time).  Each device becomes a
+    named track, so the Fig. 2 async/wait overlap of FPGA batch ``i``
+    with host rerun ``i-1`` renders exactly like a measured trace.
+    """
+    devices = sorted({interval.device for interval in timeline.intervals})
+    tids = {device: index + 1 for index, device in enumerate(devices)}
+    events: list[dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": f"sim:{device}"},
+        }
+        for device, tid in tids.items()
+    ]
+    for interval in timeline.intervals:
+        events.append(
+            {
+                "name": interval.label,
+                "cat": "simulated",
+                "ph": "X",
+                "ts": interval.start * time_scale,
+                "dur": (interval.end - interval.start) * time_scale,
+                "pid": _PID,
+                "tid": tids[interval.device],
+                "args": {"device": interval.device},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,106 @@
+"""Predicted-vs-measured residuals for the paper's timing equations.
+
+Two predictions bracket the cascade:
+
+* **Eq. (1)** ``t_multi = max(t_fp * R_rerun, t_bnn)`` predicts the
+  *system* interval from the stage times and the realized rerun ratio.
+  :func:`eq1_residual` reports how far a measured serving run sits from
+  that bound (positive residual = slower than predicted, the expected
+  direction: Eq. (1) ignores batching quantization, queueing and thread
+  scheduling).
+* **Eqs. (3)–(5)** (FINN's cycle model) predict *where time goes inside
+  the BNN*: at full unfold (P = S = 1) a layer's cycle count is exactly
+  its single-bit MAC count — ``OD * K*K*ID * OH * OW`` for conv (Eq. 3),
+  ``OD * ID`` for FC (Eq. 4) — and FPS is clock over the pipeline
+  maximum (Eq. 5).  Our software kernels share no clock with an FPGA, so
+  the comparable quantity is the *share* of time per layer:
+  :func:`eq345_layer_residuals` compares each binary layer's predicted
+  work fraction against its measured time fraction.  A layer whose
+  measured share far exceeds its op share is where the software datapath
+  diverges from the hardware cost model (e.g. GEMM shape effects).
+
+Stdlib-only except for :mod:`repro.core.analytic`, which owns the
+Eq. (1) closed form.
+"""
+
+from __future__ import annotations
+
+__all__ = ["eq1_residual", "eq345_layer_residuals"]
+
+
+def eq1_residual(
+    measured_seconds_per_image: float,
+    t_fp: float,
+    t_bnn: float,
+    rerun_ratio: float,
+    num_host_workers: int = 1,
+) -> dict:
+    """Measured serving interval vs the Eq. (1) prediction.
+
+    The host term is divided by the worker-pool size: Eq. (1) models a
+    single host executor, and a pool drains flagged images that much
+    faster.  Returns a JSON-serializable dict with the prediction, the
+    measurement, the absolute residual (seconds/image) and the relative
+    residual (fraction of the prediction).
+    """
+    from ..core.analytic import multi_precision_interval
+
+    if num_host_workers < 1:
+        raise ValueError("num_host_workers must be >= 1")
+    predicted = multi_precision_interval(t_fp / num_host_workers, t_bnn, rerun_ratio)
+    residual = measured_seconds_per_image - predicted
+    return {
+        "predicted_seconds_per_image": predicted,
+        "measured_seconds_per_image": measured_seconds_per_image,
+        "residual_seconds_per_image": residual,
+        "relative_residual": residual / predicted,
+        "rerun_ratio": rerun_ratio,
+        "t_fp": t_fp,
+        "t_bnn": t_bnn,
+        "num_host_workers": num_host_workers,
+    }
+
+
+def eq345_layer_residuals(layers: list[dict]) -> list[dict]:
+    """Per-layer predicted work share (Eqs. 3–4) vs measured time share.
+
+    Each input dict describes one binary layer:
+
+    * ``label`` — layer name (``conv2`` ... ``fc3``);
+    * ``rows_per_image`` — output pixels OH*OW (1 for FC);
+    * ``n_out`` — output channels/features OD;
+    * ``n_bits`` — fan-in K*K*ID (conv) or ID (fc);
+    * ``measured_seconds`` — measured time of the layer's matmul.
+
+    ``n_out * n_bits * rows_per_image`` is the Eq. (3)/(4) cycle count at
+    P = S = 1, so the predicted fraction is each layer's share of total
+    single-bit MAC work.  Returns one dict per layer with both fractions
+    and the residual (measured − predicted), plus the op count feeding
+    Eq. (5)'s ``FPS = clock / max(CC)`` bottleneck argument.
+    """
+    for layer in layers:
+        for key in ("label", "rows_per_image", "n_out", "n_bits", "measured_seconds"):
+            if key not in layer:
+                raise ValueError(f"layer entry missing {key!r}: {layer}")
+        if layer["measured_seconds"] < 0:
+            raise ValueError("measured_seconds must be >= 0")
+    total_ops = sum(l["n_out"] * l["n_bits"] * l["rows_per_image"] for l in layers)
+    total_seconds = sum(l["measured_seconds"] for l in layers)
+    if total_ops <= 0 or total_seconds <= 0:
+        raise ValueError("need positive total work and total measured time")
+    out = []
+    for layer in layers:
+        ops = layer["n_out"] * layer["n_bits"] * layer["rows_per_image"]
+        predicted = ops / total_ops
+        measured = layer["measured_seconds"] / total_seconds
+        out.append(
+            {
+                "label": layer["label"],
+                "ops": ops,
+                "predicted_fraction": predicted,
+                "measured_fraction": measured,
+                "residual_fraction": measured - predicted,
+                "measured_seconds": layer["measured_seconds"],
+            }
+        )
+    return out

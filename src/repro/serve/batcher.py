@@ -12,6 +12,12 @@ batches.
 ``submit`` applies front-door backpressure: when the pending buffer is at
 capacity it blocks until the flusher drains, so an open-loop client can
 never grow memory without bound.
+
+Paper anchor: the front door of Fig. 1's cascade — the batch dimension
+is what the paper's FPGA streaming (and Eq. (5)'s per-batch overheads)
+assume exists.  With a :mod:`repro.obs` tracer installed, each flush
+emits a ``serve.batch`` span covering oldest-pending-item -> flush (the
+batching latency cost), a pending-depth gauge and flush counters.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from __future__ import annotations
 import threading
 import time
 from typing import Callable, Generic, TypeVar
+
+from .. import obs
 
 __all__ = ["MicroBatcher"]
 
@@ -68,6 +76,9 @@ class MicroBatcher(Generic[T]):
         self._has_room = threading.Condition(self._lock)
         self._pending: list[T] = []
         self._oldest_ts: float | None = None
+        #: Same instant as ``_oldest_ts`` but on the tracer's clock, so the
+        #: "serve.batch" span is consistent with spans the tracer times.
+        self._oldest_trace_ts: float | None = None
         self._closed = False
         self._thread = threading.Thread(target=self._run, name="micro-batcher", daemon=True)
         self._thread.start()
@@ -82,6 +93,8 @@ class MicroBatcher(Generic[T]):
                 raise RuntimeError("batcher is closed")
             if not self._pending:
                 self._oldest_ts = self._clock()
+                tracer = obs.active()
+                self._oldest_trace_ts = tracer.now() if tracer is not None else None
             self._pending.append(item)
             self._has_work.notify()
 
@@ -94,6 +107,15 @@ class MicroBatcher(Generic[T]):
     def _take_batch_locked(self) -> list[T]:
         batch = self._pending[: self.max_batch_size]
         del self._pending[: self.max_batch_size]
+        tracer = obs.active()
+        if tracer is not None:
+            now = tracer.now()
+            start = self._oldest_trace_ts if self._oldest_trace_ts is not None else now
+            tracer.add_span("serve.batch", start, now, items=len(batch),
+                            pending=len(self._pending))
+            tracer.gauge("batcher.pending", len(self._pending))
+            tracer.count("batcher.flushed", len(batch))
+            self._oldest_trace_ts = now if self._pending else None
         self._oldest_ts = self._clock() if self._pending else None
         self._has_room.notify_all()
         return batch

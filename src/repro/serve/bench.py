@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core.ascii_chart import line_chart
 from ..core.dmu import DecisionMakingUnit
 from ..core.report import format_percent, format_rate, render_table
@@ -77,6 +78,10 @@ class ServeBenchConfig:
     #: under ``bnn_backend`` — so a faster kernel backend directly raises
     #: the Eq. (1) bound the server is driven against.
     measured_bnn_scale: float | None = None
+    #: When set, run the *adaptive* leg under a :mod:`repro.obs` tracer
+    #: and write the Chrome trace JSON here; the report gains the span
+    #: summary and per-policy Eq. (1) residuals.
+    trace_path: str | None = None
 
     @property
     def analytic_bound_fps(self) -> float:
@@ -166,6 +171,9 @@ class ServeBenchRun:
     steady: MetricsSnapshot        # second-half window (steady state)
     final_threshold: float
     analytic_bound_fps: float
+    #: Eq. (1) residual at the *realized* steady rerun ratio
+    #: (:func:`repro.obs.eq1_residual`), set by :func:`run_serve_bench`.
+    eq1: dict | None = None
 
     @property
     def bound_fraction(self) -> float:
@@ -178,6 +186,10 @@ class ServeBenchReport:
     config: ServeBenchConfig
     naive: ServeBenchRun
     adaptive: ServeBenchRun
+    #: Chrome trace written for the adaptive leg (``trace_path`` set).
+    trace_file: str | None = None
+    #: Span summaries + counters of the traced leg (JSON-serializable).
+    span_summary: dict | None = None
 
 
 def _drive(
@@ -240,6 +252,8 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             ),
         )
     runs = {}
+    trace_file = None
+    span_summary = None
     for label in ("naive", "adaptive"):
         bnn_fn, dmu, host_fn, scores = synthetic_serving_stack(config)
         if label == "adaptive":
@@ -263,17 +277,44 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             num_host_workers=config.num_host_workers,
             host_batch_size=config.host_batch_size,
         )
-        with server:
-            total, steady = _drive(server, scores, config, label)
-            final_threshold = server.threshold
+        # Trace only the adaptive leg: one representative timeline, and
+        # the naive leg stays a tracer-free control for the overhead claim.
+        trace_this = config.trace_path is not None and label == "adaptive"
+        if trace_this:
+            with obs.tracing() as tracer:
+                with server:
+                    total, steady = _drive(server, scores, config, label)
+                    final_threshold = server.threshold
+            trace_file = str(obs.write_chrome_trace(tracer, config.trace_path))
+            span_summary = obs.trace_summary(tracer)
+        else:
+            with server:
+                total, steady = _drive(server, scores, config, label)
+                final_threshold = server.threshold
+        eq1 = obs.eq1_residual(
+            measured_seconds_per_image=(
+                steady.wall_seconds / steady.completed if steady.completed else float("nan")
+            ),
+            t_fp=config.t_fp,
+            t_bnn=config.t_bnn,
+            rerun_ratio=steady.rerun_ratio,
+            num_host_workers=config.num_host_workers,
+        )
         runs[label] = ServeBenchRun(
             label=label,
             total=total,
             steady=steady,
             final_threshold=final_threshold,
             analytic_bound_fps=config.analytic_bound_fps,
+            eq1=eq1,
         )
-    return ServeBenchReport(config=config, naive=runs["naive"], adaptive=runs["adaptive"])
+    return ServeBenchReport(
+        config=config,
+        naive=runs["naive"],
+        adaptive=runs["adaptive"],
+        trace_file=trace_file,
+        span_summary=span_summary,
+    )
 
 
 def format_serve_bench(report: ServeBenchReport) -> str:
@@ -323,9 +364,35 @@ def format_serve_bench(report: ServeBenchReport) -> str:
             x_label="batch",
             y_label="thr",
         )
+    residual_lines = []
+    for run in (report.naive, report.adaptive):
+        if run.eq1 is None:
+            continue
+        residual_lines.append(
+            f"  {run.label:<9} predicted "
+            f"{run.eq1['predicted_seconds_per_image'] * 1e3:.2f} ms/img, measured "
+            f"{run.eq1['measured_seconds_per_image'] * 1e3:.2f} ms/img "
+            f"({run.eq1['relative_residual']:+.0%})"
+        )
+    residuals = ""
+    if residual_lines:
+        residuals = (
+            "\n\nEq. (1) residual at each policy's *realized* steady R_rerun:\n"
+            + "\n".join(residual_lines)
+        )
+    spans = ""
+    if report.span_summary is not None:
+        spans = "\n\n" + obs.format_span_summaries(
+            {
+                name: obs.SpanSummary(**row)
+                for name, row in report.span_summary["spans"].items()
+            },
+            title="adaptive-leg span summary (trace written to "
+            f"{report.trace_file})",
+        )
     notes = (
         "\nnaive saturates the host queue and sheds load (degraded); the\n"
         "controller walks the threshold down until the rerun ratio holds the\n"
         "target, keeping the host pool busy but un-saturated (Eq. (1) regime)."
     )
-    return table + chart + notes
+    return table + chart + residuals + spans + notes

@@ -6,6 +6,13 @@ controller).  All mutation goes through a single lock, and
 :meth:`ServerMetrics.snapshot` returns an immutable, self-consistent view
 that the reporting layers — ``repro.cli serve-bench`` and
 :func:`repro.hetero.metrics.compare_serving_with_eq1` — consume.
+
+Paper anchors: the accepted/rerun/degraded counts realize the paper's
+``R_rerun`` (Sec. III), the quantity Eq. (1) prices host time with
+(``t_multi = max(t_fp * R_rerun, t_bnn)``); ``MetricsSnapshot.since``
+carves the steady-state windows that are compared against that bound.
+For event-level timing (individual spans rather than aggregates) the
+server is instrumented with :mod:`repro.obs`.
 """
 
 from __future__ import annotations

@@ -23,6 +23,12 @@ batch's flagged subset in parallel):
 An :class:`~repro.serve.controller.AdaptiveThresholdController` closes
 the loop between the two stages at runtime; a plain float threshold
 reproduces the paper's static operating point.
+
+Paper anchors: Fig. 1 (cascade structure), Eq. (1) timing regime
+(host-bound vs BNN-bound).  When a :mod:`repro.obs` tracer is installed
+the workers emit ``serve.enqueue`` / ``serve.bnn`` / ``serve.dmu`` /
+``serve.host`` spans plus queue-depth gauges and accepted/rerun/degraded
+counters; with no tracer installed the instrumentation is a no-op.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.dmu import DecisionMakingUnit
 from .batcher import MicroBatcher
 from .controller import AdaptiveThresholdController
@@ -218,8 +225,12 @@ class CascadeServer:
 
     # -- internal: batcher -> BNN queue -------------------------------------
     def _enqueue_bnn_batch(self, batch: list[_Request]) -> None:
-        self._bnn_queue.put(batch)  # bounded: blocks, pushing backpressure up
-        self.metrics.set_queue_depth(BNN_QUEUE, self._bnn_queue.qsize())
+        # Span covers the bounded put: its duration IS the backpressure.
+        with obs.trace_span("serve.enqueue", batch=len(batch)):
+            self._bnn_queue.put(batch)  # bounded: blocks, pushing backpressure up
+        depth = self._bnn_queue.qsize()
+        self.metrics.set_queue_depth(BNN_QUEUE, depth)
+        obs.gauge("queue.bnn", depth)
 
     # -- internal: BNN worker ------------------------------------------------
     def _resolve(self, request: _Request, prediction: int, source: str) -> None:
@@ -240,12 +251,14 @@ class CascadeServer:
             if batch is _SHUTDOWN:
                 return
             start = self._clock()
-            images = np.stack([r.image for r in batch])
-            scores = np.asarray(self._bnn_scores_fn(images))
-            predictions = scores.argmax(axis=1)
-            confidence = np.atleast_1d(self._dmu.confidence(scores))
-            threshold = self.threshold
-            accept = confidence >= threshold
+            with obs.trace_span("serve.bnn", batch=len(batch)):
+                images = np.stack([r.image for r in batch])
+                scores = np.asarray(self._bnn_scores_fn(images))
+            with obs.trace_span("serve.dmu", batch=len(batch)):
+                predictions = scores.argmax(axis=1)
+                confidence = np.atleast_1d(self._dmu.confidence(scores))
+                threshold = self.threshold
+                accept = confidence >= threshold
             self.metrics.observe_stage("bnn", self._clock() - start, count=len(batch))
 
             accepted = degraded = 0
@@ -258,7 +271,9 @@ class CascadeServer:
                     continue
                 try:
                     self._host_queue.put_nowait(request)
-                    self.metrics.set_queue_depth(HOST_QUEUE, self._host_queue.qsize())
+                    depth = self._host_queue.qsize()
+                    self.metrics.set_queue_depth(HOST_QUEUE, depth)
+                    obs.gauge("queue.host", depth)
                 except queue.Full:
                     # Graceful degradation: the host stage is saturated, so
                     # answer with the BNN result instead of stalling the
@@ -269,11 +284,16 @@ class CascadeServer:
             self.metrics.record_decisions(
                 accepted=accepted, rerun=flagged - degraded, degraded=degraded
             )
+            if obs.enabled():
+                obs.count("serve.accepted", accepted)
+                obs.count("serve.rerun", flagged - degraded)
+                obs.count("serve.degraded", degraded)
             if self._controller is not None:
                 new_threshold = self._controller.observe(
                     total=len(batch), rerun=flagged, degraded=degraded
                 )
                 self.metrics.record_threshold(new_threshold)
+                obs.gauge("serve.threshold", new_threshold)
 
     # -- internal: host workers ----------------------------------------------
     def _take_host_requests(self) -> list[_Request] | None:
@@ -293,7 +313,9 @@ class CascadeServer:
                 self._host_queue.put(item)
                 break
             requests.append(item)
-        self.metrics.set_queue_depth(HOST_QUEUE, self._host_queue.qsize())
+        depth = self._host_queue.qsize()
+        self.metrics.set_queue_depth(HOST_QUEUE, depth)
+        obs.gauge("queue.host", depth)
         return requests
 
     def _host_loop(self) -> None:
@@ -302,8 +324,9 @@ class CascadeServer:
             if requests is None:
                 return
             start = self._clock()
-            images = np.stack([r.image for r in requests])
-            predictions = np.asarray(self._host_predict_fn(images)).reshape(-1)
+            with obs.trace_span("serve.host", batch=len(requests)):
+                images = np.stack([r.image for r in requests])
+                predictions = np.asarray(self._host_predict_fn(images)).reshape(-1)
             self.metrics.observe_stage("host", self._clock() - start, count=len(requests))
             for request, prediction in zip(requests, predictions):
                 self._resolve(request, prediction, "host")

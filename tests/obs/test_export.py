@@ -1,0 +1,128 @@
+"""Exporters: Chrome trace golden file, structural validity, summaries."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    chrome_trace_events,
+    timeline_to_chrome,
+    to_chrome_trace,
+    trace_summary,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+GOLDEN = Path(__file__).parent / "golden_chrome_trace.json"
+
+#: Event phases the Trace Event Format defines for what we emit.
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def _golden_tracer() -> Tracer:
+    """The exact event sequence the golden file was generated from."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    tracer.add_span("serve.bnn", 0.0, 0.01, category="serve",
+                    thread_id=1, thread_name="bnn-worker", batch=32)
+    tracer.add_span("bnn.conv2", 0.001, 0.006, category="bnn",
+                    thread_id=1, thread_name="bnn-worker",
+                    depth=1, parent="serve.bnn")
+    tracer.add_span("serve.host", 0.004, 0.012, category="serve",
+                    thread_id=2, thread_name="host-worker-0", images=9)
+    clock.t = 100.25
+    tracer.count("serve.rerun", 9)
+    clock.t = 100.5
+    tracer.gauge("queue.host", 3)
+    return tracer
+
+
+def test_chrome_trace_matches_golden_file():
+    produced = to_chrome_trace(_golden_tracer())
+    expected = json.loads(GOLDEN.read_text())
+    assert json.loads(json.dumps(produced)) == expected
+
+
+def test_golden_file_is_valid_chrome_trace():
+    trace = json.loads(GOLDEN.read_text())
+    assert isinstance(trace["traceEvents"], list) and trace["traceEvents"]
+    for event in trace["traceEvents"]:
+        assert event["ph"] in VALID_PHASES
+        assert isinstance(event["name"], str)
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float)) and event["dur"] >= 0
+            assert isinstance(event["tid"], int)
+
+
+def test_events_sorted_and_metadata_first():
+    events = chrome_trace_events(_golden_tracer())
+    phases = [e["ph"] for e in events]
+    first_data = phases.index("X")
+    assert all(p == "M" for p in phases[:first_data])
+    timestamps = [e["ts"] for e in events if e["ph"] != "M"]
+    assert timestamps == sorted(timestamps)
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    path = write_chrome_trace(_golden_tracer(), tmp_path / "sub" / "trace.json")
+    assert path.exists()
+    trace = json.loads(path.read_text())
+    assert trace["otherData"]["producer"] == "repro.obs"
+    assert trace["otherData"]["spans"] == 3
+
+
+def test_live_trace_exports_thread_names():
+    with obs.tracing() as tracer:
+        with obs.trace_span("outer"):
+            with obs.trace_span("inner"):
+                pass
+        obs.instant("mark", k=1)
+    events = chrome_trace_events(tracer)
+    names = {e["name"] for e in events}
+    assert {"outer", "inner", "mark", "thread_name"} <= names
+    inner = next(e for e in events if e["name"] == "inner")
+    assert inner["args"]["parent"] == "outer" and inner["args"]["depth"] == 1
+    json.dumps(events)  # serializable
+
+
+def test_trace_summary_digest():
+    summary = trace_summary(_golden_tracer())
+    assert set(summary) == {"spans", "counters", "dropped"}
+    assert summary["counters"] == {"serve.rerun": 9}
+    assert summary["spans"]["serve.bnn"]["count"] == 1
+    assert summary["spans"]["serve.bnn"]["total_seconds"] == pytest.approx(0.01)
+    json.dumps(summary)  # JSON-serializable by contract
+
+
+def test_timeline_to_chrome_converts_simulated_intervals():
+    from repro.hetero import FPGAExecutor, HostExecutor, simulate_cascade
+
+    result = simulate_cascade(
+        FPGAExecutor(interval_seconds=0.001),
+        HostExecutor(seconds_per_image=0.004),
+        num_images=32,
+        batch_size=16,
+        rerun_ratio=0.25,
+    )
+    trace = timeline_to_chrome(result.timeline)
+    assert trace["traceEvents"]
+    tracks = {
+        e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"
+    }
+    assert any(t.startswith("sim:") for t in tracks)
+    assert all(
+        e["dur"] >= 0 for e in trace["traceEvents"] if e["ph"] == "X"
+    )
+    json.dumps(trace)

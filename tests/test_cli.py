@@ -41,6 +41,39 @@ class TestCLI:
         assert "batch size" in out and "Eq. (1)" in out
 
 
+class TestTraceCommand:
+    def test_trace_runs_and_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        summary_path = tmp_path / "summary.json"
+        assert main([
+            "trace", "--requests", "48", "--scale", "0.1",
+            "--host-scale", "0.15", "--batch-size", "16",
+            "--output", str(trace_path), "--summary-json", str(summary_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Eq. (1) overlap check" in out
+        assert "Eqs. (3)-(5)" in out
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "serve.bnn" in names and "serve.host" in names
+        summary = json.loads(summary_path.read_text())
+        assert summary["completed"] == 48
+        assert "serve.bnn" in summary["summary"]["spans"]
+
+    def test_trace_skip_output(self, capsys):
+        assert main(["trace", "--requests", "32", "--scale", "0.1",
+                     "--host-scale", "0.15", "--output", "-"]) == 0
+        assert "span summary" in capsys.readouterr().out
+
+    def test_trace_rejects_bad_args(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--requests", "0"])
+        with pytest.raises(SystemExit):
+            main(["trace", "--target-rerun", "1.5"])
+
+
 class TestFutureWork:
     def test_armv8_projection_improves_everything(self):
         from repro.experiments.future_work import run_armv8_projection

@@ -1,0 +1,47 @@
+"""The documentation coverage gate, run as part of the test suite.
+
+Mirrors the CI step (``python tools/check_doc_coverage.py``): every
+public ``repro.*`` package/module must be reflected in ``docs/API.md``,
+and the observability guide must exist and be linked from the README.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_doc_coverage.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_doc_coverage", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_doc_coverage", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_doc_coverage_tool_exists():
+    assert TOOL.exists()
+
+
+def test_public_surface_is_documented():
+    tool = _load_tool()
+    problems = tool.check()
+    assert problems == [], "documentation drift:\n" + "\n".join(problems)
+
+
+def test_module_enumeration_sees_core_packages():
+    tool = _load_tool()
+    names = {dotted for dotted, _ in tool.public_modules()}
+    for expected in (
+        "repro.nn", "repro.bnn", "repro.bnn.kernels", "repro.finn",
+        "repro.core", "repro.hetero", "repro.serve", "repro.obs",
+        "repro.stream", "repro.experiments",
+    ):
+        assert expected in names, f"{expected} missing from enumeration"
+
+
+def test_observability_doc_linked():
+    assert (REPO_ROOT / "docs" / "OBSERVABILITY.md").exists()
+    assert "docs/OBSERVABILITY.md" in (REPO_ROOT / "README.md").read_text()

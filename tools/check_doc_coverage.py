@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Documentation coverage gate (run by CI and tests/test_doc_coverage.py).
+
+Fails when the importable surface and the documentation drift apart:
+
+* every public ``repro.*`` package and module must be mentioned in
+  ``docs/API.md`` — a package by its dotted name, a module by its dotted
+  name or by one of its ``__all__`` symbols (so an index line like
+  "``run_kernel_bench`` — the bench harness" counts without forcing a
+  path-per-module listing style);
+* ``docs/OBSERVABILITY.md`` must exist and be linked from the README.
+
+Pure stdlib + ``ast``: nothing is imported, so the check is immune to
+import-time side effects and runs in milliseconds.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+API_MD = REPO_ROOT / "docs" / "API.md"
+OBSERVABILITY_MD = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+README = REPO_ROOT / "README.md"
+
+
+def public_modules() -> list[tuple[str, Path]]:
+    """(dotted_name, path) of every public module/package under repro."""
+    found = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        parts = list(rel.parts)
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        if any(p.startswith("_") for p in parts):
+            continue
+        found.append(("repro" + "".join("." + p for p in parts) if parts else "repro", path))
+    return found
+
+
+def module_all(path: Path) -> list[str]:
+    """The module's ``__all__`` names via ast (no import)."""
+    if path.is_dir():
+        path = path / "__init__.py"
+    try:
+        tree = ast.parse(path.read_text())
+    except SyntaxError as exc:  # pragma: no cover - would fail tests anyway
+        raise SystemExit(f"cannot parse {path}: {exc}")
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            targets = [node.target.id]
+        if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+            return [
+                el.value
+                for el in node.value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            ]
+    return []
+
+
+def check() -> list[str]:
+    """All coverage violations (empty list = documentation is complete)."""
+    problems = []
+    if not API_MD.exists():
+        return [f"missing {API_MD.relative_to(REPO_ROOT)}"]
+    api_text = API_MD.read_text()
+
+    for dotted, path in public_modules():
+        if dotted == "repro":
+            continue
+        if dotted in api_text:
+            continue
+        is_package = path.name == "__init__.py"
+        if is_package:
+            problems.append(f"package {dotted} is not mentioned in docs/API.md")
+            continue
+        exported = module_all(path)
+        if exported and any(
+            re.search(rf"\b{re.escape(name)}\b", api_text) for name in exported
+        ):
+            continue
+        problems.append(
+            f"module {dotted} is not mentioned in docs/API.md "
+            f"(neither its dotted path nor any of __all__ = {exported or '[]'})"
+        )
+
+    if not OBSERVABILITY_MD.exists():
+        problems.append("missing docs/OBSERVABILITY.md")
+    elif README.exists() and "docs/OBSERVABILITY.md" not in README.read_text():
+        problems.append("README.md does not link docs/OBSERVABILITY.md")
+
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    modules = public_modules()
+    if problems:
+        print(f"doc coverage FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"doc coverage OK: {len(modules)} public modules covered by docs/API.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
