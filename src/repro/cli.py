@@ -16,6 +16,7 @@ The serving layer has its own load-test subcommand:
     python -m repro serve-bench
     python -m repro serve-bench --target-rerun 0.25 --host-workers 2
     python -m repro serve-bench --measure-t-bnn 0.25 --bnn-backend bitplane
+    python -m repro serve-bench --fault-plan examples/faultplan_host_flaky.json
 
 and the binary-kernel backends have a benchmark harness:
 
@@ -148,6 +149,18 @@ def serve_bench_main(argv: list[str]) -> int:
             "trace-event JSON (chrome://tracing / Perfetto) to PATH"
         ),
     )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help=(
+            "chaos mode: inject the seeded repro.faults.FaultPlan JSON at PATH "
+            "into the BNN/DMU/host stages of both legs "
+            "(e.g. examples/faultplan_host_flaky.json)"
+        ),
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline; late requests degrade or fail (default: off)",
+    )
     args = parser.parse_args(argv)
 
     if not 0.0 <= args.target_rerun <= 1.0:
@@ -163,6 +176,13 @@ def serve_bench_main(argv: list[str]) -> int:
         parser.error("--t-fp and --t-bnn must be positive")
     if args.measure_t_bnn is not None and args.measure_t_bnn <= 0:
         parser.error("--measure-t-bnn scale must be positive")
+    if args.deadline is not None and args.deadline <= 0:
+        parser.error("--deadline must be positive")
+    if args.fault_plan is not None:
+        from pathlib import Path
+
+        if not Path(args.fault_plan).is_file():
+            parser.error(f"--fault-plan file not found: {args.fault_plan}")
 
     config = replace(
         ServeBenchConfig(),
@@ -179,6 +199,8 @@ def serve_bench_main(argv: list[str]) -> int:
         bnn_backend=args.bnn_backend,
         measured_bnn_scale=args.measure_t_bnn,
         trace_path=args.trace,
+        fault_plan_path=args.fault_plan,
+        deadline_s=args.deadline,
     )
     print(
         f"serve-bench: 2 runs x {config.num_requests} requests, "

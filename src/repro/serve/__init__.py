@@ -6,6 +6,11 @@ stage, a bounded queue with backpressure feeds a host re-inference
 worker pool, and an adaptive controller holds the DMU threshold at the
 operating point the paper selects statically.  ``python -m repro
 serve-bench`` exercises the whole stack under load.
+
+The stack is hardened against stage faults (see ``docs/ROBUSTNESS.md``
+and :mod:`repro.faults`): crash-safe workers, per-request deadlines,
+retry with backoff on the host path, and a circuit breaker that flips
+the server into a degraded BNN-only mode while the host stage is down.
 """
 
 from .batcher import MicroBatcher
@@ -21,11 +26,23 @@ from .bench import (
 )
 from .controller import AdaptiveThresholdController
 from .metrics import MetricsSnapshot, QueueStats, ServerMetrics, StageStats
+from .resilience import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServerClosed,
+    StageFailure,
+)
 from .server import CascadeServer, ServeResult
 
 __all__ = [
     "MicroBatcher",
     "AdaptiveThresholdController",
+    "ServerClosed",
+    "DeadlineExceeded",
+    "StageFailure",
+    "RetryPolicy",
+    "CircuitBreaker",
     "ServerMetrics",
     "MetricsSnapshot",
     "StageStats",

@@ -82,6 +82,13 @@ class ServeBenchConfig:
     #: and write the Chrome trace JSON here; the report gains the span
     #: summary and per-policy Eq. (1) residuals.
     trace_path: str | None = None
+    #: Path to a :class:`repro.faults.FaultPlan` JSON; when set, both
+    #: legs run with the plan injected into the BNN/DMU/host callables
+    #: (fresh injector per leg, so the per-stage fault streams are
+    #: identical) and the report gains a fault/retry/breaker section.
+    fault_plan_path: str | None = None
+    #: Per-request deadline for the server (None disables).
+    deadline_s: float | None = None
 
     @property
     def analytic_bound_fps(self) -> float:
@@ -190,6 +197,8 @@ class ServeBenchReport:
     trace_file: str | None = None
     #: Span summaries + counters of the traced leg (JSON-serializable).
     span_summary: dict | None = None
+    #: Injected-fault counts per stage/kind per leg (``fault_plan_path``).
+    fault_report: dict | None = None
 
 
 def _drive(
@@ -233,7 +242,13 @@ def _drive(
         t.join()
     for lane in futures:
         for future in lane:
-            future.result()
+            try:
+                future.result()
+            except Exception:
+                # Under a fault plan some requests legitimately resolve to
+                # errors (StageFailure / DeadlineExceeded); the snapshot's
+                # failed counter carries the tally.
+                pass
     end = server.snapshot()
     return end, end.since(mid)
 
@@ -251,11 +266,22 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
                 seed=config.seed,
             ),
         )
+    fault_plan = None
+    if config.fault_plan_path is not None:
+        from ..faults import load_fault_plan
+
+        fault_plan = load_fault_plan(config.fault_plan_path)
     runs = {}
     trace_file = None
     span_summary = None
+    fault_report: dict | None = None
     for label in ("naive", "adaptive"):
         bnn_fn, dmu, host_fn, scores = synthetic_serving_stack(config)
+        injector = None
+        if fault_plan is not None:
+            from ..faults import wrap_stack
+
+            bnn_fn, dmu, host_fn, injector = wrap_stack(fault_plan, bnn_fn, dmu, host_fn)
         if label == "adaptive":
             # Start from the same bad operating point the naive run uses:
             # convergence, not initialization, must close the gap.
@@ -276,6 +302,7 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             host_queue_capacity=config.host_queue_capacity,
             num_host_workers=config.num_host_workers,
             host_batch_size=config.host_batch_size,
+            deadline_s=config.deadline_s,
         )
         # Trace only the adaptive leg: one representative timeline, and
         # the naive leg stays a tracer-free control for the overhead claim.
@@ -308,12 +335,34 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             analytic_bound_fps=config.analytic_bound_fps,
             eq1=eq1,
         )
+        if injector is not None:
+            from ..faults import STAGES
+
+            fault_report = fault_report or {}
+            fault_report[label] = {
+                "injected": {
+                    stage: injector.log.counts_by_kind(stage) for stage in STAGES
+                },
+                "stage_calls": {stage: injector.calls(stage) for stage in STAGES},
+                "observed": {
+                    "faults": dict(total.faults),
+                    "retries": total.retries,
+                    "deadline_missed": total.deadline_missed,
+                    "failed": total.failed,
+                    "degraded": total.degraded,
+                    "breaker_trips": total.breaker_trips,
+                    "breaker_open_seconds": total.breaker_open_seconds,
+                    "answered": total.completed,
+                    "submitted": total.submitted,
+                },
+            }
     return ServeBenchReport(
         config=config,
         naive=runs["naive"],
         adaptive=runs["adaptive"],
         trace_file=trace_file,
         span_summary=span_summary,
+        fault_report=fault_report,
     )
 
 
@@ -390,9 +439,29 @@ def format_serve_bench(report: ServeBenchReport) -> str:
             title="adaptive-leg span summary (trace written to "
             f"{report.trace_file})",
         )
+    faults = ""
+    if report.fault_report is not None:
+        lines = [f"chaos run under fault plan {cfg.fault_plan_path}:"]
+        for label, leg in report.fault_report.items():
+            injected = {
+                stage: kinds for stage, kinds in leg["injected"].items() if kinds
+            }
+            seen = leg["observed"]
+            lines.append(
+                f"  {label:<9} injected {injected or 'none'} over "
+                f"{leg['stage_calls']} stage calls"
+            )
+            lines.append(
+                f"  {'':<9} answered {seen['answered']}/{seen['submitted']} "
+                f"(failed {seen['failed']}, degraded {seen['degraded']}, "
+                f"retries {seen['retries']}, deadline misses "
+                f"{seen['deadline_missed']}, breaker trips {seen['breaker_trips']}, "
+                f"open {seen['breaker_open_seconds']:.2f}s)"
+            )
+        faults = "\n\n" + "\n".join(lines)
     notes = (
         "\nnaive saturates the host queue and sheds load (degraded); the\n"
         "controller walks the threshold down until the rerun ratio holds the\n"
         "target, keeping the host pool busy but un-saturated (Eq. (1) regime)."
     )
-    return table + chart + residuals + spans + notes
+    return table + chart + residuals + spans + faults + notes

@@ -1,16 +1,22 @@
-"""Serving metrics: per-stage latency/throughput, queues, threshold trace.
+"""Serving metrics: per-stage latency/throughput, queues, faults, breaker.
 
 One :class:`ServerMetrics` instance is shared by every component of a
 :class:`repro.serve.CascadeServer` (batcher, BNN worker, host pool,
-controller).  All mutation goes through a single lock, and
-:meth:`ServerMetrics.snapshot` returns an immutable, self-consistent view
-that the reporting layers — ``repro.cli serve-bench`` and
+controller, circuit breaker).  All mutation goes through a single lock,
+and :meth:`ServerMetrics.snapshot` returns an immutable, self-consistent
+view that the reporting layers — ``repro.cli serve-bench`` and
 :func:`repro.hetero.metrics.compare_serving_with_eq1` — consume.
 
 Paper anchors: the accepted/rerun/degraded counts realize the paper's
 ``R_rerun`` (Sec. III), the quantity Eq. (1) prices host time with
 (``t_multi = max(t_fp * R_rerun, t_bnn)``); ``MetricsSnapshot.since``
 carves the steady-state windows that are compared against that bound.
+
+Robustness accounting (``docs/ROBUSTNESS.md``): every injected or
+organic stage fault, host retry, deadline miss and failed request is
+counted, and circuit-breaker transitions are integrated into
+degraded-mode intervals — so a chaos run can assert the books balance:
+``accepted + rerun + degraded + failed == submitted`` once drained.
 For event-level timing (individual spans rather than aggregates) the
 server is instrumented with :mod:`repro.obs`.
 """
@@ -62,10 +68,37 @@ class MetricsSnapshot:
     completed: int
     accepted: int          # answered with the BNN result (DMU confident)
     rerun: int             # re-classified by a host worker
-    degraded: int          # BNN result kept because the host was saturated
+    degraded: int          # BNN result kept (host saturated/open/late/failed)
     threshold: float
     threshold_trajectory: tuple[float, ...]
     wall_seconds: float
+    submitted: int = 0     # requests accepted by submit()
+    failed: int = 0        # futures resolved with an exception
+    faults: dict[str, int] = field(default_factory=dict)  # stage -> exceptions seen
+    retries: int = 0       # host re-inference retry attempts
+    deadline_missed: int = 0
+    breaker_state: str = "closed"
+    breaker_trips: int = 0
+    breaker_open_seconds: float = 0.0   # time spent not-closed (degraded mode)
+
+    @property
+    def answered(self) -> int:
+        """Requests that got a classification (excludes ``failed``)."""
+        return self.completed
+
+    @property
+    def terminal(self) -> int:
+        """Requests that reached *any* terminal state (answer or error)."""
+        return self.completed + self.failed
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted requests without a terminal state at snapshot time."""
+        return self.submitted - self.terminal
+
+    @property
+    def fault_total(self) -> int:
+        return sum(self.faults.values())
 
     @property
     def rerun_ratio(self) -> float:
@@ -87,9 +120,10 @@ class MetricsSnapshot:
     def since(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
         """Windowed delta (``self - earlier``) for steady-state readings.
 
-        Stage/queue gauges keep the later values; the counters and the
-        wall clock become the difference, so ``rerun_ratio`` and
-        ``images_per_second`` describe only the window.
+        Stage/queue gauges and the breaker state keep the later values;
+        the counters and the wall clock become the difference, so
+        ``rerun_ratio`` and ``images_per_second`` describe only the
+        window.
         """
         return MetricsSnapshot(
             stages=self.stages,
@@ -101,6 +135,17 @@ class MetricsSnapshot:
             threshold=self.threshold,
             threshold_trajectory=self.threshold_trajectory,
             wall_seconds=self.wall_seconds - earlier.wall_seconds,
+            submitted=self.submitted - earlier.submitted,
+            failed=self.failed - earlier.failed,
+            faults={
+                stage: count - earlier.faults.get(stage, 0)
+                for stage, count in self.faults.items()
+            },
+            retries=self.retries - earlier.retries,
+            deadline_missed=self.deadline_missed - earlier.deadline_missed,
+            breaker_state=self.breaker_state,
+            breaker_trips=self.breaker_trips - earlier.breaker_trips,
+            breaker_open_seconds=self.breaker_open_seconds - earlier.breaker_open_seconds,
         )
 
 
@@ -123,9 +168,18 @@ class ServerMetrics:
         self._queue_capacity: dict[str, int] = {}
         self._queue_depth: dict[str, int] = {}
         self._queue_max_depth: dict[str, int] = {}
+        self._submitted = 0
         self._accepted = 0
         self._rerun = 0
         self._degraded = 0
+        self._failed = 0
+        self._faults: dict[str, int] = {}
+        self._retries = 0
+        self._deadline_missed = 0
+        self._breaker_state = "closed"
+        self._breaker_since = clock()
+        self._breaker_open_seconds = 0.0
+        self._breaker_trips = 0
         self._threshold = float("nan")
         self._trajectory: list[float] = []
         self._started = clock()
@@ -153,6 +207,10 @@ class ServerMetrics:
                 self._queue_max_depth[name] = depth
 
     # -- cascade decisions ----------------------------------------------------
+    def record_submitted(self, count: int = 1) -> None:
+        with self._lock:
+            self._submitted += count
+
     def record_decisions(self, accepted: int = 0, rerun: int = 0, degraded: int = 0) -> None:
         with self._lock:
             self._accepted += accepted
@@ -163,6 +221,42 @@ class ServerMetrics:
         with self._lock:
             self._threshold = float(threshold)
             self._trajectory.append(float(threshold))
+
+    # -- robustness ----------------------------------------------------------
+    def record_fault(self, stage: str, count: int = 1) -> None:
+        """A stage callable raised (injected or organic)."""
+        with self._lock:
+            self._faults[stage] = self._faults.get(stage, 0) + count
+
+    def record_retry(self, count: int = 1) -> None:
+        """A host re-inference attempt is being retried after a failure."""
+        with self._lock:
+            self._retries += count
+
+    def record_deadline_miss(self, count: int = 1) -> None:
+        with self._lock:
+            self._deadline_missed += count
+
+    def record_failure(self, count: int = 1) -> None:
+        """*count* request futures were resolved with an exception."""
+        with self._lock:
+            self._failed += count
+
+    def record_breaker_state(self, state: str) -> None:
+        """Circuit-breaker transition; integrates degraded-mode time.
+
+        Any state other than ``"closed"`` counts toward
+        ``breaker_open_seconds`` (half-open still degrades most flagged
+        traffic); entering ``"open"`` increments ``breaker_trips``.
+        """
+        with self._lock:
+            now = self._clock()
+            if self._breaker_state != "closed":
+                self._breaker_open_seconds += now - self._breaker_since
+            if state == "open" and self._breaker_state != "open":
+                self._breaker_trips += 1
+            self._breaker_state = state
+            self._breaker_since = now
 
     # -- reading ------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
@@ -180,6 +274,10 @@ class ServerMetrics:
                 )
                 for name in self._queue_capacity
             }
+            now = self._clock()
+            open_seconds = self._breaker_open_seconds
+            if self._breaker_state != "closed":
+                open_seconds += now - self._breaker_since
             return MetricsSnapshot(
                 stages=stages,
                 queues=queues,
@@ -189,5 +287,13 @@ class ServerMetrics:
                 degraded=self._degraded,
                 threshold=self._threshold,
                 threshold_trajectory=tuple(self._trajectory),
-                wall_seconds=self._clock() - self._started,
+                wall_seconds=now - self._started,
+                submitted=self._submitted,
+                failed=self._failed,
+                faults=dict(self._faults),
+                retries=self._retries,
+                deadline_missed=self._deadline_missed,
+                breaker_state=self._breaker_state,
+                breaker_trips=self._breaker_trips,
+                breaker_open_seconds=open_seconds,
             )

@@ -1,0 +1,230 @@
+"""Resilience primitives for the cascade server: errors, retry, breaker.
+
+The cascade must keep Eq. (1)'s overlap alive when one side misbehaves:
+CascadeCNN-style graceful degradation says a failed recovery (host)
+stage falls back to the low-precision answer, and FINN's sustained-
+throughput contract says a stall must never propagate upstream.  This
+module holds the policy pieces :class:`repro.serve.CascadeServer` uses
+to enforce both:
+
+* :class:`ServerClosed` / :class:`DeadlineExceeded` /
+  :class:`StageFailure` — the exceptions a request future can resolve
+  to.  Every submitted request reaches exactly one terminal state: a
+  :class:`~repro.serve.server.ServeResult` or one of these.
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  jitter for the host re-inference path.
+* :class:`CircuitBreaker` — trips the server into a degraded
+  "accept BNN result, skip host" mode after consecutive host failures,
+  and probes its way back after a cool-down (closed → open → half-open
+  → closed).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "ServerClosed",
+    "DeadlineExceeded",
+    "StageFailure",
+    "RetryPolicy",
+    "CircuitBreaker",
+]
+
+
+class ServerClosed(RuntimeError):
+    """The server shut down before this request reached a result."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """The request's per-request deadline passed before the BNN answered.
+
+    Only raised while no BNN answer exists yet; once the fast stage has
+    answered, a missed deadline degrades to the BNN result instead
+    (the low-precision answer is always preferable to no answer).
+    """
+
+
+class StageFailure(RuntimeError):
+    """A pipeline stage raised and no fallback answer existed."""
+
+    def __init__(self, stage: str, cause: BaseException):
+        super().__init__(f"stage {stage!r} failed: {cause!r}")
+        self.stage = stage
+        self.__cause__ = cause
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for host re-inference.
+
+    Retry *k* (0-based) sleeps ``min(max_delay_s, base_delay_s * 2**k)``
+    scaled by a uniform jitter factor in ``[1 - jitter, 1 + jitter]`` —
+    the classic decorrelation so a host crash-loop doesn't resynchronize
+    every waiting batch.  ``max_retries=0`` disables retrying (the first
+    failure degrades).
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.01
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, retry_index: int, rng: random.Random | None = None) -> float:
+        """Sleep before retry number *retry_index* (0-based)."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        delay = min(self.max_delay_s, self.base_delay_s * (2.0 ** retry_index))
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the host stage (thread-safe).
+
+    States and transitions::
+
+        closed ──(failure_threshold consecutive failures)──► open
+        open   ──(cooldown_s elapsed)──► half_open
+        half_open ──(probe succeeds)──► closed
+        half_open ──(probe fails)────► open   (cool-down restarts)
+
+    ``allow()`` answers "may the host path be used right now?" — the BNN
+    worker consults it before enqueueing flagged requests, so while the
+    breaker is open the server answers flagged traffic with the BNN
+    result (``source == "degraded"``) instead of queueing doomed work.
+    In ``half_open`` at most ``half_open_probes`` concurrent probes are
+    admitted to test whether the host recovered.
+
+    *on_transition* (``callable(state: str)``) fires outside the breaker
+    lock on every state change — the server bridges it into
+    :class:`~repro.serve.metrics.ServerMetrics` degraded-mode intervals.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str], None] | None = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = float("-inf")
+        self._probes_in_flight = 0
+        self._trips = 0
+        self._pending_transitions: list[str] = []
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            state, transitions = self._refresh_locked(), self._drain_locked()
+        self._emit(transitions)
+        return state
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has opened."""
+        with self._lock:
+            return self._trips
+
+    # -- decisions -----------------------------------------------------------
+    def allow(self) -> bool:
+        """May a host call be attempted right now?"""
+        with self._lock:
+            state = self._refresh_locked()
+            if state == self.CLOSED:
+                allowed = True
+            elif state == self.OPEN:
+                allowed = False
+            elif self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                allowed = True
+            else:
+                allowed = False
+            transitions = self._drain_locked()
+        self._emit(transitions)
+        return allowed
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._refresh_locked()
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+            self._transition_locked(self.CLOSED)
+            transitions = self._drain_locked()
+        self._emit(transitions)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._refresh_locked()
+            self._consecutive_failures += 1
+            if state == self.HALF_OPEN or (
+                state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._probes_in_flight = 0
+                self._transition_locked(self.OPEN)
+            transitions = self._drain_locked()
+        self._emit(transitions)
+
+    # -- internals (all *_locked require self._lock) --------------------------
+    def _refresh_locked(self) -> str:
+        """Apply the time-driven open → half-open edge; return the state."""
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._probes_in_flight = 0
+            self._transition_locked(self.HALF_OPEN)
+        return self._state
+
+    def _transition_locked(self, state: str) -> None:
+        if state == self._state:
+            return
+        if state == self.OPEN:
+            self._trips += 1
+        self._state = state
+        self._pending_transitions.append(state)
+
+    def _drain_locked(self) -> list[str]:
+        drained = self._pending_transitions
+        self._pending_transitions = []
+        return drained
+
+    def _emit(self, transitions: list[str]) -> None:
+        if self._on_transition is None:
+            return
+        for state in transitions:
+            self._on_transition(state)

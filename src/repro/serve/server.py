@@ -24,16 +24,37 @@ An :class:`~repro.serve.controller.AdaptiveThresholdController` closes
 the loop between the two stages at runtime; a plain float threshold
 reproduces the paper's static operating point.
 
+Fault containment (``docs/ROBUSTNESS.md``): worker loops are crash-safe
+— a raise inside any stage callable fails only the affected requests and
+never kills a thread.  A BNN/DMU failure with no fallback answer fails
+those futures with :class:`~repro.serve.resilience.StageFailure`; a DMU
+failure *after* BNN scoring degrades to the BNN argmax; host failures
+are retried under a :class:`~repro.serve.resilience.RetryPolicy`
+(exponential backoff + jitter) and then degrade to the BNN answer; a
+:class:`~repro.serve.resilience.CircuitBreaker` flips the server into a
+degraded "accept BNN result, skip host" mode while the host stage is
+tripping and recovers it after a cool-down.  Optional per-request
+deadlines (``deadline_s``) bound tail latency: a request that misses its
+deadline before the BNN answers fails with
+:class:`~repro.serve.resilience.DeadlineExceeded`; after the BNN has
+answered it degrades instead.  Every submitted request reaches exactly
+one terminal state — a :class:`ServeResult` or an exception — even
+across :meth:`CascadeServer.close` with work in flight
+(:class:`~repro.serve.resilience.ServerClosed`).
+
 Paper anchors: Fig. 1 (cascade structure), Eq. (1) timing regime
-(host-bound vs BNN-bound).  When a :mod:`repro.obs` tracer is installed
-the workers emit ``serve.enqueue`` / ``serve.bnn`` / ``serve.dmu`` /
-``serve.host`` spans plus queue-depth gauges and accepted/rerun/degraded
-counters; with no tracer installed the instrumentation is a no-op.
+(host-bound vs BNN-bound); the degraded mode realizes CascadeCNN's
+fall-back-to-low-precision semantics.  When a :mod:`repro.obs` tracer is
+installed the workers emit ``serve.enqueue`` / ``serve.bnn`` /
+``serve.dmu`` / ``serve.host`` spans plus queue-depth gauges,
+accepted/rerun/degraded counters and fault/retry/deadline/breaker
+events; with no tracer installed the instrumentation is a no-op.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from concurrent.futures import Future
@@ -47,10 +68,19 @@ from ..core.dmu import DecisionMakingUnit
 from .batcher import MicroBatcher
 from .controller import AdaptiveThresholdController
 from .metrics import MetricsSnapshot, ServerMetrics
+from .resilience import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServerClosed,
+    StageFailure,
+)
 
 __all__ = ["ServeResult", "CascadeServer"]
 
 _SHUTDOWN = object()
+#: Sentinel distinguishing "use a default CircuitBreaker" from "no breaker".
+_DEFAULT = object()
 
 BNN_QUEUE = "bnn"
 HOST_QUEUE = "host"
@@ -72,12 +102,15 @@ class ServeResult:
 
 
 class _Request:
-    __slots__ = ("image", "future", "submit_ts", "bnn_prediction", "confidence")
+    __slots__ = (
+        "image", "future", "submit_ts", "deadline_ts", "bnn_prediction", "confidence"
+    )
 
-    def __init__(self, image: np.ndarray, submit_ts: float):
+    def __init__(self, image: np.ndarray, submit_ts: float, deadline_ts: float | None):
         self.image = image
         self.future: Future[ServeResult] = Future()
         self.submit_ts = submit_ts
+        self.deadline_ts = deadline_ts
         self.bnn_prediction = -1
         self.confidence = float("nan")
 
@@ -108,6 +141,21 @@ class CascadeServer:
         pool; scale up for stronger hosts).
     host_batch_size:
         Greedy drain limit per host inference call.
+    deadline_s:
+        Optional per-request deadline measured from ``submit``.  ``None``
+        (default) disables deadline enforcement.  Deadlines are checked
+        at stage boundaries — a call already executing is never
+        interrupted (pure-python stages cannot be preempted safely).
+    retry:
+        :class:`RetryPolicy` for failed host re-inference calls
+        (default: 2 retries, 10 ms base backoff, jitter).  Retries
+        exhausted ⇒ the affected requests degrade to their BNN answer.
+    breaker:
+        :class:`CircuitBreaker` guarding the host path.  Default: a
+        breaker with 5-failure threshold and 1 s cool-down on the
+        server's clock.  Pass ``None`` to disable.  If the supplied
+        breaker has no ``on_transition`` callback the server installs
+        its metrics bridge.
     """
 
     def __init__(
@@ -124,11 +172,16 @@ class CascadeServer:
         host_batch_size: int = 8,
         metrics: ServerMetrics | None = None,
         clock: Callable[[], float] = time.monotonic,
+        deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = _DEFAULT,  # type: ignore[assignment]
     ):
         if num_host_workers < 1:
             raise ValueError("num_host_workers must be >= 1")
         if host_queue_capacity < 1 or bnn_queue_capacity < 1:
             raise ValueError("queue capacities must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         self._bnn_scores_fn = bnn_scores_fn
         self._dmu = dmu
         self._host_predict_fn = host_predict_fn
@@ -148,11 +201,22 @@ class CascadeServer:
         self.metrics.register_queue(HOST_QUEUE, host_queue_capacity)
         self.metrics.record_threshold(self.threshold)
 
+        self._deadline_s = deadline_s
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._retry_rng = random.Random(0xC0FFEE)
+        if breaker is _DEFAULT:
+            breaker = CircuitBreaker(clock=clock)
+        self._breaker: CircuitBreaker | None = breaker
+        if self._breaker is not None and self._breaker._on_transition is None:
+            self._breaker._on_transition = self._on_breaker_transition
+
         self._bnn_queue: queue.Queue = queue.Queue(maxsize=bnn_queue_capacity)
         self._host_queue: queue.Queue = queue.Queue(maxsize=host_queue_capacity)
         self._host_batch_size = max(1, int(host_batch_size))
         self._closed = False
         self._close_lock = threading.Lock()
+        self._inflight: set[_Request] = set()
+        self._inflight_lock = threading.Lock()
 
         self._batcher: MicroBatcher[_Request] = MicroBatcher(
             emit=self._enqueue_bnn_batch,
@@ -179,20 +243,47 @@ class CascadeServer:
             return self._controller.threshold
         return self._static_threshold
 
+    @property
+    def degraded_mode(self) -> bool:
+        """True while the circuit breaker holds the host path open."""
+        return self._breaker is not None and self._breaker.state != CircuitBreaker.CLOSED
+
     def submit(self, image: np.ndarray) -> Future:
         """Enqueue one image; resolves to a :class:`ServeResult`.
 
         Blocks (backpressure) while the front buffer is full; raises
-        ``RuntimeError`` once the server is closed.
+        :class:`ServerClosed` once the server is closed.  The returned
+        future always reaches a terminal state: a result, or one of
+        :class:`StageFailure` / :class:`DeadlineExceeded` /
+        :class:`ServerClosed`.
         """
         if self._closed:
-            raise RuntimeError("server is closed")
-        request = _Request(np.asarray(image), self._clock())
-        self._batcher.submit(request)
+            raise ServerClosed("server is closed")
+        now = self._clock()
+        deadline = now + self._deadline_s if self._deadline_s is not None else None
+        request = _Request(np.asarray(image), now, deadline)
+        with self._inflight_lock:
+            self._inflight.add(request)
+        self.metrics.record_submitted(1)
+        try:
+            self._batcher.submit(request)
+        except RuntimeError:
+            # Batcher closed between our check and the submit: fail the
+            # request we registered rather than stranding it.
+            if self._claim(request):
+                self.metrics.record_failure(1)
+                request.future.set_exception(ServerClosed("server is closed"))
+            raise ServerClosed("server is closed") from None
         return request.future
 
-    def classify_many(self, images: Iterable[np.ndarray], timeout: float | None = None) -> list[ServeResult]:
-        """Convenience: submit a stream and wait for every answer."""
+    def classify_many(
+        self, images: Iterable[np.ndarray], timeout: float | None = None
+    ) -> list[ServeResult]:
+        """Convenience: submit a stream and wait for every answer.
+
+        Raises the per-request error (e.g. :class:`StageFailure`) of the
+        first failed request, like the underlying futures would.
+        """
         futures = [self.submit(img) for img in images]
         return [f.result(timeout=timeout) for f in futures]
 
@@ -200,28 +291,84 @@ class CascadeServer:
         return self.metrics.snapshot()
 
     def close(self, timeout: float | None = 10.0) -> None:
-        """Drain every stage and join every worker thread.
+        """Drain every stage, join every worker, strand no future.
 
-        All requests accepted before ``close`` are answered; the call is
-        idempotent and afterwards no worker threads remain.
+        All requests accepted before ``close`` are answered when the
+        workers are healthy; if a worker is stuck (or *timeout* expires
+        first) the remaining in-flight futures fail with
+        :class:`ServerClosed` instead of hanging their waiters.  The call
+        is idempotent.
         """
         with self._close_lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
-        self._batcher.close(timeout=timeout)
-        self._bnn_queue.put(_SHUTDOWN)
-        self._bnn_thread.join(timeout=timeout)
-        for _ in self._host_threads:
-            self._host_queue.put(_SHUTDOWN)
+        if first:
+            self._batcher.close(timeout=timeout)
+            self._put_sentinel(self._bnn_queue, timeout)
+            self._bnn_thread.join(timeout=timeout)
+            for _ in self._host_threads:
+                self._put_sentinel(self._host_queue, timeout)
         for t in self._host_threads:
             t.join(timeout=timeout)
+        # Anything still unresolved is stuck behind a dead/hung stage (or
+        # the joins timed out): fail it now so no caller waits forever.
+        with self._inflight_lock:
+            stranded = list(self._inflight)
+            self._inflight.clear()
+        if stranded:
+            self.metrics.record_failure(len(stranded))
+            obs.count("serve.failed", len(stranded))
+            for request in stranded:
+                request.future.set_exception(ServerClosed("server closed mid-flight"))
+
+    @staticmethod
+    def _put_sentinel(q: queue.Queue, timeout: float | None) -> None:
+        """Best-effort shutdown signal: never block forever on a full queue."""
+        try:
+            q.put(_SHUTDOWN, timeout=timeout)
+        except queue.Full:
+            pass
 
     def __enter__(self) -> "CascadeServer":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # -- internal: terminal-state bookkeeping --------------------------------
+    def _claim(self, request: _Request) -> bool:
+        """Acquire the exclusive right to resolve *request*'s future."""
+        with self._inflight_lock:
+            if request in self._inflight:
+                self._inflight.remove(request)
+                return True
+            return False
+
+    _SOURCE_COUNTER = {"bnn": "accepted", "host": "rerun", "degraded": "degraded"}
+
+    def _resolve(self, request: _Request, prediction: int, source: str) -> None:
+        if not self._claim(request):
+            return  # already failed by close()/deadline — exactly-once wins
+        self.metrics.record_decisions(**{self._SOURCE_COUNTER[source]: 1})
+        request.future.set_result(
+            ServeResult(
+                prediction=int(prediction),
+                bnn_prediction=int(request.bnn_prediction),
+                confidence=float(request.confidence),
+                source=source,
+                latency_seconds=self._clock() - request.submit_ts,
+            )
+        )
+
+    def _fail(self, request: _Request, exc: BaseException) -> None:
+        if not self._claim(request):
+            return
+        self.metrics.record_failure(1)
+        obs.count("serve.failed", 1)
+        request.future.set_exception(exc)
+
+    def _past_deadline(self, request: _Request) -> bool:
+        return request.deadline_ts is not None and self._clock() > request.deadline_ts
 
     # -- internal: batcher -> BNN queue -------------------------------------
     def _enqueue_bnn_batch(self, batch: list[_Request]) -> None:
@@ -233,67 +380,111 @@ class CascadeServer:
         obs.gauge("queue.bnn", depth)
 
     # -- internal: BNN worker ------------------------------------------------
-    def _resolve(self, request: _Request, prediction: int, source: str) -> None:
-        request.future.set_result(
-            ServeResult(
-                prediction=int(prediction),
-                bnn_prediction=int(request.bnn_prediction),
-                confidence=float(request.confidence),
-                source=source,
-                latency_seconds=self._clock() - request.submit_ts,
-            )
-        )
-
     def _bnn_loop(self) -> None:
         while True:
             batch = self._bnn_queue.get()
             self.metrics.set_queue_depth(BNN_QUEUE, self._bnn_queue.qsize())
             if batch is _SHUTDOWN:
                 return
-            start = self._clock()
-            with obs.trace_span("serve.bnn", batch=len(batch)):
-                images = np.stack([r.image for r in batch])
+            try:
+                self._process_bnn_batch(batch)
+            except Exception as exc:  # containment: never kill the worker
+                for request in batch:
+                    self._fail(request, StageFailure("bnn", exc))
+
+    def _process_bnn_batch(self, batch: list[_Request]) -> None:
+        # Deadline gate: no BNN answer exists yet, so a missed deadline
+        # is a hard per-request error, not a degraded answer.
+        live: list[_Request] = []
+        for request in batch:
+            if self._past_deadline(request):
+                self.metrics.record_deadline_miss(1)
+                obs.count("serve.deadline_missed", 1)
+                self._fail(request, DeadlineExceeded("deadline passed before BNN stage"))
+            else:
+                live.append(request)
+        if not live:
+            return
+
+        start = self._clock()
+        try:
+            with obs.trace_span("serve.bnn", batch=len(live)):
+                images = np.stack([r.image for r in live])
                 scores = np.asarray(self._bnn_scores_fn(images))
-            with obs.trace_span("serve.dmu", batch=len(batch)):
                 predictions = scores.argmax(axis=1)
+        except Exception as exc:
+            # Fast stage down: no answer of any precision exists.
+            self.metrics.record_fault("bnn")
+            obs.count("serve.fault.bnn", 1)
+            for request in live:
+                self._fail(request, StageFailure("bnn", exc))
+            return
+
+        for i, request in enumerate(live):
+            request.bnn_prediction = int(predictions[i])
+
+        try:
+            with obs.trace_span("serve.dmu", batch=len(live)):
                 confidence = np.atleast_1d(self._dmu.confidence(scores))
                 threshold = self.threshold
                 accept = confidence >= threshold
-            self.metrics.observe_stage("bnn", self._clock() - start, count=len(batch))
-
-            accepted = degraded = 0
-            for i, request in enumerate(batch):
-                request.bnn_prediction = int(predictions[i])
-                request.confidence = float(confidence[i])
-                if accept[i]:
-                    self._resolve(request, predictions[i], "bnn")
-                    accepted += 1
-                    continue
-                try:
-                    self._host_queue.put_nowait(request)
-                    depth = self._host_queue.qsize()
-                    self.metrics.set_queue_depth(HOST_QUEUE, depth)
-                    obs.gauge("queue.host", depth)
-                except queue.Full:
-                    # Graceful degradation: the host stage is saturated, so
-                    # answer with the BNN result instead of stalling the
-                    # fast stage (Eq. (1)'s host-bound regime).
-                    self._resolve(request, predictions[i], "degraded")
-                    degraded += 1
-            flagged = len(batch) - accepted
-            self.metrics.record_decisions(
-                accepted=accepted, rerun=flagged - degraded, degraded=degraded
-            )
+        except Exception as exc:
+            # DMU down but the BNN answered: CascadeCNN fall-back — accept
+            # every BNN answer as a degraded result (Eq. (2) floor).
+            self.metrics.record_fault("dmu")
+            obs.count("serve.fault.dmu", 1)
             if obs.enabled():
-                obs.count("serve.accepted", accepted)
-                obs.count("serve.rerun", flagged - degraded)
-                obs.count("serve.degraded", degraded)
-            if self._controller is not None:
-                new_threshold = self._controller.observe(
-                    total=len(batch), rerun=flagged, degraded=degraded
-                )
-                self.metrics.record_threshold(new_threshold)
-                obs.gauge("serve.threshold", new_threshold)
+                obs.count("serve.degraded", len(live))
+            for i, request in enumerate(live):
+                self._resolve(request, predictions[i], "degraded")
+            return
+        self.metrics.observe_stage("bnn", self._clock() - start, count=len(live))
+
+        # Lazy so a fully-accepted batch never consumes a half-open probe.
+        host_open: bool | None = None
+        accepted = degraded = 0
+        for i, request in enumerate(live):
+            request.confidence = float(confidence[i])
+            if accept[i]:
+                self._resolve(request, predictions[i], "bnn")
+                accepted += 1
+                continue
+            if self._past_deadline(request):
+                # The BNN answer exists: degrade rather than error.
+                self.metrics.record_deadline_miss(1)
+                obs.count("serve.deadline_missed", 1)
+                self._resolve(request, predictions[i], "degraded")
+                degraded += 1
+                continue
+            if host_open is None:
+                host_open = self._breaker is not None and not self._breaker.allow()
+            if host_open:
+                # Breaker open: degraded "accept BNN result, skip host" mode.
+                self._resolve(request, predictions[i], "degraded")
+                degraded += 1
+                continue
+            try:
+                self._host_queue.put_nowait(request)
+                depth = self._host_queue.qsize()
+                self.metrics.set_queue_depth(HOST_QUEUE, depth)
+                obs.gauge("queue.host", depth)
+            except queue.Full:
+                # Graceful degradation: the host stage is saturated, so
+                # answer with the BNN result instead of stalling the
+                # fast stage (Eq. (1)'s host-bound regime).
+                self._resolve(request, predictions[i], "degraded")
+                degraded += 1
+        flagged = len(live) - accepted
+        if obs.enabled():
+            obs.count("serve.accepted", accepted)
+            obs.count("serve.rerun", flagged - degraded)
+            obs.count("serve.degraded", degraded)
+        if self._controller is not None:
+            new_threshold = self._controller.observe(
+                total=len(live), rerun=flagged, degraded=degraded
+            )
+            self.metrics.record_threshold(new_threshold)
+            obs.gauge("serve.threshold", new_threshold)
 
     # -- internal: host workers ----------------------------------------------
     def _take_host_requests(self) -> list[_Request] | None:
@@ -323,10 +514,71 @@ class CascadeServer:
             requests = self._take_host_requests()
             if requests is None:
                 return
+            try:
+                self._process_host_batch(requests)
+            except Exception:  # containment: degrade, never kill the worker
+                for request in requests:
+                    self._resolve(request, request.bnn_prediction, "degraded")
+
+    def _degrade_batch(self, requests: Sequence[_Request]) -> None:
+        for request in requests:
+            self._resolve(request, request.bnn_prediction, "degraded")
+
+    def _process_host_batch(self, requests: list[_Request]) -> None:
+        # Deadline gate: these requests carry a BNN answer, so lateness
+        # degrades (counted) instead of erroring.
+        live: list[_Request] = []
+        for request in requests:
+            if self._past_deadline(request):
+                self.metrics.record_deadline_miss(1)
+                obs.count("serve.deadline_missed", 1)
+                self._resolve(request, request.bnn_prediction, "degraded")
+            else:
+                live.append(request)
+        if not live:
+            return
+
+        retries = 0
+        while True:
             start = self._clock()
-            with obs.trace_span("serve.host", batch=len(requests)):
-                images = np.stack([r.image for r in requests])
-                predictions = np.asarray(self._host_predict_fn(images)).reshape(-1)
-            self.metrics.observe_stage("host", self._clock() - start, count=len(requests))
-            for request, prediction in zip(requests, predictions):
-                self._resolve(request, prediction, "host")
+            try:
+                with obs.trace_span("serve.host", batch=len(live)):
+                    images = np.stack([r.image for r in live])
+                    predictions = np.asarray(self._host_predict_fn(images)).reshape(-1)
+                if len(predictions) != len(live):
+                    raise ValueError(
+                        f"host returned {len(predictions)} predictions "
+                        f"for {len(live)} images"
+                    )
+            except Exception:
+                self.metrics.record_fault("host")
+                obs.count("serve.fault.host", 1)
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+                breaker_open = (
+                    self._breaker is not None
+                    and self._breaker.state == CircuitBreaker.OPEN
+                )
+                if retries >= self._retry.max_retries or breaker_open or self._closed:
+                    # Retries exhausted (or pointless): fall back to the
+                    # low-precision answer for the whole batch.
+                    self._degrade_batch(live)
+                    return
+                self.metrics.record_retry(1)
+                obs.count("serve.retry", 1)
+                time.sleep(self._retry.backoff_s(retries, self._retry_rng))
+                retries += 1
+                continue
+            break
+
+        if self._breaker is not None:
+            self._breaker.record_success()
+        self.metrics.observe_stage("host", self._clock() - start, count=len(live))
+        for request, prediction in zip(live, predictions):
+            self._resolve(request, prediction, "host")
+
+    # -- internal: breaker bridge --------------------------------------------
+    def _on_breaker_transition(self, state: str) -> None:
+        self.metrics.record_breaker_state(state)
+        if obs.enabled():
+            obs.instant("serve.breaker", state=state)

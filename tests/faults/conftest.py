@@ -1,0 +1,82 @@
+"""Shared chaos-test stack: a cascade whose ground truth is known.
+
+Each "image" is an 11-vector: the first 10 entries are the BNN's class
+scores and the last entry is the true label.  The BNN stage reads the
+scores, the host stage reads the label (a perfect oracle), and the DMU
+reads the sorted-score margin — so every request's BNN answer, host
+answer and correctness are computable without running a real network,
+and fault scenarios can assert accuracy relationships exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DecisionMakingUnit
+
+NUM_CLASSES = 10
+
+
+def make_dmu(threshold: float = 0.7) -> DecisionMakingUnit:
+    weights = np.zeros(NUM_CLASSES)
+    weights[0], weights[1] = 4.0, -4.0  # read the sorted top-2 margin
+    return DecisionMakingUnit(weights, bias=0.0, threshold=threshold)
+
+
+def make_images(n: int, seed: int = 0, signal: float = 2.0) -> np.ndarray:
+    """(n, 11) arrays: 10 noisy scores biased toward the true label + label."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, NUM_CLASSES, size=n)
+    scores = rng.normal(0.0, 1.0, size=(n, NUM_CLASSES))
+    scores[np.arange(n), labels] += signal
+    return np.concatenate([scores, labels[:, None].astype(float)], axis=1)
+
+
+def bnn_scores_fn(images: np.ndarray) -> np.ndarray:
+    return np.asarray(images)[:, :NUM_CLASSES]
+
+
+def host_predict_fn(images: np.ndarray) -> np.ndarray:
+    return np.asarray(images)[:, NUM_CLASSES].astype(int)
+
+
+def true_labels(images: np.ndarray) -> np.ndarray:
+    return host_predict_fn(images)
+
+
+def bnn_predictions(images: np.ndarray) -> np.ndarray:
+    return bnn_scores_fn(images).argmax(axis=1)
+
+
+def settle(futures, timeout=30.0):
+    """Wait until every future is terminal; return (results, errors)."""
+    from concurrent.futures import wait
+
+    done, not_done = wait(futures, timeout=timeout)
+    assert not not_done, f"{len(not_done)} stranded futures"
+    results, errors = [], []
+    for f in futures:
+        exc = f.exception()
+        if exc is None:
+            results.append(f.result())
+        else:
+            errors.append(exc)
+    return results, errors
+
+
+class ChaosStack:
+    """Namespace handed to tests via the ``chaos`` fixture (conftest helpers
+    are not importable from test modules without packageizing ``tests/``)."""
+
+    NUM_CLASSES = NUM_CLASSES
+    make_dmu = staticmethod(make_dmu)
+    make_images = staticmethod(make_images)
+    bnn_scores_fn = staticmethod(bnn_scores_fn)
+    host_predict_fn = staticmethod(host_predict_fn)
+    true_labels = staticmethod(true_labels)
+    bnn_predictions = staticmethod(bnn_predictions)
+    settle = staticmethod(settle)
+
+
+@pytest.fixture
+def chaos():
+    return ChaosStack

@@ -1,0 +1,216 @@
+"""FaultPlan/FaultSpec validation, JSON round-trip, injector determinism."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    STAGES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    load_fault_plan,
+)
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_stage_and_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(stage="fpga", kind="exception")
+        with pytest.raises(ValueError):
+            FaultSpec(stage="host", kind="meteor")
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ValueError):
+            FaultSpec(stage="host", kind="exception", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(stage="host", kind="latency", delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(stage="host", kind="exception", start_call=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(stage="host", kind="exception", max_faults=-1)
+
+    def test_default_delays_per_kind(self):
+        assert FaultSpec(stage="bnn", kind="latency").effective_delay_s == 0.05
+        assert FaultSpec(stage="bnn", kind="hang").effective_delay_s == 2.0
+        assert FaultSpec(stage="bnn", kind="exception").effective_delay_s == 0.0
+        assert FaultSpec(stage="bnn", kind="hang", delay_s=0.3).effective_delay_s == 0.3
+
+
+class TestPlanJson:
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=42,
+            specs=(
+                FaultSpec(stage="host", kind="exception", probability=0.3),
+                FaultSpec(stage="bnn", kind="latency", probability=0.1, delay_s=0.02),
+                FaultSpec(stage="dmu", kind="corrupt", start_call=5, max_faults=2),
+            ),
+        )
+
+    def test_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan keys"):
+            FaultPlan.from_dict({"seed": 1, "stages": []})
+
+    def test_specs_accept_dicts(self):
+        plan = FaultPlan(seed=1, specs=({"stage": "host", "kind": "exception"},))
+        assert plan.specs[0] == FaultSpec(stage="host", kind="exception")
+
+    def test_for_stage_filters_in_order(self):
+        plan = self._plan()
+        assert [s.kind for s in plan.for_stage("host")] == ["exception"]
+        assert plan.for_stage("bnn")[0].delay_s == 0.02
+
+    def test_load_fault_plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(self._plan().to_json())
+        assert load_fault_plan(path) == self._plan()
+
+    def test_committed_example_plan_parses(self):
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[2] / "examples" / "faultplan_host_flaky.json"
+        plan = load_fault_plan(example)
+        assert plan.for_stage("host")
+        assert all(s.kind in FAULT_KINDS for s in plan.specs)
+
+
+class TestInjectorDeterminism:
+    def _decisions(self, plan: FaultPlan, stage: str, calls: int):
+        injector = FaultInjector(plan)
+        for _ in range(calls):
+            injector.decide(stage)
+        return injector.log.for_stage(stage)
+
+    def test_decision_stream_is_pure_function_of_seed_stage_call(self):
+        plan = FaultPlan(
+            seed=7,
+            specs=(
+                FaultSpec(stage="host", kind="exception", probability=0.3),
+                FaultSpec(stage="host", kind="latency", probability=0.2, delay_s=0.0),
+                FaultSpec(stage="bnn", kind="corrupt", probability=0.5),
+            ),
+        )
+        for stage in STAGES:
+            assert self._decisions(plan, stage, 200) == self._decisions(plan, stage, 200)
+
+    def test_different_seeds_differ(self):
+        mk = lambda seed: FaultPlan(
+            seed=seed, specs=(FaultSpec(stage="host", kind="exception", probability=0.5),)
+        )
+        a = self._decisions(mk(1), "host", 100)
+        b = self._decisions(mk(2), "host", 100)
+        assert a != b
+
+    def test_stages_have_independent_streams(self):
+        plan = FaultPlan(
+            seed=3,
+            specs=tuple(
+                FaultSpec(stage=s, kind="exception", probability=0.5) for s in STAGES
+            ),
+        )
+        injector = FaultInjector(plan)
+        for _ in range(100):
+            for stage in STAGES:
+                injector.decide(stage)
+        streams = {
+            stage: tuple(e.call_index for e in injector.log.for_stage(stage))
+            for stage in STAGES
+        }
+        assert streams["bnn"] != streams["host"]
+
+    def test_start_call_and_max_faults_windows(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(stage="host", kind="exception", probability=1.0,
+                          start_call=3, max_faults=2),
+            ),
+        )
+        events = self._decisions(plan, "host", 10)
+        assert [e.call_index for e in events] == [3, 4]
+
+    def test_budget_does_not_shift_the_stream(self):
+        """Consuming the budget must not advance other specs' draws."""
+        limited = FaultPlan(
+            seed=9,
+            specs=(
+                FaultSpec(stage="host", kind="latency", probability=1.0,
+                          delay_s=0.0, max_faults=1),
+                FaultSpec(stage="host", kind="exception", probability=0.4),
+            ),
+        )
+        unlimited = FaultPlan(
+            seed=9,
+            specs=(
+                FaultSpec(stage="host", kind="latency", probability=1.0, delay_s=0.0),
+                FaultSpec(stage="host", kind="exception", probability=0.4),
+            ),
+        )
+        exc = lambda plan: [
+            e.call_index
+            for e in self._decisions(plan, "host", 50)
+            if e.kind == "exception"
+        ]
+        assert exc(limited) == exc(unlimited)
+
+
+class TestWrappers:
+    def test_exception_fault_raises_injected_fault(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(stage="bnn", kind="exception"),))
+        injector = FaultInjector(plan)
+        fn = injector.wrap("bnn", lambda x: x)
+        with pytest.raises(InjectedFault) as excinfo:
+            fn(np.ones(3))
+        assert excinfo.value.stage == "bnn"
+        assert excinfo.value.call_index == 0
+
+    def test_latency_fault_sleeps_then_runs(self):
+        slept = []
+        plan = FaultPlan(
+            seed=0, specs=(FaultSpec(stage="host", kind="latency", delay_s=0.123),)
+        )
+        injector = FaultInjector(plan, sleep=slept.append)
+        fn = injector.wrap("host", lambda x: x + 1)
+        assert fn(1) == 2
+        assert slept == [pytest.approx(0.123)]
+
+    def test_corrupt_fault_rolls_last_axis(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(stage="bnn", kind="corrupt"),))
+        injector = FaultInjector(plan)
+        fn = injector.wrap("bnn", lambda x: x)
+        scores = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_array_equal(fn(scores), np.roll(scores, 1, axis=-1))
+
+    def test_no_fault_passthrough_is_exact(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(stage="bnn", kind="exception",
+                                                  probability=0.0),))
+        injector = FaultInjector(plan)
+        fn = injector.wrap("host", lambda x, k=1: x * k)
+        assert fn(3, k=4) == 12
+        assert injector.log.events == ()
+
+    def test_wrap_dmu_delegates_attributes(self):
+        from repro.core import DecisionMakingUnit
+
+        plan = FaultPlan(seed=0, specs=(FaultSpec(stage="dmu", kind="exception"),))
+        injector = FaultInjector(plan)
+        weights = np.zeros(10)
+        weights[0], weights[1] = 4.0, -4.0
+        dmu = DecisionMakingUnit(weights, bias=0.0, threshold=0.66)
+        proxy = injector.wrap_dmu(dmu)
+        assert proxy.threshold == dmu.threshold
+        with pytest.raises(InjectedFault):
+            proxy.confidence(np.zeros((2, 10)))
+
+    def test_unknown_stage_rejected(self):
+        injector = FaultInjector(FaultPlan())
+        with pytest.raises(ValueError):
+            injector.wrap("gpu", lambda x: x)
+        with pytest.raises(ValueError):
+            injector.decide("gpu")

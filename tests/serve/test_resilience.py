@@ -1,0 +1,153 @@
+"""Unit tests for repro.serve.resilience: RetryPolicy + CircuitBreaker."""
+
+import random
+
+import pytest
+
+from repro.serve import CircuitBreaker, RetryPolicy
+from repro.serve.resilience import DeadlineExceeded, ServerClosed, StageFailure
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ServerClosed, RuntimeError)
+        assert issubclass(DeadlineExceeded, TimeoutError)
+        assert issubclass(StageFailure, RuntimeError)
+
+    def test_stage_failure_carries_stage_and_cause(self):
+        cause = ValueError("boom")
+        exc = StageFailure("host", cause)
+        assert exc.stage == "host"
+        assert exc.__cause__ is cause
+        assert "host" in str(exc)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(-1)
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay_s=0.01, max_delay_s=0.05, jitter=0.0)
+        assert policy.backoff_s(0) == pytest.approx(0.01)
+        assert policy.backoff_s(1) == pytest.approx(0.02)
+        assert policy.backoff_s(2) == pytest.approx(0.04)
+        assert policy.backoff_s(3) == pytest.approx(0.05)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.05)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.1, jitter=0.5)
+        rng = random.Random(7)
+        delays = [policy.backoff_s(0, rng) for _ in range(200)]
+        assert all(0.05 <= d <= 0.15 for d in delays)
+        assert len(set(delays)) > 1  # actually jittered
+
+    def test_no_rng_means_deterministic(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.1, jitter=0.5)
+        assert policy.backoff_s(0) == pytest.approx(0.1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_opens_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_half_open_after_cooldown_limits_probes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=10.0, half_open_probes=1, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()       # the single probe
+        assert not breaker.allow()   # concurrent probes rejected
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        assert breaker.trips == 1
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        clock.advance(0.5)
+        assert not breaker.allow()  # cooldown restarted at reopen
+        clock.advance(0.6)
+        assert breaker.allow()
+
+    def test_on_transition_fires_once_per_edge_outside_lock(self):
+        clock = FakeClock()
+        seen = []
+
+        def listener(state):
+            # Re-entering the breaker from the callback must not deadlock —
+            # proof the callback runs outside the breaker lock.
+            _ = breaker.trips
+            seen.append(state)
+
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_s=1.0, clock=clock, on_transition=listener
+        )
+        breaker.record_failure()
+        breaker.record_failure()   # -> open
+        clock.advance(1.0)
+        breaker.allow()            # -> half_open (refresh), probe admitted
+        breaker.record_success()   # -> closed
+        assert seen == ["open", "half_open", "closed"]
+
+    def test_success_in_closed_state_emits_no_transition(self):
+        seen = []
+        breaker = CircuitBreaker(clock=FakeClock(), on_transition=seen.append)
+        breaker.record_success()
+        breaker.record_success()
+        assert seen == []

@@ -84,6 +84,71 @@ class TestDecisions:
         assert window.images_per_second == pytest.approx(100.0)
 
 
+class TestRobustnessCounters:
+    def test_fault_retry_deadline_failure_counters(self, clocked):
+        _, metrics = clocked
+        metrics.record_submitted(10)
+        metrics.record_fault("host")
+        metrics.record_fault("host")
+        metrics.record_fault("bnn")
+        metrics.record_retry(3)
+        metrics.record_deadline_miss(2)
+        metrics.record_failure(1)
+        metrics.record_decisions(accepted=5, rerun=2, degraded=2)
+        snap = metrics.snapshot()
+        assert snap.submitted == 10
+        assert snap.faults == {"host": 2, "bnn": 1}
+        assert snap.fault_total == 3
+        assert snap.retries == 3
+        assert snap.deadline_missed == 2
+        assert snap.failed == 1
+        assert snap.completed == 9
+        assert snap.terminal == 10
+        assert snap.in_flight == 0
+        assert snap.answered == 9
+
+    def test_breaker_state_integrates_open_time(self, clocked):
+        clock, metrics = clocked
+        metrics.record_breaker_state("open")
+        clock.now = 2.0
+        metrics.record_breaker_state("half_open")
+        clock.now = 3.0
+        metrics.record_breaker_state("closed")
+        snap = metrics.snapshot()
+        assert snap.breaker_state == "closed"
+        assert snap.breaker_trips == 1
+        # open (2 s) + half_open (1 s) both count as degraded-mode time.
+        assert snap.breaker_open_seconds == pytest.approx(3.0)
+
+    def test_breaker_open_time_accrues_while_still_open(self, clocked):
+        clock, metrics = clocked
+        metrics.record_breaker_state("open")
+        clock.now = 1.5
+        snap = metrics.snapshot()
+        assert snap.breaker_state == "open"
+        assert snap.breaker_open_seconds == pytest.approx(1.5)
+
+    def test_since_windows_robustness_counters(self, clocked):
+        clock, metrics = clocked
+        metrics.record_submitted(5)
+        metrics.record_fault("host")
+        metrics.record_retry(1)
+        clock.now = 1.0
+        earlier = metrics.snapshot()
+        metrics.record_submitted(7)
+        metrics.record_fault("host")
+        metrics.record_fault("dmu")
+        metrics.record_retry(2)
+        metrics.record_deadline_miss(1)
+        metrics.record_failure(1)
+        window = metrics.snapshot().since(earlier)
+        assert window.submitted == 7
+        assert window.faults == {"host": 1, "dmu": 1}
+        assert window.retries == 2
+        assert window.deadline_missed == 1
+        assert window.failed == 1
+
+
 class TestEq1Bridge:
     def _snapshot(self, completed_rerun: tuple[int, int], wall: float) -> MetricsSnapshot:
         accepted = completed_rerun[0] - completed_rerun[1]

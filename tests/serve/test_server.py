@@ -178,3 +178,36 @@ class TestShutdown:
         with CascadeServer(bnn_scores_fn, make_dmu(), host_predict_fn) as server:
             server.classify_many(list(make_images(10)))
         assert set(threading.enumerate()) - before == set()
+
+    def test_close_with_inflight_requests_fails_their_futures(self):
+        """Regression: close() used to leave in-flight futures unresolved
+        forever.  Now stranded requests fail with ServerClosed."""
+        from repro.serve import ServerClosed
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hanging_host(images):
+            entered.set()
+            release.wait(5.0)
+            return host_predict_fn(images)
+
+        server = CascadeServer(
+            bnn_scores_fn, make_dmu(threshold=1.0), hanging_host,
+            batch_delay_s=0.001, host_batch_size=1, num_host_workers=1,
+        )
+        try:
+            futures = [server.submit(img) for img in make_images(12)]
+            assert entered.wait(5.0), "host worker never started"
+            server.close(timeout=0.3)
+        finally:
+            release.set()
+        # Every future is terminal: no stranded request can hang a caller.
+        for f in futures:
+            assert f.done(), "close() left a future unresolved"
+        stranded = [f for f in futures if f.exception() is not None]
+        for f in stranded:
+            assert isinstance(f.exception(), ServerClosed)
+        snapshot = server.snapshot()
+        assert snapshot.failed == len(stranded)
+        assert snapshot.completed + snapshot.failed == snapshot.submitted
