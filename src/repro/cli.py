@@ -23,6 +23,11 @@ and the binary-kernel backends have a benchmark harness:
     python -m repro bench-kernels
     python -m repro bench-kernels --smoke --output /tmp/BENCH_kernels.json
 
+and the process-parallel host engine has its own harness:
+
+    python -m repro bench-parallel
+    python -m repro bench-parallel --model c --workers 1 2 4 --smoke
+
 ``repro trace`` records one served cascade run with the :mod:`repro.obs`
 tracer and writes a Chrome trace-event timeline (Eq. (1) overlap made
 visible, Eqs. (3)-(5) per-layer breakdown printed):
@@ -129,6 +134,13 @@ def serve_bench_main(argv: list[str]) -> int:
                         help="BNN seconds/image (default %(default)s)")
     parser.add_argument("--batch-size", type=int, default=defaults.max_batch_size)
     parser.add_argument("--host-workers", type=int, default=defaults.num_host_workers)
+    parser.add_argument(
+        "--host-process-workers", type=int, default=None, metavar="N",
+        help=(
+            "shard the host stage across N processes via "
+            "repro.parallel.ParallelHostRunner (Eq. (1) t_fp -> t_fp/N)"
+        ),
+    )
     parser.add_argument("--host-queue", type=int, default=defaults.host_queue_capacity)
     parser.add_argument("--seed", type=int, default=defaults.seed)
     parser.add_argument(
@@ -140,6 +152,14 @@ def serve_bench_main(argv: list[str]) -> int:
         help=(
             "replace the constant --t-bnn with the measured seconds/image of the "
             "real folded CNV at this width scale under --bnn-backend"
+        ),
+    )
+    parser.add_argument(
+        "--measure-t-host", type=float, default=None, metavar="SCALE",
+        help=(
+            "replace the constant --t-fp with the measured seconds/image of the "
+            "real host Model A inference fast path at this width scale, sharded "
+            "over --host-process-workers processes"
         ),
     )
     parser.add_argument(
@@ -176,6 +196,10 @@ def serve_bench_main(argv: list[str]) -> int:
         parser.error("--t-fp and --t-bnn must be positive")
     if args.measure_t_bnn is not None and args.measure_t_bnn <= 0:
         parser.error("--measure-t-bnn scale must be positive")
+    if args.measure_t_host is not None and args.measure_t_host <= 0:
+        parser.error("--measure-t-host scale must be positive")
+    if args.host_process_workers is not None and args.host_process_workers < 1:
+        parser.error("--host-process-workers must be >= 1")
     if args.deadline is not None and args.deadline <= 0:
         parser.error("--deadline must be positive")
     if args.fault_plan is not None:
@@ -194,10 +218,12 @@ def serve_bench_main(argv: list[str]) -> int:
         t_bnn=args.t_bnn,
         max_batch_size=args.batch_size,
         num_host_workers=args.host_workers,
+        host_process_workers=args.host_process_workers,
         host_queue_capacity=args.host_queue,
         seed=args.seed,
         bnn_backend=args.bnn_backend,
         measured_bnn_scale=args.measure_t_bnn,
+        measured_host_scale=args.measure_t_host,
         trace_path=args.trace,
         fault_plan_path=args.fault_plan,
         deadline_s=args.deadline,
@@ -294,6 +320,76 @@ def bench_kernels_main(argv: list[str]) -> int:
         run["predictions_match_reference"] for run in report["end_to_end"]["runs"].values()
     )
     return 0 if exact else 1
+
+
+def bench_parallel_main(argv: list[str]) -> int:
+    """``repro bench-parallel``: time the process-parallel host engine."""
+    from .parallel.bench import (
+        ParallelBenchConfig,
+        format_parallel_bench,
+        run_parallel_bench,
+        write_parallel_bench,
+    )
+
+    defaults = ParallelBenchConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro bench-parallel",
+        description=(
+            "Benchmark the host float path serially (legacy forward vs the "
+            "inference engine), across threads (GIL control) and across "
+            "shared-memory worker processes; verify bit-identical logits in "
+            "every mode and write a JSON report with the Eq. (1) implications."
+        ),
+    )
+    parser.add_argument("--model", choices=("a", "b", "c"), default=defaults.model,
+                        help="host model (Table III; default %(default)s)")
+    parser.add_argument("--scale", type=float, default=defaults.scale,
+                        help="host model width scale (default %(default)s)")
+    parser.add_argument("--images", type=int, default=defaults.num_images,
+                        help="images timed per leg (default %(default)s)")
+    parser.add_argument("--micro-batch", type=int, default=defaults.micro_batch)
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=list(defaults.worker_counts),
+        help="process-pool sizes to time (default %(default)s)",
+    )
+    parser.add_argument("--repeats", type=int, default=defaults.repeats)
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: shrink images/repeats to run in seconds")
+    parser.add_argument(
+        "--output", default="benchmarks/results/BENCH_parallel.json",
+        help="JSON report path, or '-' to skip writing (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+    for name in ("images", "micro_batch", "repeats"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name.replace('_', '-')} must be >= 1")
+    if any(k < 1 for k in args.workers):
+        parser.error("--workers entries must be >= 1")
+
+    config = ParallelBenchConfig(
+        model=args.model,
+        scale=args.scale,
+        num_images=args.images,
+        micro_batch=args.micro_batch,
+        worker_counts=tuple(args.workers),
+        repeats=args.repeats,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    print(
+        "bench-parallel: timing serial/threads/process legs "
+        "(bit-identity verified per leg) ...",
+        file=sys.stderr,
+    )
+    report = run_parallel_bench(config)
+    print(format_parallel_bench(report))
+    if args.output != "-":
+        path = write_parallel_bench(report, args.output)
+        print(f"\nwrote {path}", file=sys.stderr)
+    return 0 if report["summary"]["bit_identical_all"] else 1
 
 
 def trace_main(argv: list[str]) -> int:
@@ -410,6 +506,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_bench_main(argv[1:])
     if argv and argv[0] == "bench-kernels":
         return bench_kernels_main(argv[1:])
+    if argv and argv[0] == "bench-parallel":
+        return bench_parallel_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     parser = argparse.ArgumentParser(

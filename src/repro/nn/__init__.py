@@ -23,6 +23,7 @@ from .layers import (
     Sigmoid,
     Tanh,
 )
+from .infer import InferenceEngine
 from .losses import BinaryCrossEntropy, Loss, SoftmaxCrossEntropy, SquaredHinge
 from .network import Sequential
 from .optim import SGD, Adam, NesterovSGD, Optimizer, RMSProp
@@ -50,6 +51,7 @@ __all__ = [
     "Dropout",
     "Flatten",
     "Sequential",
+    "InferenceEngine",
     "Loss",
     "SoftmaxCrossEntropy",
     "BinaryCrossEntropy",

@@ -1,0 +1,422 @@
+"""Inference fast path: a compiled, allocation-free forward for Sequential nets.
+
+``Sequential.forward`` is a training loop in disguise: every layer keeps
+backward bookkeeping alive (im2col matrices, ReLU masks, pooling argmax
+indices), re-allocates its activations per call, and walks NCHW tensors
+through transposes that force copies in the next layer.  None of that is
+needed to *serve* a trained host model (Table III Models A/B/C), and after
+the PR 2 kernel speedups the float host path dominates the Eq. (1) budget
+``t_multi = max(t_fp * R_rerun, t_bnn)`` — so the host forward is now the
+hot path worth compiling.
+
+:class:`InferenceEngine` walks the layer stack once at construction and
+emits a flat list of eval-only steps:
+
+* **NHWC dataflow** — convolution becomes im2col + one GEMM whose output
+  *is* the next layer's NHWC input: the per-conv ``transpose(0, 3, 1, 2)``
+  copy of the training path disappears entirely.
+* **Conv2D + ReLU fusion** — the ReLU is applied in place on the GEMM
+  output buffer before it is ever re-read.
+* **Preallocated buffers** — im2col/col matrices, GEMM outputs, pooling
+  and LRN scratch are allocated once per (step, micro-batch geometry) and
+  reused across calls; padded borders are zeroed exactly once.
+* **LRN via cumulative sums** — the cross-channel sliding window is two
+  cumsum slices (O(C) not O(C·size)), computed into reused scratch.
+* **Dropout is a true no-op** and no step retains anything backward
+  would need.
+* **1x1 convolutions skip im2col** — the activation matrix is already the
+  GEMM operand in NHWC layout (NiN's mlpconv stacks, Model B).
+
+Determinism contract
+--------------------
+The engine processes inputs in fixed *micro-batches* (``micro_batch``
+images at a time, remainder last).  Because each micro-batch is an
+independent pure function of its pixels, any sharding of a request batch
+**along micro-batch boundaries** reproduces the serial logits *bit for
+bit* — this is what lets :class:`repro.parallel.ParallelHostRunner`
+fan a batch out to worker processes and still return bit-identical
+logits for any worker count.  (Splitting *inside* a micro-batch is not
+bit-stable: BLAS GEMM accumulation order may change with the number of
+rows.)
+
+``dtype`` selects the inference precision.  ``float32`` — the precision
+the paper's ARM host actually runs — roughly doubles GEMM and memory
+throughput over the float64 training representation; logits then match
+the float64 training forward to ~1e-5 relative (argmax preserved), while
+float64 mode tracks it to ~1e-12.  Weights are snapshotted at
+construction: compile *after* training / ``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers.activations import HardTanh, ReLU, Sigmoid, Tanh
+from .layers.batchnorm import BatchNorm
+from .layers.conv import Conv2D
+from .layers.dense import Dense
+from .layers.dropout import Dropout
+from .layers.flatten import Flatten
+from .layers.lrn import LocalResponseNorm
+from .layers.pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from . import functional as F
+
+__all__ = ["InferenceEngine"]
+
+_STRIDED = np.lib.stride_tricks.as_strided
+
+
+class _BufferPool:
+    """Per-engine scratch arrays, keyed by (step, role, shape)."""
+
+    def __init__(self):
+        self._arrays: dict[tuple, np.ndarray] = {}
+
+    def get(self, key: tuple, shape: tuple[int, ...], dtype, zero: bool = False):
+        """Reusable buffer; freshly allocated ones are zeroed iff *zero*.
+
+        A *zero* buffer is only cleared on allocation — callers rely on
+        overwriting the interior every call while padded borders stay
+        zero from the first fill (the zero-once padding trick).
+        """
+        full_key = key + (shape,)
+        buf = self._arrays.get(full_key)
+        if buf is None:
+            buf = np.zeros(shape, dtype) if zero else np.empty(shape, dtype)
+            self._arrays[full_key] = buf
+        return buf
+
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+
+class InferenceEngine:
+    """Compiled eval-only forward for a :class:`repro.nn.Sequential`.
+
+    Parameters
+    ----------
+    net:
+        The trained network.  Weights are snapshotted (cast to *dtype*)
+        at construction; later weight mutations are not seen.
+    dtype:
+        Inference precision (default ``float32`` — see module docstring).
+    micro_batch:
+        Fixed processing chunk.  Larger amortizes numpy dispatch, smaller
+        bounds memory; it also defines the bit-stable shard boundaries
+        used by :class:`repro.parallel.ParallelHostRunner`.
+    """
+
+    def __init__(self, net, dtype=np.float32, micro_batch: int = 16):
+        if micro_batch < 1:
+            raise ValueError("micro_batch must be >= 1")
+        self.dtype = np.dtype(dtype)
+        if self.dtype.kind != "f":
+            raise ValueError("InferenceEngine requires a float dtype")
+        self.micro_batch = int(micro_batch)
+        self.name = getattr(net, "name", "net")
+        self._bufs = _BufferPool()
+        self._steps = self._compile(net)
+
+    # -- compilation ---------------------------------------------------------
+    def _compile(self, net) -> list:
+        layers = list(net)
+        steps: list = []
+        i = 0
+        while i < len(layers):
+            layer = layers[i]
+            fuse_relu = isinstance(layer, Conv2D) and i + 1 < len(layers) and isinstance(
+                layers[i + 1], ReLU
+            )
+            step = self._compile_layer(len(steps), layer, fuse_relu)
+            if step is not None:
+                steps.append(step)
+            i += 2 if fuse_relu else 1
+        return steps
+
+    def _compile_layer(self, idx: int, layer, fuse_relu: bool):
+        dt = self.dtype
+        if isinstance(layer, Conv2D):
+            k = layer.kernel_size
+            wmat = np.ascontiguousarray(
+                layer.weight.value.transpose(2, 3, 1, 0).reshape(-1, layer.out_channels),
+                dtype=dt,
+            )
+            bias = None if layer.bias is None else layer.bias.value.astype(dt)
+            return _ConvStep(idx, k, layer.stride, layer.pad, wmat, bias, fuse_relu)
+        if isinstance(layer, Dense):
+            wmat = np.ascontiguousarray(layer.weight.value, dtype=dt)
+            bias = None if layer.bias is None else layer.bias.value.astype(dt)
+            return _DenseStep(idx, wmat, bias)
+        if isinstance(layer, (MaxPool2D, AvgPool2D)):
+            return _PoolStep(
+                idx, layer.window, layer.stride, layer.pad, isinstance(layer, MaxPool2D)
+            )
+        if isinstance(layer, LocalResponseNorm):
+            return _LRNStep(idx, layer.size, layer.alpha, layer.beta, layer.k)
+        if isinstance(layer, GlobalAvgPool2D):
+            return _GlobalAvgStep(idx)
+        if isinstance(layer, Flatten):
+            return _FlattenStep(idx)
+        if isinstance(layer, BatchNorm):
+            inv_std = 1.0 / np.sqrt(layer.running_var.value + layer.eps)
+            scale = (layer.gamma.value * inv_std).astype(dt)
+            shift = (layer.beta.value - layer.running_mean.value * layer.gamma.value * inv_std).astype(dt)
+            return _BatchNormStep(idx, scale, shift)
+        if isinstance(layer, ReLU):
+            return _ElementwiseStep(idx, "relu")
+        if isinstance(layer, Tanh):
+            return _ElementwiseStep(idx, "tanh")
+        if isinstance(layer, Sigmoid):
+            return _ElementwiseStep(idx, "sigmoid")
+        if isinstance(layer, HardTanh):
+            return _ElementwiseStep(idx, "hardtanh")
+        if isinstance(layer, Dropout):
+            return None  # true no-op in eval: no RNG draw, no mask, no copy
+        raise ValueError(
+            f"InferenceEngine cannot compile layer {layer!r}; "
+            "extend repro.nn.infer or fall back to Sequential.forward"
+        )
+
+    # -- execution ------------------------------------------------------------
+    def _run_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        n, c, h, w = chunk.shape
+        entry = self._bufs.get(("entry",), (n, h, w, c), self.dtype)
+        # Single cast + layout change: NCHW (any float dtype) -> NHWC dtype.
+        entry[...] = chunk.transpose(0, 2, 3, 1)
+        a = entry
+        for step in self._steps:
+            a = step.run(a, self._bufs, self.dtype)
+        return a
+
+    def predict_scores(self, images: np.ndarray) -> np.ndarray:
+        """Class scores ``(N, C)`` in engine dtype, micro-batched."""
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        n = images.shape[0]
+        out: np.ndarray | None = None
+        for start in range(0, n, self.micro_batch):
+            scores = self._run_chunk(images[start : start + self.micro_batch])
+            if out is None:
+                out = np.empty((n,) + scores.shape[1:], self.dtype)
+            out[start : start + scores.shape[0]] = scores
+        if out is None:
+            # Class count without running data: ask the first Dense/conv head.
+            return np.empty((0, self.num_classes_hint()), self.dtype)
+        return out
+
+    def predict_classes(self, images: np.ndarray) -> np.ndarray:
+        return self.predict_scores(images).argmax(axis=1)
+
+    __call__ = predict_scores
+
+    def num_classes_hint(self) -> int:
+        """Best-effort output width for empty-batch calls."""
+        for step in reversed(self._steps):
+            width = step.out_width()
+            if width is not None:
+                return width
+        return 0
+
+    def scratch_nbytes(self) -> int:
+        """Bytes currently held by the reusable buffer pool."""
+        return self._bufs.nbytes()
+
+
+class _Step:
+    __slots__ = ("idx",)
+
+    def out_width(self) -> int | None:
+        return None
+
+
+class _ConvStep(_Step):
+    __slots__ = ("k", "stride", "pad", "wmat", "bias", "fuse_relu")
+
+    def __init__(self, idx, k, stride, pad, wmat, bias, fuse_relu):
+        self.idx = idx
+        self.k = k
+        self.stride = stride
+        self.pad = pad
+        self.wmat = wmat
+        self.bias = bias
+        self.fuse_relu = fuse_relu
+
+    def out_width(self):
+        return self.wmat.shape[1]
+
+    def run(self, a, bufs, dt):
+        n, h, w, c = a.shape
+        k, st, p = self.k, self.stride, self.pad
+        oh = F.conv_output_size(h, k, st, p)
+        ow = F.conv_output_size(w, k, st, p)
+        if p:
+            padded = bufs.get((self.idx, "pad"), (n, h + 2 * p, w + 2 * p, c), dt, zero=True)
+            padded[:, p : p + h, p : p + w, :] = a
+            src = padded
+        else:
+            src = a
+        if k == 1 and st == 1:
+            cols = src.reshape(n * oh * ow, c)  # NHWC rows are the GEMM operand
+        else:
+            cols = bufs.get((self.idx, "cols"), (n * oh * ow, k * k * c), dt)
+            sn, sh, sw, sc = src.strides
+            windows = _STRIDED(
+                src,
+                shape=(n, oh, ow, k, k, c),
+                strides=(sn, sh * st, sw * st, sh, sw, sc),
+                writeable=False,
+            )
+            cols.reshape(n, oh, ow, k, k, c)[...] = windows  # one strided gather
+        out = bufs.get((self.idx, "out"), (n * oh * ow, self.wmat.shape[1]), dt)
+        np.matmul(cols, self.wmat, out=out)
+        if self.bias is not None:
+            out += self.bias
+        if self.fuse_relu:
+            np.maximum(out, 0.0, out=out)
+        return out.reshape(n, oh, ow, self.wmat.shape[1])
+
+
+class _DenseStep(_Step):
+    __slots__ = ("wmat", "bias")
+
+    def __init__(self, idx, wmat, bias):
+        self.idx = idx
+        self.wmat = wmat
+        self.bias = bias
+
+    def out_width(self):
+        return self.wmat.shape[1]
+
+    def run(self, a, bufs, dt):
+        out = bufs.get((self.idx, "out"), (a.shape[0], self.wmat.shape[1]), dt)
+        np.matmul(a, self.wmat, out=out)
+        if self.bias is not None:
+            out += self.bias
+        return out
+
+
+class _PoolStep(_Step):
+    __slots__ = ("window", "stride", "pad", "is_max")
+
+    def __init__(self, idx, window, stride, pad, is_max):
+        self.idx = idx
+        self.window = window
+        self.stride = stride
+        self.pad = pad
+        self.is_max = is_max
+
+    def run(self, a, bufs, dt):
+        n, h, w, c = a.shape
+        win, st, p = self.window, self.stride, self.pad
+        if p:
+            padded = bufs.get((self.idx, "pad"), (n, h + 2 * p, w + 2 * p, c), dt, zero=True)
+            padded[:, p : p + h, p : p + w, :] = a
+            src = padded
+        else:
+            src = a
+        oh = F.pool_output_size(h, win, st, p)
+        ow = F.pool_output_size(w, win, st, p)
+        sn, sh, sw, sc = src.strides
+        windows = _STRIDED(
+            src,
+            shape=(n, oh, ow, win, win, c),
+            strides=(sn, sh * st, sw * st, sh, sw, sc),
+            writeable=False,
+        )
+        out = bufs.get((self.idx, "out"), (n, oh, ow, c), dt)
+        if self.is_max:
+            np.amax(windows, axis=(3, 4), out=out)
+        else:
+            np.mean(windows, axis=(3, 4), out=out)
+        return out
+
+
+class _LRNStep(_Step):
+    __slots__ = ("size", "alpha", "beta", "k")
+
+    def __init__(self, idx, size, alpha, beta, k):
+        self.idx = idx
+        self.size = size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+    def run(self, a, bufs, dt):
+        n, h, w, c = a.shape
+        half = self.size // 2
+        # x^2 embedded in a zero halo; the halo never needs re-zeroing.
+        padded = bufs.get((self.idx, "sq"), (n, h, w, c + 2 * half), dt, zero=True)
+        np.multiply(a, a, out=padded[..., half : half + c])
+        csum = bufs.get((self.idx, "csum"), padded.shape, dt)
+        np.cumsum(padded, axis=-1, out=csum)
+        # Sliding-window sum over the channel axis as two cumsum slices.
+        scale = bufs.get((self.idx, "scale"), (n, h, w, c), dt)
+        scale[...] = csum[..., self.size - 1 :]
+        scale[..., 1:] -= csum[..., : c - 1]
+        scale *= self.alpha / self.size
+        scale += self.k
+        np.power(scale, -self.beta, out=scale)
+        out = bufs.get((self.idx, "out"), (n, h, w, c), dt)
+        np.multiply(a, scale, out=out)
+        return out
+
+
+class _GlobalAvgStep(_Step):
+    __slots__ = ()
+
+    def __init__(self, idx):
+        self.idx = idx
+
+    def run(self, a, bufs, dt):
+        out = bufs.get((self.idx, "out"), (a.shape[0], a.shape[3]), dt)
+        np.mean(a, axis=(1, 2), out=out)
+        return out
+
+
+class _FlattenStep(_Step):
+    __slots__ = ()
+
+    def __init__(self, idx):
+        self.idx = idx
+
+    def run(self, a, bufs, dt):
+        n, h, w, c = a.shape
+        # Dense weights expect the training layout: flat (C, H, W) order.
+        out = bufs.get((self.idx, "out"), (n, c * h * w), dt)
+        out.reshape(n, c, h, w)[...] = a.transpose(0, 3, 1, 2)
+        return out
+
+
+class _BatchNormStep(_Step):
+    __slots__ = ("scale", "shift")
+
+    def __init__(self, idx, scale, shift):
+        self.idx = idx
+        self.scale = scale
+        self.shift = shift
+
+    def run(self, a, bufs, dt):
+        out = bufs.get((self.idx, "out"), a.shape, dt)
+        np.multiply(a, self.scale, out=out)  # channels are the last axis in NHWC
+        out += self.shift
+        return out
+
+
+class _ElementwiseStep(_Step):
+    __slots__ = ("kind",)
+
+    def __init__(self, idx, kind):
+        self.idx = idx
+        self.kind = kind
+
+    def run(self, a, bufs, dt):
+        if self.kind == "relu":
+            np.maximum(a, 0.0, out=a)
+        elif self.kind == "tanh":
+            np.tanh(a, out=a)
+        elif self.kind == "hardtanh":
+            np.clip(a, -1.0, 1.0, out=a)
+        else:  # sigmoid — stable form, allocates (rare in the host models)
+            a = F.sigmoid(a).astype(dt, copy=False)
+        return a

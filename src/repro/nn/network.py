@@ -81,6 +81,21 @@ class Sequential:
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 
+    def compile_inference(self, dtype=None, micro_batch: int = 16):
+        """Compile this network into an :class:`repro.nn.InferenceEngine`.
+
+        The engine is the serving fast path: eval-only, fused Conv2D+ReLU,
+        preallocated buffers, no backward bookkeeping (see
+        :mod:`repro.nn.infer`).  Weights are snapshotted at compile time,
+        so call this *after* training / ``load_state_dict``.  ``dtype``
+        defaults to float32 — the paper host's inference precision.
+        """
+        from .infer import InferenceEngine
+
+        return InferenceEngine(
+            self, dtype=np.float32 if dtype is None else dtype, micro_batch=micro_batch
+        )
+
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Run inference in eval mode, batched to bound memory."""
         self.eval_mode()

@@ -1,0 +1,35 @@
+"""Process-parallel host inference over shared-memory rings.
+
+The paper's Eq. (1) bound ``t_multi ~= max(t_fp * R_rerun, t_bnn)`` is
+dominated by the host float path once the BNN stage is fast; this
+subpackage attacks ``t_fp`` directly by sharding rerun batches across
+``N`` warm worker processes (``t_fp -> t_fp / N`` on an ``N``-core
+host).  Images and logits travel through preallocated
+``multiprocessing.shared_memory`` slot rings (:mod:`repro.parallel.shm`)
+rather than pickles; shard cuts align with the
+:class:`repro.nn.InferenceEngine` micro-batch so parallel logits are
+bit-identical to serial for any worker count.
+
+Entry points:
+
+* :class:`ParallelHostRunner` — the pool; a drop-in host callable for
+  :class:`repro.serve.CascadeServer` (``host_workers=N`` /
+  ``REPRO_HOST_WORKERS``).
+* :func:`repro.parallel.bench.run_parallel_bench` — the
+  ``repro bench-parallel`` measurement harness.
+"""
+
+from .runner import ParallelHostRunner, ShardOutcome, ShardReport, resolve_host_workers
+from .shm import RingSpec, SlotRing, WorkerRing
+from .worker import worker_main
+
+__all__ = [
+    "ParallelHostRunner",
+    "ShardOutcome",
+    "ShardReport",
+    "resolve_host_workers",
+    "RingSpec",
+    "SlotRing",
+    "WorkerRing",
+    "worker_main",
+]

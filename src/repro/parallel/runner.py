@@ -1,0 +1,577 @@
+"""Process-parallel host inference: shard batches across warm workers.
+
+:class:`ParallelHostRunner` is a drop-in replacement for the host
+callable of :class:`repro.serve.CascadeServer`: it is a plain
+``(N, ...) images -> (N,) labels`` callable, but internally it shards
+each batch across ``n_workers`` *processes* — side-stepping the GIL that
+serializes the server's ``serve-host-*`` threads — and moves pixels and
+logits through preallocated :mod:`repro.parallel.shm` ring buffers
+(zero-copy slabs, seqlock slot headers) instead of pickles.
+
+Two modes share the machinery:
+
+* **model mode** (``model=Sequential``): each worker compiles the
+  network into a :class:`repro.nn.InferenceEngine` once at spawn and
+  serves logits.  Shards are cut on the engine's micro-batch boundaries,
+  so logits are **bit-identical to the serial engine for any worker
+  count** (see the engine's determinism contract).
+* **callable mode** (``predict_fn=...``): each worker runs an arbitrary
+  host callable on its shard and returns int64 labels.  Used by
+  ``serve-bench`` to shard its synthetic host stage, and by the server
+  to wrap whatever host callable it was given (``host_workers=N``).
+
+Fault containment and lifecycle
+-------------------------------
+An exception *inside* a worker's compute fails only that worker's shard:
+:meth:`run_sharded` marks those images with a
+:class:`~repro.serve.resilience.StageFailure` and every other shard still
+resolves.  A *dead* worker (crash, ``kill -9``) is detected at collect
+time, its shard fails the same way, and the pool **crash-replaces** the
+worker — fresh process, fresh ring, weights re-broadcast — before the
+next call, so the pool self-heals.  The strict ``__call__`` facade used
+by the server raises the first ``StageFailure`` for the whole batch,
+which plugs into the PR 4 retry-with-backoff / degrade-to-BNN contract
+unchanged.
+
+Observability: with a :mod:`repro.obs` tracer installed the runner emits
+``parallel.shard`` spans (dispatch -> response, per worker),
+re-materialized ``parallel.worker.infer`` spans from worker-reported
+durations, a ``parallel.inflight`` gauge and ``parallel.images`` /
+``parallel.shard_failures`` counters.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+
+from .. import obs
+from ..serve.resilience import StageFailure
+from .shm import SlotRing, ensure_tracker
+from .worker import worker_main
+
+__all__ = ["ParallelHostRunner", "ShardOutcome", "ShardReport", "resolve_host_workers"]
+
+
+def resolve_host_workers(explicit: int | None = None) -> int | None:
+    """Worker count from an explicit value or ``REPRO_HOST_WORKERS``.
+
+    Returns ``None`` when parallel host inference is not requested.
+    """
+    if explicit is not None:
+        return int(explicit) if explicit > 0 else None
+    env = os.environ.get("REPRO_HOST_WORKERS", "").strip()
+    if env:
+        value = int(env)
+        return value if value > 0 else None
+    return None
+
+
+def _default_start_method() -> str:
+    env = os.environ.get("REPRO_MP_START", "").strip()
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class ShardOutcome:
+    """Result of one worker's shard within one batch."""
+
+    __slots__ = ("worker", "start", "stop", "values", "error", "infer_seconds")
+
+    def __init__(self, worker, start, stop, values=None, error=None, infer_seconds=0.0):
+        self.worker = worker
+        self.start = start
+        self.stop = stop
+        self.values = values          # logits (model mode) or labels (callable mode)
+        self.error = error            # StageFailure | None
+        self.infer_seconds = infer_seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ok" if self.ok else f"error={self.error!r}"
+        return f"ShardOutcome(worker={self.worker}, [{self.start}:{self.stop}], {state})"
+
+
+class ShardReport:
+    """All shard outcomes of one :meth:`ParallelHostRunner.run_sharded` call."""
+
+    __slots__ = ("n", "outcomes")
+
+    def __init__(self, n: int, outcomes: list[ShardOutcome]):
+        self.n = n
+        self.outcomes = outcomes
+
+    @property
+    def errors(self) -> list[ShardOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def failed_indices(self) -> np.ndarray:
+        """Global indices of images whose shard failed."""
+        bad = [np.arange(o.start, o.stop) for o in self.errors]
+        return np.concatenate(bad) if bad else np.empty(0, dtype=np.int64)
+
+    def assemble(self) -> np.ndarray:
+        """Stitch shard values back into batch order (all shards must be ok)."""
+        first_err = next((o.error for o in self.outcomes if not o.ok), None)
+        if first_err is not None:
+            raise first_err
+        parts = [o.values for o in sorted(self.outcomes, key=lambda o: o.start)]
+        return np.concatenate(parts, axis=0)
+
+
+class _Worker:
+    __slots__ = ("index", "proc", "conn", "ring", "images", "infer_seconds", "replacements")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.proc = None
+        self.conn = None
+        self.ring: SlotRing | None = None
+        self.images = 0
+        self.infer_seconds = 0.0
+        self.replacements = 0
+
+
+class ParallelHostRunner:
+    """Multiprocess shared-memory host-inference pool (see module docs).
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.nn.Sequential` host network (model mode).
+    predict_fn:
+        An arbitrary ``images -> labels`` host callable (callable mode).
+        Exactly one of *model* / *predict_fn* must be given.  Under the
+        default ``fork`` start method closures work; ``spawn`` requires
+        a picklable callable.
+    n_workers:
+        Pool size; defaults to ``REPRO_HOST_WORKERS`` or ``os.cpu_count()``.
+    dtype, micro_batch:
+        Engine precision and micro-batch (model mode; see
+        :class:`repro.nn.InferenceEngine`).  float32 is the paper host's
+        inference precision.
+    slots_per_worker:
+        Ring depth per worker.  Two slots let the runner publish call
+        *k+1*'s shard while the response of call *k* is still being read.
+    start_method:
+        ``fork`` (default on POSIX; zero-copy weight broadcast) or
+        ``spawn`` (portable; weights pickled once).  ``REPRO_MP_START``
+        overrides the default.
+    shard_timeout_s:
+        Per-shard collect timeout.  ``None`` (default) waits for the
+        response or worker death; set it to bound hung-worker stalls —
+        a timed-out worker is killed and crash-replaced.
+    spawn_timeout_s:
+        Deadline for a worker to report ready at (re)spawn.
+    """
+
+    def __init__(
+        self,
+        model=None,
+        predict_fn=None,
+        n_workers: int | None = None,
+        dtype=np.float32,
+        micro_batch: int = 16,
+        slots_per_worker: int = 2,
+        start_method: str | None = None,
+        shard_timeout_s: float | None = None,
+        spawn_timeout_s: float = 60.0,
+    ):
+        if (model is None) == (predict_fn is None):
+            raise ValueError("pass exactly one of model= or predict_fn=")
+        resolved = resolve_host_workers(n_workers)
+        self.n_workers = resolved if resolved is not None else max(1, os.cpu_count() or 1)
+        self.mode = "model" if model is not None else "callable"
+        self.dtype = np.dtype(dtype)
+        self.micro_batch = int(micro_batch)
+        if self.micro_batch < 1:
+            raise ValueError("micro_batch must be >= 1")
+        self.slots_per_worker = int(slots_per_worker)
+        self.start_method = start_method or _default_start_method()
+        self.shard_timeout_s = shard_timeout_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self._model = model
+        if self.mode == "model":
+            self._payload = ("model", model, {"dtype": self.dtype.str, "micro_batch": self.micro_batch})
+        else:
+            self._payload = ("callable", predict_fn, {})
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._lock = threading.Lock()
+        self._geometry: tuple | None = None  # (item_shape, item_dtype, resp_shape, resp_dtype, capacity)
+        self._metrics = None
+        self._closed = False
+        self._workers = [_Worker(i) for i in range(self.n_workers)]
+        ensure_tracker()  # children must inherit the parent's tracker
+        try:
+            for w in self._workers:
+                self._spawn(w)
+        except Exception:
+            self.close()
+            raise
+
+    # -- lifecycle ------------------------------------------------------------
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(worker.index, child_conn, self._payload),
+            name=f"repro-host-{worker.index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker.proc, worker.conn, worker.ring = proc, parent_conn, None
+        reply = self._recv(worker, timeout=self.spawn_timeout_s)
+        if reply is None or reply[0] != "ready":
+            detail = reply[1] if reply and reply[0] == "init_error" else reply
+            self._kill(worker)
+            raise RuntimeError(f"worker {worker.index} failed to start: {detail}")
+        if self._geometry is not None:
+            self._issue_ring(worker)
+
+    def _respawn(self, worker: _Worker) -> None:
+        """Crash-replace: fresh process + fresh ring, weights re-broadcast."""
+        self._kill(worker)
+        worker.replacements += 1
+        self._spawn(worker)
+        obs.count("parallel.worker_replacements", 1)
+
+    def _kill(self, worker: _Worker) -> None:
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+            worker.conn = None
+        if worker.proc is not None:
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover - last resort
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+            worker.proc = None
+        if worker.ring is not None:
+            worker.ring.close()
+            worker.ring = None
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop all workers and unlink every shm segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for w in self._workers:
+                if w.conn is not None:
+                    try:
+                        w.conn.send(("stop",))
+                    except Exception:
+                        pass
+            for w in self._workers:
+                if w.proc is not None:
+                    w.proc.join(timeout=timeout)
+                self._kill(w)
+
+    def __enter__(self) -> "ParallelHostRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- plumbing -------------------------------------------------------------
+    def _recv(self, worker: _Worker, timeout: float | None):
+        """Next control message, or ``None`` on timeout / dead worker."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                wait = None if deadline is None else max(0.0, deadline - time.monotonic())
+                if worker.conn.poll(wait if wait is not None else None):
+                    return worker.conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                return None
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+
+    def _issue_ring(self, worker: _Worker) -> None:
+        """(Re)allocate this worker's ring at the current geometry."""
+        item_shape, item_dtype, resp_shape, resp_dtype, capacity = self._geometry
+        if worker.ring is not None:
+            worker.ring.close()
+        worker.ring = SlotRing(
+            capacity=capacity,
+            item_shape=item_shape,
+            item_dtype=item_dtype,
+            resp_shape=resp_shape,
+            resp_dtype=resp_dtype,
+            n_slots=self.slots_per_worker,
+        )
+        worker.conn.send(("attach", worker.ring.spec()))
+        reply = self._recv(worker, timeout=self.spawn_timeout_s)
+        if reply is None or reply[0] != "attached":
+            self._kill(worker)
+            raise RuntimeError(f"worker {worker.index} failed to attach ring: {reply}")
+
+    def _ensure_geometry(self, images: np.ndarray, max_shard: int) -> None:
+        item_shape = images.shape[1:]
+        if self.mode == "model":
+            item_dtype = self.dtype            # cast once, in the parent, via the slab
+            out_shape = tuple(self._model.output_shape(item_shape))
+            resp_shape, resp_dtype = out_shape, self.dtype
+        else:
+            item_dtype = images.dtype
+            resp_shape, resp_dtype = (), np.dtype(np.int64)
+        needed_capacity = max(max_shard, self.micro_batch)
+        geom = self._geometry
+        if (
+            geom is not None
+            and geom[0] == item_shape
+            and geom[1] == item_dtype
+            and geom[2] == resp_shape
+            and geom[3] == resp_dtype
+            and geom[4] >= needed_capacity
+        ):
+            return
+        capacity = max(needed_capacity, 0 if geom is None else geom[4])
+        self._geometry = (item_shape, np.dtype(item_dtype), resp_shape, np.dtype(resp_dtype), capacity)
+        for w in self._workers:
+            if w.conn is not None:
+                self._issue_ring(w)
+
+    def _shards(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous (start, stop) per worker, cut on micro-batch boundaries.
+
+        Model mode splits whole micro-batches so every chunk a worker
+        processes is exactly a chunk the serial engine would process —
+        the bit-identity invariant.  Callable mode splits plain images.
+        """
+        unit = self.micro_batch if self.mode == "model" else 1
+        n_units = math.ceil(n / unit)
+        per, extra = divmod(n_units, self.n_workers)
+        shards = []
+        unit_start = 0
+        for i in range(self.n_workers):
+            take = per + (1 if i < extra else 0)
+            if take == 0:
+                continue
+            start = unit_start * unit
+            stop = min(n, (unit_start + take) * unit)
+            shards.append((start, stop))
+            unit_start += take
+        return shards
+
+    # -- health ---------------------------------------------------------------
+    def ping(self, timeout: float = 5.0) -> list[bool]:
+        """Round-trip health check; ``True`` per worker that answered."""
+        with self._lock:
+            self._require_open()
+            results = []
+            for w in self._workers:
+                token = time.monotonic_ns()
+                ok = False
+                if w.conn is not None and w.proc is not None and w.proc.is_alive():
+                    try:
+                        w.conn.send(("ping", token))
+                        while True:
+                            reply = self._recv(w, timeout)
+                            if reply is None:
+                                break
+                            if reply[0] == "pong" and reply[1] == token:
+                                ok = True
+                                break
+                            # stale shard traffic from a timed-out call: skip
+                    except (OSError, BrokenPipeError):
+                        ok = False
+                results.append(ok)
+            return results
+
+    def ensure_healthy(self, timeout: float = 5.0) -> int:
+        """Ping all workers, crash-replace the dead; returns replacements."""
+        alive = self.ping(timeout=timeout)
+        replaced = 0
+        with self._lock:
+            self._require_open()
+            for w, ok in zip(self._workers, alive):
+                if not ok:
+                    self._respawn(w)
+                    replaced += 1
+        return replaced
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker counters (images served, inference seconds, restarts)."""
+        return [
+            {
+                "worker": w.index,
+                "pid": None if w.proc is None else w.proc.pid,
+                "alive": w.proc is not None and w.proc.is_alive(),
+                "images": w.images,
+                "infer_seconds": w.infer_seconds,
+                "replacements": w.replacements,
+            }
+            for w in self._workers
+        ]
+
+    def set_metrics(self, metrics) -> None:
+        """Attach a :class:`repro.serve.metrics.ServerMetrics` bridge."""
+        self._metrics = metrics
+        if metrics is not None:
+            metrics.set_host_parallel_workers(self.n_workers)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ParallelHostRunner is closed")
+
+    # -- inference ------------------------------------------------------------
+    def run_sharded(self, images: np.ndarray) -> ShardReport:
+        """Shard one batch across the pool; per-shard failure containment."""
+        images = np.asarray(images)
+        n = images.shape[0]
+        with self._lock:
+            self._require_open()
+            if n == 0:
+                return ShardReport(0, [])
+            shards = self._shards(n)
+            self._ensure_geometry(images, max(stop - start for start, stop in shards))
+
+            tracer = obs.active()
+            pending = []  # (worker, start, stop, slot, seq, t_dispatch)
+            for (start, stop), worker in zip(shards, self._workers):
+                if worker.proc is None or not worker.proc.is_alive():
+                    try:
+                        self._respawn(worker)
+                    except Exception as exc:
+                        pending.append((worker, start, stop, None, None, None, exc))
+                        continue
+                try:
+                    slot, seq, count = worker.ring.publish(images[start:stop])
+                    worker.conn.send(("run", slot, seq, count))
+                    t0 = None if tracer is None else tracer.now()
+                    pending.append((worker, start, stop, slot, seq, t0, None))
+                except (OSError, BrokenPipeError, ValueError) as exc:
+                    pending.append((worker, start, stop, None, None, None, exc))
+            obs.gauge("parallel.inflight", len(pending))
+
+            outcomes = []
+            dead: list[_Worker] = []
+            for worker, start, stop, slot, seq, t0, dispatch_exc in pending:
+                if dispatch_exc is not None:
+                    outcomes.append(
+                        ShardOutcome(worker.index, start, stop,
+                                     error=StageFailure("host", dispatch_exc))
+                    )
+                    if worker.proc is None or not worker.proc.is_alive():
+                        dead.append(worker)
+                    continue
+                outcome = self._collect(worker, start, stop, slot, seq, t0, tracer)
+                if not outcome.ok and (worker.proc is None or not worker.proc.is_alive()):
+                    dead.append(worker)
+                outcomes.append(outcome)
+
+            # Crash-replace *now* so the pool is healthy for the next call.
+            for worker in dead:
+                try:
+                    self._respawn(worker)
+                except Exception:  # replacement itself failed; retried next call
+                    pass
+
+            ok_images = sum(o.stop - o.start for o in outcomes if o.ok)
+            obs.count("parallel.images", ok_images)
+            failures = len([o for o in outcomes if not o.ok])
+            if failures:
+                obs.count("parallel.shard_failures", failures)
+            obs.gauge("parallel.inflight", 0)
+            return ShardReport(n, outcomes)
+
+    def _collect(self, worker, start, stop, slot, seq, t0, tracer) -> ShardOutcome:
+        while True:
+            reply = self._recv(worker, self.shard_timeout_s)
+            if reply is None:
+                alive = worker.proc is not None and worker.proc.is_alive()
+                detail = "hung (timeout)" if alive else "died mid-batch"
+                if alive:  # hung: kill so the replacement starts clean
+                    self._kill(worker)
+                return ShardOutcome(
+                    worker.index, start, stop,
+                    error=StageFailure("host", RuntimeError(
+                        f"parallel host worker {worker.index} {detail}")),
+                )
+            kind = reply[0]
+            if kind == "done" and reply[1] == slot and reply[2] == seq:
+                _, _, _, count, seconds = reply
+                values = worker.ring.read_response(slot, seq, count)
+                worker.images += count
+                worker.infer_seconds += seconds
+                if tracer is not None:
+                    end = tracer.now()
+                    tracer.add_span("parallel.shard", t0, end,
+                                    category="parallel", worker=worker.index,
+                                    images=count)
+                    # Re-materialized from the worker's reported duration
+                    # (its clock is unsynchronized; anchor on receipt).
+                    tracer.add_span("parallel.worker.infer", end - seconds, end,
+                                    category="parallel", worker=worker.index,
+                                    images=count)
+                if self._metrics is not None:
+                    self._metrics.record_host_worker_images(worker.index, count, seconds)
+                return ShardOutcome(worker.index, start, stop, values=values,
+                                    infer_seconds=seconds)
+            if kind == "error" and reply[1] == slot and reply[2] == seq:
+                return ShardOutcome(
+                    worker.index, start, stop,
+                    error=StageFailure("host", RuntimeError(
+                        f"parallel host worker {worker.index} failed:\n{reply[3]}")),
+                )
+            # anything else is stale traffic from an earlier timed-out shard
+
+    def predict_scores(self, images: np.ndarray) -> np.ndarray:
+        """Logits ``(N, C)`` — model mode only; raises on any shard failure."""
+        if self.mode != "model":
+            raise RuntimeError("predict_scores requires model mode")
+        images = np.asarray(images)
+        report = self.run_sharded(images)
+        if report.n == 0:
+            resp_shape = (
+                self._geometry[2]
+                if self._geometry is not None
+                else tuple(self._model.output_shape(images.shape[1:]))
+            )
+            return np.empty((0,) + resp_shape, self.dtype)
+        return report.assemble()
+
+    def predict_classes(self, images: np.ndarray) -> np.ndarray:
+        """Labels ``(N,)`` — the strict host-callable facade.
+
+        Any shard failure raises its :class:`StageFailure` (after every
+        other shard finished and dead workers were replaced), which is
+        exactly the whole-batch error contract the
+        :class:`~repro.serve.server.CascadeServer` retry path expects.
+        """
+        images = np.asarray(images)
+        if images.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        report = self.run_sharded(images)
+        values = report.assemble()  # raises the first StageFailure, if any
+        if self.mode == "model":
+            return values.argmax(axis=1)
+        return values
+
+    __call__ = predict_classes

@@ -1,0 +1,265 @@
+"""Shared-memory slot rings for zero-copy parent <-> worker image transfer.
+
+One :class:`SlotRing` connects the :class:`~repro.parallel.runner.ParallelHostRunner`
+(parent, single producer) to one worker process (single consumer).  It is
+three ``multiprocessing.shared_memory`` segments:
+
+* **header** — ``(n_slots, HEADER_INTS)`` int64 seqlock-style slot headers,
+* **request slab** — ``(n_slots, capacity, *item_shape)`` image payload
+  (NCHW items; NHWC conversion happens inside the worker's engine),
+* **response slab** — ``(n_slots, capacity, *resp_shape)`` logits (model
+  mode) or int64 labels (callable mode).
+
+Publication protocol (SPSC seqlock, no locks, no torn reads)
+------------------------------------------------------------
+The parent publishes a request into slot *s* with sequence number *q*::
+
+    header[s, REQ_SEQ] = WRITING          # odd sentinel: payload in flux
+    request[s, :n] = images               # zero-copy into the slab
+    header[s, N_ITEMS] = n
+    header[s, REQ_SEQ] = q                # even: published
+
+then kicks the worker over its control pipe (``('run', s, q, n)``).  The
+worker checks ``header[s, REQ_SEQ] == q`` *before and after* copying the
+payload out — any mismatch means a torn or stale write and is reported
+as an error instead of silently computing on garbage.  The response
+travels the same way through ``RESP_SEQ`` and the response slab, followed
+by a ``('done', ...)`` control message.  Because each ring has exactly
+one producer (the runner, under its dispatch lock) and one consumer (the
+worker), the two sequence fields never need atomic read-modify-write —
+int64 stores are atomic on every platform numpy targets.
+
+Sequence numbers are even and strictly increasing per slot; ``WRITING``
+(an odd sentinel) marks payload-in-flux.  Ring teardown unlinks the
+segments; workers attach with tracking disabled so the resource tracker
+does not double-count the parent's segments.
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SlotRing", "RingSpec", "HEADER_INTS", "REQ_SEQ", "RESP_SEQ", "N_ITEMS", "WRITING"]
+
+# Header field indices (one int64 row per slot).
+REQ_SEQ = 0    # last published request sequence (even), or WRITING
+RESP_SEQ = 1   # last published response sequence (even), or WRITING
+N_ITEMS = 2    # item count of the current request
+GENERATION = 3 # bumped by the parent when a ring is re-issued to a new worker
+HEADER_INTS = 4
+
+WRITING = -1   # odd-state sentinel: payload is being written
+
+
+def ensure_tracker() -> None:
+    """Start the multiprocessing resource tracker in *this* process.
+
+    Must run in the parent **before** workers are forked: a child forked
+    without a running tracker would lazily start its own when it attaches
+    a segment, and that private tracker unlinks the parent's live
+    segments when the child exits.  Forked (and spawned) children of a
+    process with a running tracker share it instead.
+    """
+    try:  # pragma: no cover - trivially platform-dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment owned by the parent.
+
+    Workers share the parent's resource-tracker process (fork inherits
+    its fd; spawn forwards it in the preparation data), and the tracker
+    cache is a set — so the attach-side register is a no-op and must NOT
+    be undone here: unregistering from a worker would strip the parent's
+    own registration and make its later ``unlink()`` race the tracker.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class RingSpec:
+    """Picklable description of a ring, sent to workers over the pipe."""
+
+    __slots__ = (
+        "header_name", "req_name", "resp_name",
+        "n_slots", "capacity", "item_shape", "item_dtype", "resp_shape", "resp_dtype",
+    )
+
+    def __init__(self, header_name, req_name, resp_name, n_slots, capacity,
+                 item_shape, item_dtype, resp_shape, resp_dtype):
+        self.header_name = header_name
+        self.req_name = req_name
+        self.resp_name = resp_name
+        self.n_slots = int(n_slots)
+        self.capacity = int(capacity)
+        self.item_shape = tuple(item_shape)
+        self.item_dtype = np.dtype(item_dtype).str
+        self.resp_shape = tuple(resp_shape)
+        self.resp_dtype = np.dtype(resp_dtype).str
+
+    def __getstate__(self):
+        return {k: getattr(self, k) for k in self.__slots__}
+
+    def __setstate__(self, state):
+        for k, v in state.items():
+            setattr(self, k, v)
+
+
+class SlotRing:
+    """Owner (parent) side of one worker's request/response ring."""
+
+    def __init__(
+        self,
+        capacity: int,
+        item_shape: tuple[int, ...],
+        item_dtype,
+        resp_shape: tuple[int, ...],
+        resp_dtype,
+        n_slots: int = 2,
+        name_hint: str = "repro",
+    ):
+        if capacity < 1 or n_slots < 1:
+            raise ValueError("capacity and n_slots must be >= 1")
+        self.capacity = int(capacity)
+        self.n_slots = int(n_slots)
+        self.item_shape = tuple(int(s) for s in item_shape)
+        self.item_dtype = np.dtype(item_dtype)
+        self.resp_shape = tuple(int(s) for s in resp_shape)
+        self.resp_dtype = np.dtype(resp_dtype)
+
+        header_bytes = self.n_slots * HEADER_INTS * 8
+        req_bytes = self.n_slots * self.capacity * max(
+            1, int(math.prod(self.item_shape))
+        ) * self.item_dtype.itemsize
+        resp_bytes = self.n_slots * self.capacity * max(
+            1, int(math.prod(self.resp_shape))
+        ) * self.resp_dtype.itemsize
+        self._header_shm = shared_memory.SharedMemory(create=True, size=header_bytes)
+        self._req_shm = shared_memory.SharedMemory(create=True, size=req_bytes)
+        self._resp_shm = shared_memory.SharedMemory(create=True, size=resp_bytes)
+        self.header = np.ndarray(
+            (self.n_slots, HEADER_INTS), dtype=np.int64, buffer=self._header_shm.buf
+        )
+        self.header[...] = 0
+        self.request = np.ndarray(
+            (self.n_slots, self.capacity) + self.item_shape,
+            dtype=self.item_dtype,
+            buffer=self._req_shm.buf,
+        )
+        self.response = np.ndarray(
+            (self.n_slots, self.capacity) + self.resp_shape,
+            dtype=self.resp_dtype,
+            buffer=self._resp_shm.buf,
+        )
+        self._seq = 0
+        self._next_slot = 0
+        self._closed = False
+
+    # -- parent-side protocol -------------------------------------------------
+    def publish(self, images: np.ndarray) -> tuple[int, int, int]:
+        """Seqlock-publish *images* into the next slot; returns (slot, seq, n)."""
+        n = images.shape[0]
+        if n > self.capacity:
+            raise ValueError(f"batch of {n} exceeds ring capacity {self.capacity}")
+        slot = self._next_slot
+        self._next_slot = (slot + 1) % self.n_slots
+        self._seq += 2  # even, strictly increasing
+        seq = self._seq
+        h = self.header[slot]
+        h[REQ_SEQ] = WRITING
+        self.request[slot, :n] = images  # cast happens here if dtypes differ
+        h[N_ITEMS] = n
+        h[REQ_SEQ] = seq
+        return slot, seq, n
+
+    def read_response(self, slot: int, seq: int, n: int) -> np.ndarray:
+        """Copy out a published response, validating its seqlock."""
+        if self.header[slot, RESP_SEQ] != seq:
+            raise RuntimeError(
+                f"response seqlock mismatch in slot {slot}: "
+                f"expected {seq}, found {self.header[slot, RESP_SEQ]}"
+            )
+        return np.array(self.response[slot, :n])  # copy: slab is reused
+
+    def spec(self) -> RingSpec:
+        return RingSpec(
+            self._header_shm.name, self._req_shm.name, self._resp_shm.name,
+            self.n_slots, self.capacity,
+            self.item_shape, self.item_dtype, self.resp_shape, self.resp_dtype,
+        )
+
+    def close(self) -> None:
+        """Release and unlink the segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop numpy views before closing the mmaps (else BufferError).
+        self.header = self.request = self.response = None  # type: ignore[assignment]
+        for seg in (self._header_shm, self._req_shm, self._resp_shm):
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class WorkerRing:
+    """Worker (consumer) side of a :class:`SlotRing`, built from a spec."""
+
+    def __init__(self, spec: RingSpec):
+        self.spec = spec
+        self._segs = [
+            _attach(spec.header_name), _attach(spec.req_name), _attach(spec.resp_name)
+        ]
+        self.header = np.ndarray(
+            (spec.n_slots, HEADER_INTS), dtype=np.int64, buffer=self._segs[0].buf
+        )
+        self.request = np.ndarray(
+            (spec.n_slots, spec.capacity) + spec.item_shape,
+            dtype=np.dtype(spec.item_dtype),
+            buffer=self._segs[1].buf,
+        )
+        self.response = np.ndarray(
+            (spec.n_slots, spec.capacity) + spec.resp_shape,
+            dtype=np.dtype(spec.resp_dtype),
+            buffer=self._segs[2].buf,
+        )
+
+    def read_request(self, slot: int, seq: int, n: int) -> np.ndarray:
+        """Seqlock-validated copy of a published request."""
+        h = self.header[slot]
+        if h[REQ_SEQ] != seq:
+            raise RuntimeError(
+                f"request seqlock mismatch in slot {slot}: "
+                f"expected {seq}, found {h[REQ_SEQ]}"
+            )
+        images = np.array(self.request[slot, :n])
+        if h[REQ_SEQ] != seq:  # re-check: detect a torn concurrent rewrite
+            raise RuntimeError(f"request slot {slot} rewritten during read")
+        return images
+
+    def write_response(self, slot: int, seq: int, values: np.ndarray) -> None:
+        h = self.header[slot]
+        h[RESP_SEQ] = WRITING
+        self.response[slot, : values.shape[0]] = values
+        h[RESP_SEQ] = seq
+
+    def close(self) -> None:
+        self.header = self.request = self.response = None  # type: ignore[assignment]
+        for seg in self._segs:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover
+                pass

@@ -1,0 +1,123 @@
+"""Worker process entry point for the parallel host-inference engine.
+
+A worker is spawned warm: the model (or host callable) arrives once as a
+process argument — under the default ``fork`` start method that is a
+zero-copy inheritance of the parent's weights; under ``spawn`` it is one
+pickle — and, in model mode, the :class:`repro.nn.InferenceEngine` is
+compiled *before* the worker reports ready, so the first real batch never
+pays compilation cost.
+
+Control plane (one duplex pipe per worker):
+
+================  =============================  ==========================
+parent -> worker  worker -> parent               meaning
+================  =============================  ==========================
+``('attach', spec)``  ``('attached',)``          map the shm ring, warm up
+``('run', slot, seq, n)``  ``('done', slot, seq, n, secs)``  process a shard
+\\                 ``('error', slot, seq, tb)``   shard failed (contained)
+``('ping', tok)``  ``('pong', tok)``             health check
+``('stop',)``      —                             drain and exit 0
+================  =============================  ==========================
+
+Data plane: the :mod:`repro.parallel.shm` request/response slabs — images
+in, logits (model mode) or int64 labels (callable mode) out.  A failure
+inside the user callable / engine is *contained*: the worker reports
+``('error', ...)`` and keeps serving; only process death (crash, kill)
+loses the worker, and the parent then crash-replaces it.
+
+Workers emit ``parallel.worker.infer`` spans when a :mod:`repro.obs`
+tracer is installed *in the worker process* (by default none is — the
+parent re-materializes worker timing from the reported durations
+instead, so the trace stays single-process).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+import numpy as np
+
+from .. import obs
+from .shm import RingSpec, WorkerRing
+
+__all__ = ["worker_main"]
+
+
+def _build_compute(payload):
+    """Resolve the spawn payload into a ``images -> values`` function."""
+    mode, target, options = payload
+    if mode == "model":
+        engine = target.compile_inference(
+            dtype=np.dtype(options["dtype"]), micro_batch=options["micro_batch"]
+        )
+        return engine.predict_scores
+    if mode == "callable":
+        def compute(images: np.ndarray) -> np.ndarray:
+            return np.asarray(target(images)).reshape(len(images))
+        return compute
+    raise ValueError(f"unknown worker mode {mode!r}")
+
+
+def worker_main(worker_id: int, conn, payload) -> None:
+    """Run the worker loop until ``('stop',)`` or pipe EOF."""
+    try:
+        compute = _build_compute(payload)
+    except BaseException:
+        try:
+            conn.send(("init_error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", worker_id))
+
+    ring: WorkerRing | None = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone: exit quietly
+        kind = msg[0]
+        if kind == "stop":
+            break
+        if kind == "ping":
+            conn.send(("pong", msg[1]))
+            continue
+        if kind == "attach":
+            spec: RingSpec = msg[1]
+            if ring is not None:
+                ring.close()
+            ring = WorkerRing(spec)
+            # Warm-up: run one item through so every numpy buffer and BLAS
+            # code path is hot before the first real shard arrives.
+            try:
+                warm = np.zeros((1,) + spec.item_shape, dtype=np.dtype(spec.item_dtype))
+                compute(warm)
+            except Exception:
+                pass  # real batches will surface any genuine failure
+            conn.send(("attached",))
+            continue
+        if kind == "run":
+            _, slot, seq, n = msg
+            if ring is None:
+                conn.send(("error", slot, seq, "run before attach"))
+                continue
+            try:
+                images = ring.read_request(slot, seq, n)
+                start = time.perf_counter()
+                with obs.trace_span("parallel.worker.infer", worker=worker_id, images=n):
+                    values = np.asarray(compute(images))
+                seconds = time.perf_counter() - start
+                if values.shape[0] != n:
+                    raise ValueError(
+                        f"compute returned {values.shape[0]} results for {n} images"
+                    )
+                ring.write_response(slot, seq, values)
+                conn.send(("done", slot, seq, n, seconds))
+            except BaseException:
+                conn.send(("error", slot, seq, traceback.format_exc()))
+            continue
+        conn.send(("error", -1, -1, f"unknown message {msg!r}"))
+    if ring is not None:
+        ring.close()
+    conn.close()

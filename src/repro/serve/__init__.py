@@ -20,6 +20,7 @@ from .bench import (
     ServeBenchRun,
     folded_bnn_scores_fn,
     format_serve_bench,
+    measure_t_host,
     measured_t_bnn,
     run_serve_bench,
     synthetic_serving_stack,
@@ -55,6 +56,7 @@ __all__ = [
     "synthetic_serving_stack",
     "folded_bnn_scores_fn",
     "measured_t_bnn",
+    "measure_t_host",
     "run_serve_bench",
     "format_serve_bench",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "synthetic_serving_stack",
     "folded_bnn_scores_fn",
     "measured_t_bnn",
+    "measure_t_host",
     "run_serve_bench",
     "format_serve_bench",
 ]
@@ -89,11 +90,26 @@ class ServeBenchConfig:
     fault_plan_path: str | None = None
     #: Per-request deadline for the server (None disables).
     deadline_s: float | None = None
+    #: When set, run both legs with ``CascadeServer(host_workers=N)`` —
+    #: the host stage is sharded across N *processes* by a
+    #: :class:`repro.parallel.ParallelHostRunner`, the Eq. (1)
+    #: ``t_fp -> t_fp / N`` lever this bench then measures.
+    host_process_workers: int | None = None
+    #: When set, replace the constant ``t_fp`` with a *measured*
+    #: seconds/image of the real host Model A inference fast path at this
+    #: width scale, sharded over ``host_process_workers`` processes — the
+    #: host-side analogue of ``measured_bnn_scale``.
+    measured_host_scale: float | None = None
+
+    @property
+    def host_parallelism(self) -> int:
+        """Total host-stage parallelism: threads x processes."""
+        return self.num_host_workers * (self.host_process_workers or 1)
 
     @property
     def analytic_bound_fps(self) -> float:
         """Eq. (1) at the target rerun ratio, with the host pool scaled."""
-        t_host = self.t_fp * self.target_rerun_ratio / self.num_host_workers
+        t_host = self.t_fp * self.target_rerun_ratio / self.host_parallelism
         return 1.0 / max(t_host, self.t_bnn)
 
     @property
@@ -142,6 +158,42 @@ def measured_t_bnn(
     start = time.perf_counter()
     folded.class_scores(images, batch_size=batch_size)
     return (time.perf_counter() - start) / len(images)
+
+
+def measure_t_host(
+    scale: float = 1.0,
+    workers: int = 1,
+    num_images: int = 64,
+    micro_batch: int = 16,
+    seed: int = 0,
+) -> float:
+    """Measured seconds/image of the real host float path (Model A).
+
+    Times the :class:`repro.nn.InferenceEngine` fast path — serially for
+    ``workers <= 1``, else sharded over a
+    :class:`repro.parallel.ParallelHostRunner` process pool — so the
+    serve bench can anchor its Eq. (1) ``t_fp`` to the actual host
+    throughput, exactly like :func:`measured_t_bnn` anchors ``t_bnn``.
+    """
+    from ..models.host_models import build_model_a
+
+    rng = np.random.default_rng(seed)
+    net = build_model_a(scale=scale, rng=rng)
+    net.eval_mode()
+    images = rng.normal(size=(num_images, 3, 32, 32))
+    if workers <= 1:
+        engine = net.compile_inference(micro_batch=micro_batch)
+        engine.predict_scores(images[:micro_batch])  # warmup
+        start = time.perf_counter()
+        engine.predict_scores(images)
+        return (time.perf_counter() - start) / len(images)
+    from ..parallel import ParallelHostRunner
+
+    with ParallelHostRunner(model=net, n_workers=workers, micro_batch=micro_batch) as pool:
+        pool.predict_scores(images[:micro_batch])  # warmup (spawns + rings)
+        start = time.perf_counter()
+        pool.predict_scores(images)
+        return (time.perf_counter() - start) / len(images)
 
 
 def synthetic_serving_stack(config: ServeBenchConfig):
@@ -266,6 +318,20 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
                 seed=config.seed,
             ),
         )
+    if config.measured_host_scale is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            t_fp=measure_t_host(
+                scale=config.measured_host_scale,
+                workers=config.host_process_workers or 1,
+                seed=config.seed,
+            ),
+            # The measured rate already includes the process sharding, so
+            # Eq. (1) must not divide by the pool size a second time.
+            host_process_workers=None,
+        )
     fault_plan = None
     if config.fault_plan_path is not None:
         from ..faults import load_fault_plan
@@ -301,6 +367,7 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             batch_delay_s=config.batch_delay_s,
             host_queue_capacity=config.host_queue_capacity,
             num_host_workers=config.num_host_workers,
+            host_workers=config.host_process_workers,
             host_batch_size=config.host_batch_size,
             deadline_s=config.deadline_s,
         )
@@ -325,7 +392,7 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             t_fp=config.t_fp,
             t_bnn=config.t_bnn,
             rerun_ratio=steady.rerun_ratio,
-            num_host_workers=config.num_host_workers,
+            num_host_workers=config.host_parallelism,
         )
         runs[label] = ServeBenchRun(
             label=label,
@@ -398,7 +465,8 @@ def format_serve_bench(report: ServeBenchReport) -> str:
         title=(
             "serve-bench: adaptive DMU threshold vs naive static threshold\n"
             f"(target R_rerun={cfg.target_rerun_ratio:.2f}, t_fp={cfg.t_fp * 1e3:.1f} ms, "
-            f"t_bnn={cfg.t_bnn * 1e3:.2f} ms, {cfg.num_host_workers} host worker(s), "
+            f"t_bnn={cfg.t_bnn * 1e3:.2f} ms, {cfg.num_host_workers} host thread(s) x "
+            f"{cfg.host_process_workers or 1} host process(es), "
             f"offered {cfg.offered_fps:.0f} img/s = {cfg.arrival_rate_fraction:.0%} of the "
             f"Eq. (1) bound, {cfg.num_requests} requests/run)"
         ),
@@ -428,6 +496,31 @@ def format_serve_bench(report: ServeBenchReport) -> str:
         residuals = (
             "\n\nEq. (1) residual at each policy's *realized* steady R_rerun:\n"
             + "\n".join(residual_lines)
+        )
+    host_lines = []
+    for run in (report.naive, report.adaptive):
+        stage = run.total.stages.get("host")
+        wait = run.total.stages.get("host_queue_wait")
+        if stage is None or stage.count == 0:
+            continue
+        line = (
+            f"  {run.label:<9} pure-inference {stage.mean_seconds * 1e3:.2f} ms/img, "
+            f"queue-wait "
+            f"{(wait.mean_seconds * 1e3 if wait is not None and wait.count else 0.0):.2f}"
+            f" ms/img over {stage.count} rerun images"
+        )
+        if run.total.host_parallel_workers:
+            shares = ", ".join(
+                f"w{worker}:{count}"
+                for worker, count in sorted(run.total.host_worker_images.items())
+            )
+            line += f"; {run.total.host_parallel_workers} procs [{shares}]"
+        host_lines.append(line)
+    host_split = ""
+    if host_lines:
+        host_split = (
+            "\n\nhost stage split (time parked in the host queue vs compute):\n"
+            + "\n".join(host_lines)
         )
     spans = ""
     if report.span_summary is not None:
@@ -464,4 +557,4 @@ def format_serve_bench(report: ServeBenchReport) -> str:
         "controller walks the threshold down until the rerun ratio holds the\n"
         "target, keeping the host pool busy but un-saturated (Eq. (1) regime)."
     )
-    return table + chart + residuals + spans + faults + notes
+    return table + chart + residuals + host_split + spans + faults + notes

@@ -80,6 +80,9 @@ class MetricsSnapshot:
     breaker_state: str = "closed"
     breaker_trips: int = 0
     breaker_open_seconds: float = 0.0   # time spent not-closed (degraded mode)
+    host_parallel_workers: int = 0      # ParallelHostRunner pool size (0 = serial host)
+    host_worker_images: dict[int, int] = field(default_factory=dict)  # worker -> imgs served
+    host_worker_seconds: dict[int, float] = field(default_factory=dict)  # worker -> infer secs
 
     @property
     def answered(self) -> int:
@@ -146,6 +149,15 @@ class MetricsSnapshot:
             breaker_state=self.breaker_state,
             breaker_trips=self.breaker_trips - earlier.breaker_trips,
             breaker_open_seconds=self.breaker_open_seconds - earlier.breaker_open_seconds,
+            host_parallel_workers=self.host_parallel_workers,
+            host_worker_images={
+                worker: count - earlier.host_worker_images.get(worker, 0)
+                for worker, count in self.host_worker_images.items()
+            },
+            host_worker_seconds={
+                worker: secs - earlier.host_worker_seconds.get(worker, 0.0)
+                for worker, secs in self.host_worker_seconds.items()
+            },
         )
 
 
@@ -182,6 +194,9 @@ class ServerMetrics:
         self._breaker_trips = 0
         self._threshold = float("nan")
         self._trajectory: list[float] = []
+        self._host_parallel_workers = 0
+        self._host_worker_images: dict[int, int] = {}
+        self._host_worker_seconds: dict[int, float] = {}
         self._started = clock()
 
     # -- stage latency ------------------------------------------------------
@@ -221,6 +236,20 @@ class ServerMetrics:
         with self._lock:
             self._threshold = float(threshold)
             self._trajectory.append(float(threshold))
+
+    # -- parallel host pool ---------------------------------------------------
+    def set_host_parallel_workers(self, n_workers: int) -> None:
+        """Declare that the host stage is a parallel pool of *n_workers*."""
+        with self._lock:
+            self._host_parallel_workers = int(n_workers)
+
+    def record_host_worker_images(self, worker: int, count: int, seconds: float = 0.0) -> None:
+        """One pool worker served *count* images in *seconds* of inference."""
+        with self._lock:
+            self._host_worker_images[worker] = self._host_worker_images.get(worker, 0) + count
+            self._host_worker_seconds[worker] = (
+                self._host_worker_seconds.get(worker, 0.0) + seconds
+            )
 
     # -- robustness ----------------------------------------------------------
     def record_fault(self, stage: str, count: int = 1) -> None:
@@ -296,4 +325,7 @@ class ServerMetrics:
                 breaker_state=self._breaker_state,
                 breaker_trips=self._breaker_trips,
                 breaker_open_seconds=open_seconds,
+                host_parallel_workers=self._host_parallel_workers,
+                host_worker_images=dict(self._host_worker_images),
+                host_worker_seconds=dict(self._host_worker_seconds),
             )

@@ -103,7 +103,8 @@ class ServeResult:
 
 class _Request:
     __slots__ = (
-        "image", "future", "submit_ts", "deadline_ts", "bnn_prediction", "confidence"
+        "image", "future", "submit_ts", "deadline_ts", "bnn_prediction", "confidence",
+        "host_enqueue_ts",
     )
 
     def __init__(self, image: np.ndarray, submit_ts: float, deadline_ts: float | None):
@@ -113,6 +114,7 @@ class _Request:
         self.deadline_ts = deadline_ts
         self.bnn_prediction = -1
         self.confidence = float("nan")
+        self.host_enqueue_ts = float("nan")
 
 
 class CascadeServer:
@@ -139,6 +141,17 @@ class CascadeServer:
     num_host_workers:
         Host re-inference worker threads (the paper has one ARM core
         pool; scale up for stronger hosts).
+    host_workers:
+        Process-parallel host pool size.  When set (or via the
+        ``REPRO_HOST_WORKERS`` env var), ``host_predict_fn`` is wrapped
+        in a :class:`repro.parallel.ParallelHostRunner` that shards each
+        host batch across that many worker *processes* over shared
+        memory — the Eq. (1) ``t_fp -> t_fp / N`` lever.  The server
+        owns and closes the pool.  Alternatively pass an existing
+        ``ParallelHostRunner`` directly as ``host_predict_fn`` (the
+        caller keeps ownership); either way its per-worker counters are
+        bridged into :attr:`metrics`.  ``None`` with no env var keeps
+        the plain serial callable.
     host_batch_size:
         Greedy drain limit per host inference call.
     deadline_s:
@@ -169,6 +182,7 @@ class CascadeServer:
         bnn_queue_capacity: int = 4,
         host_queue_capacity: int = 64,
         num_host_workers: int = 1,
+        host_workers: int | None = None,
         host_batch_size: int = 8,
         metrics: ServerMetrics | None = None,
         clock: Callable[[], float] = time.monotonic,
@@ -200,6 +214,14 @@ class CascadeServer:
         self.metrics.register_queue(BNN_QUEUE, bnn_queue_capacity)
         self.metrics.register_queue(HOST_QUEUE, host_queue_capacity)
         self.metrics.record_threshold(self.threshold)
+
+        # Optional process-parallel host pool (repro.parallel).
+        self._host_runner, self._owns_host_runner = self._init_parallel_host(
+            host_predict_fn, host_workers
+        )
+        if self._host_runner is not None:
+            self._host_predict_fn = self._host_runner
+            self._host_runner.set_metrics(self.metrics)
 
         self._deadline_s = deadline_s
         self._retry = retry if retry is not None else RetryPolicy()
@@ -234,6 +256,20 @@ class CascadeServer:
         self._bnn_thread.start()
         for t in self._host_threads:
             t.start()
+
+    @staticmethod
+    def _init_parallel_host(host_predict_fn, host_workers):
+        """Resolve the process-pool request into (runner, server_owns_it)."""
+        # Local import: repro.parallel pulls in multiprocessing machinery
+        # that serial servers never need.
+        from ..parallel import ParallelHostRunner, resolve_host_workers
+
+        if isinstance(host_predict_fn, ParallelHostRunner):
+            return host_predict_fn, False
+        n_workers = resolve_host_workers(host_workers)
+        if n_workers is None:
+            return None, False
+        return ParallelHostRunner(predict_fn=host_predict_fn, n_workers=n_workers), True
 
     # -- public API ---------------------------------------------------------
     @property
@@ -310,6 +346,8 @@ class CascadeServer:
                 self._put_sentinel(self._host_queue, timeout)
         for t in self._host_threads:
             t.join(timeout=timeout)
+        if first and self._owns_host_runner and self._host_runner is not None:
+            self._host_runner.close()
         # Anything still unresolved is stuck behind a dead/hung stage (or
         # the joins timed out): fail it now so no caller waits forever.
         with self._inflight_lock:
@@ -464,6 +502,7 @@ class CascadeServer:
                 degraded += 1
                 continue
             try:
+                request.host_enqueue_ts = self._clock()
                 self._host_queue.put_nowait(request)
                 depth = self._host_queue.qsize()
                 self.metrics.set_queue_depth(HOST_QUEUE, depth)
@@ -537,6 +576,16 @@ class CascadeServer:
                 live.append(request)
         if not live:
             return
+
+        # Queue-wait vs pure-inference split: the "host" stage below times
+        # only the (successful) inference call, so time spent parked in the
+        # host queue must be booked separately or throughput reports blur
+        # dispatch latency into compute cost.
+        now = self._clock()
+        queue_wait = sum(
+            now - r.host_enqueue_ts for r in live if r.host_enqueue_ts == r.host_enqueue_ts
+        )
+        self.metrics.observe_stage("host_queue_wait", queue_wait, count=len(live))
 
         retries = 0
         while True:

@@ -1,0 +1,197 @@
+"""ParallelHostRunner: bit-identical sharding, fault containment, self-heal."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.host_models import build_model_a, build_model_b, build_model_c
+from repro.parallel import ParallelHostRunner, resolve_host_workers
+from repro.serve.resilience import StageFailure
+
+BUILDERS = {"a": build_model_a, "b": build_model_b, "c": build_model_c}
+
+
+def make_net(model: str = "a", scale: float = 0.25, seed: int = 0):
+    net = BUILDERS[model](scale=scale, rng=np.random.default_rng(seed))
+    net.eval_mode()
+    return net
+
+
+def make_images(n: int, seed: int = 1) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, 3, 32, 32))
+
+
+def crashy_host(images: np.ndarray) -> np.ndarray:
+    """Host callable that kills its own process mid-batch on a marker image."""
+    if float(images[0].max()) > 1e5:
+        os._exit(13)
+    return np.full(len(images), 7, dtype=np.int64)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("model", ["a", "b", "c"])
+    def test_bit_identical_across_worker_counts(self, model):
+        net = make_net(model)
+        x = make_images(37)  # uneven: 3 micro-batch chunks over k workers
+        serial = net.compile_inference().predict_scores(x)
+        for k in (1, 2, 4):
+            with ParallelHostRunner(model=net, n_workers=k) as pool:
+                np.testing.assert_array_equal(pool.predict_scores(x), serial)
+                np.testing.assert_array_equal(pool(x), serial.argmax(axis=1))
+
+    def test_empty_batch(self):
+        net = make_net()
+        with ParallelHostRunner(model=net, n_workers=2) as pool:
+            assert pool(make_images(0)).shape == (0,)
+            scores = pool.predict_scores(make_images(0))
+            assert scores.shape[0] == 0
+
+    def test_callable_mode_matches_contiguous_shards(self):
+        def host(images):
+            return np.asarray([int(img.sum() > 0) for img in images])
+
+        x = make_images(23)
+        with ParallelHostRunner(predict_fn=host, n_workers=3) as pool:
+            np.testing.assert_array_equal(pool(x), host(x))
+
+    def test_geometry_change_reallocates_rings(self):
+        net = make_net()
+        serial = net.compile_inference()
+        with ParallelHostRunner(model=net, n_workers=2) as pool:
+            small, big = make_images(4), make_images(64)
+            np.testing.assert_array_equal(
+                pool.predict_scores(small), serial.predict_scores(small)
+            )
+            np.testing.assert_array_equal(
+                pool.predict_scores(big), serial.predict_scores(big)
+            )
+
+    def test_worker_stats_account_for_all_images(self):
+        net = make_net()
+        with ParallelHostRunner(model=net, n_workers=2) as pool:
+            pool(make_images(40))
+            assert sum(s["images"] for s in pool.worker_stats()) == 40
+
+
+class TestProperties:
+    @given(n=st.integers(0, 80))
+    @settings(max_examples=12, deadline=None)
+    def test_any_batch_size_matches_serial(self, shared_pool, n):
+        net, serial, pool = shared_pool
+        x = make_images(n, seed=n)
+        np.testing.assert_array_equal(
+            pool.predict_scores(x), serial.predict_scores(x)
+        )
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    net = make_net()
+    serial = net.compile_inference()
+    with ParallelHostRunner(model=net, n_workers=3) as pool:
+        yield net, serial, pool
+
+
+class TestFaultContainment:
+    def test_compute_error_is_contained_to_shard(self):
+        def flaky(images):
+            if float(images[0].max()) > 1e5:
+                raise RuntimeError("boom")
+            return np.zeros(len(images), dtype=np.int64)
+
+        x = make_images(20)
+        x[0, 0] = 1e6  # worker 0's shard carries the poison image
+        with ParallelHostRunner(predict_fn=flaky, n_workers=2) as pool:
+            report = pool.run_sharded(x)
+            assert len(report.errors) == 1
+            bad = report.errors[0]
+            assert isinstance(bad.error, StageFailure) and bad.error.stage == "host"
+            assert bad.start == 0  # only the poisoned shard failed
+            ok = [o for o in report.outcomes if o.ok]
+            assert ok and all(o.values is not None for o in ok)
+            # worker survived its own exception: same pool, clean batch
+            assert pool.run_sharded(make_images(20)).ok
+            assert all(s["replacements"] == 0 for s in pool.worker_stats())
+
+    def test_worker_death_mid_batch_fails_only_that_shard_and_heals(self):
+        x = make_images(20)
+        x[0, 0] = 1e6  # marker lands in worker 0's shard -> os._exit mid-batch
+        with ParallelHostRunner(predict_fn=crashy_host, n_workers=2) as pool:
+            pids = [s["pid"] for s in pool.worker_stats()]
+            report = pool.run_sharded(x)
+            assert len(report.errors) == 1 and report.errors[0].worker == 0
+            assert isinstance(report.errors[0].error, StageFailure)
+            assert report.outcomes[1].ok  # sibling shard still answered
+            # crash-replace: fresh pid, and the next batch fully succeeds
+            clean = pool.run_sharded(make_images(20))
+            assert clean.ok
+            stats = pool.worker_stats()
+            assert stats[0]["replacements"] == 1
+            assert stats[0]["pid"] != pids[0] and stats[0]["alive"]
+
+    def test_strict_facade_raises_stage_failure(self):
+        x = make_images(20)
+        x[0, 0] = 1e6
+        with ParallelHostRunner(predict_fn=crashy_host, n_workers=2) as pool:
+            with pytest.raises(StageFailure):
+                pool(x)
+            np.testing.assert_array_equal(
+                pool(make_images(4)), np.full(4, 7)
+            )
+
+    def test_kill_between_batches_heals_at_dispatch(self):
+        def host(images):
+            return np.zeros(len(images), dtype=np.int64)
+
+        with ParallelHostRunner(predict_fn=host, n_workers=2) as pool:
+            pool(make_images(8))
+            os.kill(pool.worker_stats()[1]["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while pool.worker_stats()[1]["alive"] and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # dead worker is replaced before dispatch: no shard is lost
+            assert pool.run_sharded(make_images(8)).ok
+
+    def test_ensure_healthy_replaces_dead_workers(self):
+        def host(images):
+            return np.zeros(len(images), dtype=np.int64)
+
+        with ParallelHostRunner(predict_fn=host, n_workers=2) as pool:
+            pool(make_images(4))
+            assert pool.ping() == [True, True]
+            os.kill(pool.worker_stats()[0]["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while pool.worker_stats()[0]["alive"] and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool.ensure_healthy() == 1
+            assert pool.ping() == [True, True]
+
+    def test_closed_pool_rejects_work(self):
+        net = make_net()
+        pool = ParallelHostRunner(model=net, n_workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool(make_images(2))
+
+
+class TestConfig:
+    def test_resolve_host_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HOST_WORKERS", raising=False)
+        assert resolve_host_workers(None) is None
+        assert resolve_host_workers(3) == 3
+        monkeypatch.setenv("REPRO_HOST_WORKERS", "2")
+        assert resolve_host_workers(None) == 2
+        monkeypatch.setenv("REPRO_HOST_WORKERS", "0")
+        assert resolve_host_workers(None) is None
+
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            ParallelHostRunner()
+        with pytest.raises(ValueError):
+            ParallelHostRunner(model=make_net(), predict_fn=lambda x: x)

@@ -1,0 +1,80 @@
+"""Unit tests for the shared-memory slot rings (single-process protocol)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import REQ_SEQ, RingSpec, SlotRing, WorkerRing
+
+
+@pytest.fixture
+def ring():
+    r = SlotRing(
+        capacity=8, item_shape=(3, 4, 4), item_dtype=np.float32,
+        resp_shape=(10,), resp_dtype=np.float32, n_slots=2,
+    )
+    yield r
+    r.close()
+
+
+class TestSlotRing:
+    def test_publish_read_roundtrip(self, ring):
+        worker = WorkerRing(ring.spec())
+        images = np.random.default_rng(0).normal(size=(5, 3, 4, 4)).astype(np.float32)
+        slot, seq, n = ring.publish(images)
+        got = worker.read_request(slot, seq, n)
+        np.testing.assert_array_equal(got, images)
+        logits = np.arange(50, dtype=np.float32).reshape(5, 10)
+        worker.write_response(slot, seq, logits)
+        np.testing.assert_array_equal(ring.read_response(slot, seq, n), logits)
+        worker.close()
+
+    def test_publish_casts_into_slab_dtype(self, ring):
+        images = np.ones((2, 3, 4, 4), dtype=np.float64)
+        slot, seq, n = ring.publish(images)
+        assert ring.request[slot, :n].dtype == np.float32
+
+    def test_slots_rotate_and_seqs_increase(self, ring):
+        first = ring.publish(np.zeros((1, 3, 4, 4), np.float32))
+        second = ring.publish(np.zeros((1, 3, 4, 4), np.float32))
+        third = ring.publish(np.zeros((1, 3, 4, 4), np.float32))
+        assert first[0] != second[0] and first[0] == third[0]  # 2 slots rotate
+        assert first[1] < second[1] < third[1]
+        assert all(seq % 2 == 0 for _, seq, _ in (first, second, third))
+
+    def test_capacity_overflow_raises(self, ring):
+        with pytest.raises(ValueError):
+            ring.publish(np.zeros((9, 3, 4, 4), np.float32))
+
+    def test_stale_seq_detected_by_worker(self, ring):
+        worker = WorkerRing(ring.spec())
+        slot, seq, n = ring.publish(np.zeros((1, 3, 4, 4), np.float32))
+        with pytest.raises(RuntimeError, match="seqlock"):
+            worker.read_request(slot, seq + 2, n)  # not published yet
+        worker.close()
+
+    def test_torn_write_detected_by_worker(self, ring):
+        worker = WorkerRing(ring.spec())
+        slot, seq, n = ring.publish(np.zeros((1, 3, 4, 4), np.float32))
+        ring.header[slot, REQ_SEQ] = -1  # WRITING sentinel mid-read
+        with pytest.raises(RuntimeError):
+            worker.read_request(slot, seq, n)
+        worker.close()
+
+    def test_stale_response_detected_by_parent(self, ring):
+        slot, seq, n = ring.publish(np.zeros((1, 3, 4, 4), np.float32))
+        with pytest.raises(RuntimeError, match="seqlock"):
+            ring.read_response(slot, seq, n)  # worker never answered
+
+    def test_close_is_idempotent(self):
+        r = SlotRing(2, (2,), np.float32, (3,), np.float32)
+        r.close()
+        r.close()
+
+    def test_spec_is_picklable(self, ring):
+        spec = ring.spec()
+        clone: RingSpec = pickle.loads(pickle.dumps(spec))
+        assert clone.item_shape == (3, 4, 4)
+        assert np.dtype(clone.item_dtype) == np.float32
+        assert clone.capacity == 8 and clone.n_slots == 2

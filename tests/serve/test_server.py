@@ -195,6 +195,7 @@ class TestShutdown:
         server = CascadeServer(
             bnn_scores_fn, make_dmu(threshold=1.0), hanging_host,
             batch_delay_s=0.001, host_batch_size=1, num_host_workers=1,
+            host_workers=0,  # events must fire in-process; pin the serial host
         )
         try:
             futures = [server.submit(img) for img in make_images(12)]
