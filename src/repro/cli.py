@@ -34,6 +34,14 @@ visible, Eqs. (3)-(5) per-layer breakdown printed):
 
     python -m repro trace --output trace.json
     python -m repro trace --backend bitplane --simulated trace_sim.json
+
+``repro serve-net`` stands up the socket stack (frontend + shard router
++ N cascade replica processes), drives it over loopback and reconciles
+the wire books (see docs/NETWORK.md):
+
+    python -m repro serve-net --replicas 2 --requests 200
+    python -m repro serve-net --placement rendezvous --kill-replica-after 50
+    python -m repro serve-net --fault-plan examples/faultplan_host_flaky.json
 """
 
 from __future__ import annotations
@@ -500,10 +508,89 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def serve_net_main(argv: list[str]) -> int:
+    """``repro serve-net``: loopback-drive the socket frontend + router."""
+    from .net.bench import NetBenchConfig, format_net_bench, run_net_bench
+    from .net.router import PLACEMENTS
+
+    defaults = NetBenchConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro serve-net",
+        description=(
+            "Start the network serving stack (socket frontend + shard router "
+            "+ N CascadeServer replica processes), push a synthetic image "
+            "stream over real loopback sockets, and verify the wire books "
+            "balance at every layer (routed + rejected + failed == submitted)."
+        ),
+    )
+    parser.add_argument("--requests", type=int, default=defaults.num_requests)
+    parser.add_argument("--clients", type=int, default=defaults.num_clients)
+    parser.add_argument("--replicas", type=int, default=defaults.num_replicas,
+                        help="CascadeServer replica processes (default %(default)s)")
+    parser.add_argument("--placement", choices=PLACEMENTS, default=defaults.placement)
+    parser.add_argument("--port", type=int, default=defaults.port,
+                        help="bind port (default 0 = ephemeral)")
+    parser.add_argument("--max-inflight", type=int, default=defaults.max_inflight,
+                        help="frontend admission bound (default %(default)s)")
+    parser.add_argument("--threshold", type=float, default=defaults.threshold,
+                        help="static DMU threshold of each replica")
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="inject this seeded repro.faults.FaultPlan JSON into every replica",
+    )
+    parser.add_argument(
+        "--kill-replica-after", type=int, default=None, metavar="N",
+        help="chaos: hard-kill replica 0 after N requests were submitted",
+    )
+    args = parser.parse_args(argv)
+
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    for name in ("clients", "replicas", "max_inflight"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name.replace('_', '-')} must be >= 1")
+    if not 0.0 <= args.threshold <= 1.0:
+        parser.error(f"--threshold must be in [0, 1], got {args.threshold}")
+    if args.port < 0:
+        parser.error("--port must be >= 0")
+    if args.kill_replica_after is not None and args.kill_replica_after < 0:
+        parser.error("--kill-replica-after must be >= 0")
+    if args.fault_plan is not None:
+        from pathlib import Path
+
+        if not Path(args.fault_plan).is_file():
+            parser.error(f"--fault-plan file not found: {args.fault_plan}")
+
+    config = NetBenchConfig(
+        num_requests=args.requests,
+        num_clients=args.clients,
+        num_replicas=args.replicas,
+        placement=args.placement,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        threshold=args.threshold,
+        seed=args.seed,
+        fault_plan_path=args.fault_plan,
+        kill_replica_after=args.kill_replica_after,
+    )
+    print(
+        f"serve-net: {config.num_replicas} replica processes, "
+        f"{config.num_clients} clients x loopback sockets, "
+        f"{config.num_requests} requests ...",
+        file=sys.stderr,
+    )
+    report = run_net_bench(config)
+    print(format_net_bench(report))
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "serve-net":
+        return serve_net_main(argv[1:])
     if argv and argv[0] == "bench-kernels":
         return bench_kernels_main(argv[1:])
     if argv and argv[0] == "bench-parallel":

@@ -1,0 +1,270 @@
+"""Self-driving load harness for the socket stack (``repro serve-net``).
+
+Stands up the full network path — N :class:`~repro.net.router.ProcessReplica`
+cascade replicas behind a :class:`~repro.net.router.ShardRouter` behind a
+:class:`~repro.net.frontend.NetFrontend` — then drives it over real
+loopback sockets with a closed-loop :class:`~repro.net.client.NetClient`
+fleet and reconciles the books at every layer:
+
+* frontend: ``answered + rejected + failed == requests``
+* router:   ``routed + rejected + failed == submitted``
+* terminal ratio: every submitted request must reach a terminal frame
+  (the ISSUE acceptance asks >= 99 % even with a replica killed).
+
+The synthetic replica stack is the chaos-test oracle cascade: each
+"image" is an 11-vector of 10 class scores plus the true label, the BNN
+stage reads the scores, the host stage reads the label, and the DMU
+reads the top-2 margin — so correctness is exact and the harness
+measures queueing and wire behaviour, not numpy throughput.  A
+:class:`~repro.faults.FaultPlan` can be injected into every replica
+(same seed ⇒ same per-stage fault stream in each), and
+``kill_replica_after`` hard-kills one replica mid-run to exercise
+failover.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from ..core.dmu import DecisionMakingUnit
+from ..faults import FaultPlan, load_fault_plan, wrap_stack
+from .client import NetClient
+from .frontend import NetFrontend
+from .router import ShardRouter
+
+__all__ = [
+    "NetBenchConfig",
+    "make_oracle_images",
+    "oracle_replica_kwargs",
+    "run_net_bench",
+    "format_net_bench",
+]
+
+NUM_CLASSES = 10
+
+
+def _oracle_bnn_scores(images: np.ndarray) -> np.ndarray:
+    return np.asarray(images)[:, :NUM_CLASSES]
+
+
+def _oracle_host_predict(images: np.ndarray) -> np.ndarray:
+    return np.asarray(images)[:, NUM_CLASSES].astype(int)
+
+
+def _margin_dmu(threshold: float) -> DecisionMakingUnit:
+    weights = np.zeros(NUM_CLASSES)
+    weights[0], weights[1] = 4.0, -4.0  # sorted top-2 margin
+    return DecisionMakingUnit(weights, bias=0.0, threshold=threshold)
+
+
+def make_oracle_images(n: int, seed: int = 0, signal: float = 2.0) -> np.ndarray:
+    """(n, 11) score-vector "images" with the true label appended."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, NUM_CLASSES, size=n)
+    scores = rng.normal(0.0, 1.0, size=(n, NUM_CLASSES))
+    scores[np.arange(n), labels] += signal
+    return np.concatenate([scores, labels[:, None].astype(float)], axis=1)
+
+
+def oracle_replica_kwargs(
+    threshold: float = 0.7,
+    fault_plan: FaultPlan | None = None,
+    batch_delay_s: float = 0.001,
+    host_queue_capacity: int = 256,
+) -> dict:
+    """:class:`~repro.serve.CascadeServer` kwargs for one oracle replica.
+
+    Top-level and picklable (``spawn``-safe): this is the ``factory``
+    handed to :meth:`ShardRouter.spawn` via :func:`functools.partial`.
+    When *fault_plan* is given the three stage callables are wrapped in
+    a fresh :class:`~repro.faults.FaultInjector` inside the child, so
+    every replica replays the same seeded per-stage fault stream.
+    """
+    bnn_fn, dmu, host_fn = _oracle_bnn_scores, _margin_dmu(threshold), _oracle_host_predict
+    if fault_plan is not None:
+        bnn_fn, dmu, host_fn, _ = wrap_stack(fault_plan, bnn_fn, dmu, host_fn)
+    return dict(
+        bnn_scores_fn=bnn_fn,
+        dmu=dmu,
+        host_predict_fn=host_fn,
+        batch_delay_s=batch_delay_s,
+        host_queue_capacity=host_queue_capacity,
+    )
+
+
+@dataclass(frozen=True)
+class NetBenchConfig:
+    """One ``repro serve-net`` scenario."""
+
+    num_requests: int = 200
+    num_clients: int = 4
+    num_replicas: int = 2
+    placement: str = "round_robin"
+    host: str = "127.0.0.1"
+    port: int = 0                  # 0 = ephemeral
+    max_inflight: int = 256
+    threshold: float = 0.7
+    signal: float = 2.0            # score margin of the synthetic stream
+    seed: int = 0
+    fault_plan_path: str | None = None
+    #: Hard-kill one replica after this many submitted requests (chaos).
+    kill_replica_after: int | None = None
+
+
+def _client_worker(config, address, images, outcome, lock):
+    results, errors = [], []
+    with NetClient(*address) as client:
+        for image in images:
+            try:
+                results.append(client.classify(image, timeout=30.0))
+            except Exception as exc:
+                errors.append(exc)
+    with lock:
+        outcome["results"].extend(results)
+        outcome["errors"].extend(errors)
+
+
+def run_net_bench(config: NetBenchConfig) -> dict:
+    """Run one scenario; returns the reconciled report dict."""
+    fault_plan = (
+        load_fault_plan(config.fault_plan_path) if config.fault_plan_path else None
+    )
+    factory = partial(
+        oracle_replica_kwargs, threshold=config.threshold, fault_plan=fault_plan
+    )
+    images = make_oracle_images(config.num_requests, seed=config.seed,
+                                signal=config.signal)
+    shares = np.array_split(np.arange(config.num_requests), config.num_clients)
+
+    t_start = time.monotonic()
+    with ShardRouter.spawn(
+        factory, config.num_replicas, placement=config.placement
+    ) as router:
+        frontend = NetFrontend(
+            router, host=config.host, port=config.port,
+            max_inflight=config.max_inflight,
+        )
+        address = frontend.start()
+        outcome = {"results": [], "errors": []}
+        lock = threading.Lock()
+        killer = None
+        if config.kill_replica_after is not None:
+            def _kill_when_due():
+                while router.snapshot().submitted < config.kill_replica_after:
+                    time.sleep(0.002)
+                router.replicas[0].kill()
+            killer = threading.Thread(target=_kill_when_due, daemon=True)
+            killer.start()
+        clients = [
+            threading.Thread(
+                target=_client_worker,
+                args=(config, address, images[share], outcome, lock),
+                daemon=True,
+            )
+            for share in shares if len(share)
+        ]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join(timeout=120.0)
+        if killer is not None:
+            killer.join(timeout=5.0)
+        pings = router.ping(timeout=2.0)
+        front_snap = frontend.metrics.snapshot()
+        route_snap = router.snapshot()
+        frontend.close()
+    wall = time.monotonic() - t_start
+
+    terminal = len(outcome["results"]) + len(outcome["errors"])
+    sources: dict[str, int] = {}
+    for result in outcome["results"]:
+        sources[result.source] = sources.get(result.source, 0) + 1
+
+    report = {
+        "config": {
+            "num_requests": config.num_requests,
+            "num_clients": config.num_clients,
+            "num_replicas": config.num_replicas,
+            "placement": config.placement,
+            "fault_plan": config.fault_plan_path,
+            "kill_replica_after": config.kill_replica_after,
+            "seed": config.seed,
+        },
+        "wall_seconds": wall,
+        "client": {
+            "answered": len(outcome["results"]),
+            "errors": len(outcome["errors"]),
+            "error_types": sorted(
+                {type(exc).__name__ for exc in outcome["errors"]}
+            ),
+            "terminal": terminal,
+            "terminal_ratio": terminal / config.num_requests if config.num_requests else 1.0,
+            "sources": sources,
+        },
+        "frontend": {
+            "connections": front_snap.connections,
+            "requests": front_snap.requests,
+            "answered": front_snap.answered,
+            "rejected": front_snap.rejected,
+            "failed": front_snap.failed,
+            "protocol_errors": front_snap.protocol_errors,
+            "balanced": front_snap.balanced,
+        },
+        "router": {
+            "submitted": route_snap.submitted,
+            "routed": route_snap.routed,
+            "rejected": route_snap.rejected,
+            "failed": route_snap.failed,
+            "failovers": route_snap.failovers,
+            "replica_routed": route_snap.replica_routed,
+            "balanced": route_snap.balanced,
+            "pings": pings,
+        },
+        "ok": (
+            front_snap.balanced
+            and route_snap.balanced
+            and terminal >= 0.99 * config.num_requests
+        ),
+    }
+    return report
+
+
+def format_net_bench(report: dict) -> str:
+    """Human-readable serve-net report."""
+    cfg = report["config"]
+    client = report["client"]
+    front = report["frontend"]
+    route = report["router"]
+    lines = [
+        "serve-net: socket frontend + shard router loopback drive",
+        f"  requests={cfg['num_requests']} clients={cfg['num_clients']} "
+        f"replicas={cfg['num_replicas']} placement={cfg['placement']}",
+    ]
+    if cfg["fault_plan"]:
+        lines.append(f"  fault plan: {cfg['fault_plan']}")
+    if cfg["kill_replica_after"] is not None:
+        lines.append(f"  chaos: replica 0 killed after {cfg['kill_replica_after']} requests")
+    lines += [
+        f"  wall: {report['wall_seconds']:.2f}s  "
+        f"({cfg['num_requests'] / max(report['wall_seconds'], 1e-9):.0f} req/s offered)",
+        f"  client:   answered={client['answered']} errors={client['errors']} "
+        f"terminal={client['terminal']}/{cfg['num_requests']} "
+        f"({client['terminal_ratio']:.1%}) sources={client['sources']}",
+        f"  frontend: requests={front['requests']} answered={front['answered']} "
+        f"rejected={front['rejected']} failed={front['failed']} "
+        f"balanced={front['balanced']}",
+        f"  router:   submitted={route['submitted']} routed={route['routed']} "
+        f"rejected={route['rejected']} failed={route['failed']} "
+        f"failovers={route['failovers']} balanced={route['balanced']}",
+        f"  replicas: routed={route['replica_routed']} ping={route['pings']}",
+        f"  OK={report['ok']}  (books balance at every layer and >=99% of "
+        "requests reached a terminal frame)",
+    ]
+    if client["error_types"]:
+        lines.append(f"  client error types: {', '.join(client['error_types'])}")
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""Blocking socket client for the cascade wire protocol.
+
+:class:`NetClient` is the caller-side mirror of
+:class:`repro.net.frontend.NetFrontend`: it speaks
+:mod:`repro.net.protocol` over one TCP connection, multiplexes any
+number of in-flight requests by id, and resolves each to a
+:class:`WireResult` — a field-for-field twin of
+:class:`repro.serve.server.ServeResult`, so the loopback tests can
+assert wire answers are *bit-identical* to in-process ``submit()``.
+
+A background reader thread drains the socket through a
+:class:`~repro.net.protocol.FrameDecoder` and walks each request's
+frame sequence (``ACCEPTED → DECISION → LOGITS``); terminal frames
+resolve the request's future:
+
+* ``LOGITS`` — success, the future gets the :class:`WireResult`;
+* ``REJECTED`` — :class:`WireRejected` (admission refused);
+* ``ERROR`` — :class:`WireError` with the server's typed code;
+* ``SHUTDOWN`` (or a dropped connection) — :class:`WireShutdown` for
+  everything still pending, mirroring the server-side
+  :class:`~repro.serve.resilience.ServerClosed` contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from .protocol import (
+    Accepted,
+    Decision,
+    Error,
+    FrameDecoder,
+    Logits,
+    Ping,
+    Pong,
+    ProtocolError,
+    Rejected,
+    Request,
+    Shutdown,
+    encode_frame,
+)
+
+__all__ = [
+    "WireResult",
+    "WireRejected",
+    "WireError",
+    "WireShutdown",
+    "NetClient",
+]
+
+
+@dataclass(frozen=True)
+class WireResult:
+    """One classification as observed over the wire.
+
+    Mirrors :class:`~repro.serve.server.ServeResult` plus the terminal
+    ``LOGITS`` confidence vector.
+    """
+
+    prediction: int
+    bnn_prediction: int
+    confidence: float
+    source: str                 # "bnn" | "host" | "degraded"
+    latency_seconds: float      # server-side latency, as reported
+    logits: np.ndarray
+
+    @property
+    def rerun(self) -> bool:
+        return self.source == "host"
+
+
+class WireRejected(RuntimeError):
+    """The frontend refused admission (REJECTED frame, the 503)."""
+
+    def __init__(self, code: int, reason: str, detail: str):
+        super().__init__(f"rejected ({reason}): {detail}")
+        self.code = code
+        self.reason = reason
+        self.detail = detail
+
+
+class WireError(RuntimeError):
+    """The server answered with a typed ERROR frame."""
+
+    def __init__(self, code: int, reason: str, detail: str):
+        super().__init__(f"server error ({reason}): {detail}")
+        self.code = code
+        self.reason = reason
+        self.detail = detail
+
+
+class WireShutdown(RuntimeError):
+    """The connection ended (SHUTDOWN frame or EOF) with work pending."""
+
+
+class _Pending:
+    __slots__ = ("future", "accepted", "decision")
+
+    def __init__(self):
+        self.future: Future = Future()
+        self.accepted = False
+        self.decision: Decision | None = None
+
+
+class NetClient:
+    """One connection to a :class:`~repro.net.frontend.NetFrontend`.
+
+    Thread-safe: any thread may ``submit``; responses resolve on the
+    reader thread.  Use as a context manager to close the socket.
+    """
+
+    def __init__(self, host: str, port: int, *, connect_timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._pending: dict[int, _Pending] = {}
+        self._pongs: dict[int, threading.Event] = {}
+        self._rid = itertools.count(1)
+        self._nonce = itertools.count(1)
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="net-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- sending ---------------------------------------------------------------
+    def _send(self, frame) -> None:
+        payload = encode_frame(frame)
+        with self._send_lock:
+            if self._closed:
+                raise WireShutdown("client is closed")
+            self._sock.sendall(payload)
+
+    def submit(self, image: np.ndarray) -> Future:
+        """Send one image; the future resolves to a :class:`WireResult`.
+
+        The future fails with :class:`WireRejected` / :class:`WireError`
+        / :class:`WireShutdown` — the wire twins of the server-side
+        terminal exceptions.
+        """
+        rid = next(self._rid)
+        pending = _Pending()
+        with self._lock:
+            if self._closed:
+                raise WireShutdown("client is closed")
+            self._pending[rid] = pending
+        try:
+            self._send(Request(rid, np.asarray(image)))
+        except Exception:
+            with self._lock:
+                self._pending.pop(rid, None)
+            raise
+        return pending.future
+
+    def classify(self, image: np.ndarray, timeout: float | None = 30.0) -> WireResult:
+        return self.submit(image).result(timeout=timeout)
+
+    def classify_many(
+        self, images, timeout: float | None = 30.0
+    ) -> list[WireResult]:
+        futures = [self.submit(image) for image in images]
+        return [f.result(timeout=timeout) for f in futures]
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        """Round-trip a PING through the frontend; ``True`` on PONG."""
+        nonce = next(self._nonce)
+        event = threading.Event()
+        self._pongs[nonce] = event
+        try:
+            self._send(Ping(nonce))
+        except Exception:
+            self._pongs.pop(nonce, None)
+            return False
+        ok = event.wait(timeout)
+        self._pongs.pop(nonce, None)
+        return ok and not self._closed
+
+    # -- receiving -------------------------------------------------------------
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        reason = "connection closed by server"
+        try:
+            while True:
+                data = self._sock.recv(1 << 16)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    if isinstance(frame, Shutdown):
+                        reason = f"server shutdown: {frame.detail}"
+                        raise _Stop()
+                    self._handle(frame)
+        except _Stop:
+            pass
+        except ProtocolError as exc:
+            reason = f"protocol error from server: {exc}"
+        except OSError:
+            reason = "connection lost"
+        self._fail_all(reason)
+
+    def _handle(self, frame) -> None:
+        if isinstance(frame, Pong):
+            event = self._pongs.get(frame.nonce)
+            if event is not None:
+                event.set()
+            return
+        rid = getattr(frame, "request_id", None)
+        with self._lock:
+            pending = self._pending.get(rid)
+        if pending is None:
+            return  # stale traffic for an abandoned request
+        if isinstance(frame, Accepted):
+            pending.accepted = True
+        elif isinstance(frame, Decision):
+            pending.decision = frame
+        elif isinstance(frame, Logits):
+            decision = pending.decision
+            self._pop(rid)
+            if decision is None:
+                pending.future.set_exception(
+                    WireError(0, "protocol", "LOGITS before DECISION")
+                )
+            else:
+                pending.future.set_result(WireResult(
+                    prediction=decision.prediction,
+                    bnn_prediction=decision.bnn_prediction,
+                    confidence=decision.confidence,
+                    source=decision.source,
+                    latency_seconds=decision.latency_seconds,
+                    logits=np.asarray(frame.values),
+                ))
+        elif isinstance(frame, Rejected):
+            self._pop(rid)
+            pending.future.set_exception(
+                WireRejected(frame.code, frame.reason, frame.detail)
+            )
+        elif isinstance(frame, Error):
+            self._pop(rid)
+            pending.future.set_exception(
+                WireError(frame.code, frame.reason, frame.detail)
+            )
+
+    def _pop(self, rid: int) -> None:
+        with self._lock:
+            self._pending.pop(rid, None)
+
+    def _fail_all(self, reason: str) -> None:
+        with self._lock:
+            self._closed = True
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for pending in stranded:
+            if not pending.future.done():
+                pending.future.set_exception(WireShutdown(reason))
+        # Connection-scoped errors also fail later ping() calls fast.
+        for event in list(self._pongs.values()):
+            event.set()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Close the socket; pending futures fail with :class:`WireShutdown`."""
+        with self._send_lock:
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+        self._fail_all("client closed")
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Stop(Exception):
+    pass

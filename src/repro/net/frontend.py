@@ -1,0 +1,504 @@
+"""Asyncio socket frontend: the wire in front of the cascade.
+
+Wraps any *backend* exposing the :meth:`repro.serve.CascadeServer.submit`
+contract (``submit(image) -> Future[ServeResult]`` — a single server or
+a :class:`repro.net.router.ShardRouter`) behind a TCP listener speaking
+the :mod:`repro.net.protocol` frames.  The frontend is the admission
+layer of ROADMAP's "millions of users" step: FINN-style sustained
+throughput only holds if overload is shed at the door, so a request
+either enters the cascade (``ACCEPTED``) or is refused immediately with
+a typed ``REJECTED`` frame (the 503 analogue) — it is never silently
+queued into an unbounded buffer.
+
+Concurrency model
+-----------------
+One daemon thread runs a private asyncio event loop; all connection
+state (in-flight counts, per-connection pending maps) is touched only
+from that loop, so no locks are needed beyond the metrics facade.
+``backend.submit`` may *block* (the cascade's backpressure contract), so
+it runs on the loop's default executor; backend futures resolve on
+serving threads and re-enter the loop via ``call_soon_threadsafe``.
+Per-connection writes are serialized by an ``asyncio.Lock`` and awaited
+through ``drain()`` — a slow reader backpressures only its own
+connection.
+
+Shutdown contract (the socket-layer mirror of PR 4's
+``ServerClosed`` stranded-futures fix): :meth:`NetFrontend.close` stops
+accepting, waits up to ``drain_timeout`` for in-flight requests, then
+resolves every still-pending request with a typed ``ERROR(shutdown)``
+frame and sends each open connection — including half-read ones whose
+decoder holds a partial frame — a ``SHUTDOWN`` frame before the socket
+closes.  No client ever observes a silent reset with work in flight.
+
+Observability: ``net.accept`` / ``net.request`` / ``net.answered`` /
+``net.rejected`` / ``net.failed`` counters and a ``net.decode`` span
+around frame reassembly (see ``docs/NETWORK.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..serve.resilience import DeadlineExceeded, ServerClosed, StageFailure
+from . import protocol
+from .protocol import (
+    Accepted,
+    Decision,
+    Error,
+    FrameDecoder,
+    Logits,
+    Ping,
+    Pong,
+    ProtocolError,
+    Rejected,
+    Request,
+    Shutdown,
+    encode_frame,
+)
+from .router import NoHealthyReplica, ReplicaFailure
+
+__all__ = ["NetMetrics", "NetMetricsSnapshot", "NetFrontend"]
+
+
+@dataclass(frozen=True)
+class NetMetricsSnapshot:
+    """Point-in-time view of the frontend's wire accounting.
+
+    The invariant chaos tests assert once traffic has drained::
+
+        answered + rejected + failed == requests
+    """
+
+    connections: int          # connections accepted
+    connections_closed: int
+    requests: int             # REQUEST frames read off the wire
+    answered: int             # DECISION+LOGITS sent (the request got a result)
+    rejected: int             # REJECTED sent (admission refused)
+    failed: int               # ERROR sent (typed terminal failure)
+    protocol_errors: int      # connections failed by malformed bytes
+    pings: int
+
+    @property
+    def terminal(self) -> int:
+        """Requests that reached *any* terminal frame."""
+        return self.answered + self.rejected + self.failed
+
+    @property
+    def in_flight(self) -> int:
+        return self.requests - self.terminal
+
+    @property
+    def balanced(self) -> bool:
+        return self.in_flight == 0
+
+
+class NetMetrics:
+    """Thread-safe counters for the socket frontend (ServerMetrics-style)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._connections = 0
+        self._connections_closed = 0
+        self._requests = 0
+        self._answered = 0
+        self._rejected = 0
+        self._failed = 0
+        self._protocol_errors = 0
+        self._pings = 0
+
+    def record_connection(self) -> None:
+        with self._lock:
+            self._connections += 1
+
+    def record_connection_closed(self) -> None:
+        with self._lock:
+            self._connections_closed += 1
+
+    def record_request(self) -> None:
+        with self._lock:
+            self._requests += 1
+
+    def record_answered(self) -> None:
+        with self._lock:
+            self._answered += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_failed(self) -> None:
+        with self._lock:
+            self._failed += 1
+
+    def record_protocol_error(self) -> None:
+        with self._lock:
+            self._protocol_errors += 1
+
+    def record_ping(self) -> None:
+        with self._lock:
+            self._pings += 1
+
+    def snapshot(self) -> NetMetricsSnapshot:
+        with self._lock:
+            return NetMetricsSnapshot(
+                connections=self._connections,
+                connections_closed=self._connections_closed,
+                requests=self._requests,
+                answered=self._answered,
+                rejected=self._rejected,
+                failed=self._failed,
+                protocol_errors=self._protocol_errors,
+                pings=self._pings,
+            )
+
+
+def _error_code_for(exc: BaseException) -> int:
+    if isinstance(exc, ReplicaFailure):
+        return protocol.ERR_REPLICA_FAILURE
+    if isinstance(exc, StageFailure):
+        return protocol.ERR_STAGE_FAILURE
+    if isinstance(exc, DeadlineExceeded):
+        return protocol.ERR_DEADLINE
+    if isinstance(exc, ServerClosed):
+        return protocol.ERR_SERVER_CLOSED
+    return protocol.ERR_INTERNAL
+
+
+class _Connection:
+    """Loop-thread-only per-connection state."""
+
+    __slots__ = ("writer", "decoder", "write_lock", "pending", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter, max_frame_bytes: int):
+        self.writer = writer
+        self.decoder = FrameDecoder(max_body=max_frame_bytes)
+        self.write_lock = asyncio.Lock()
+        self.pending: dict[int, object] = {}  # request_id -> backend future
+        self.closed = False
+
+
+class NetFrontend:
+    """TCP frontend over a cascade backend (see module docs).
+
+    Parameters
+    ----------
+    backend:
+        Object with ``submit(image) -> concurrent.futures.Future``
+        resolving to a :class:`~repro.serve.server.ServeResult` — a
+        :class:`~repro.serve.CascadeServer` or a
+        :class:`~repro.net.router.ShardRouter`.  The frontend does
+        **not** own the backend; close it separately (backend last, so
+        in-flight work can still resolve during the drain window).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read
+        :attr:`address` after :meth:`start`).
+    max_inflight:
+        Admission-control bound on requests admitted but not yet
+        answered, across all connections.  Beyond it new requests get a
+        ``REJECTED(queue_full)`` frame instead of queueing.
+    max_frame_bytes:
+        Per-connection decoder ceiling on frame bodies.
+    """
+
+    def __init__(
+        self,
+        backend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = 256,
+        max_frame_bytes: int = protocol.MAX_FRAME_BODY,
+        metrics: NetMetrics | None = None,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._backend = backend
+        self._host = host
+        self._port = port
+        self._max_inflight = max_inflight
+        self._max_frame_bytes = max_frame_bytes
+        self.metrics = metrics if metrics is not None else NetMetrics()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._conns: set[_Connection] = set()
+        self._inflight = 0
+        self._drained: asyncio.Event | None = None
+        self._closing = False
+        self._closed = False
+        self._started = threading.Event()
+        self._start_error: BaseException | None = None
+        self._address: tuple[str, int] | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (valid after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("frontend not started")
+        return self._address
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a dedicated event-loop thread; return address."""
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="net-frontend", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._start_error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(f"frontend failed to start: {self._start_error!r}")
+        if self._address is None:
+            raise RuntimeError("frontend failed to bind within 30 s")
+        return self._address
+
+    def _run_loop(self) -> None:
+        loop = self._loop
+        asyncio.set_event_loop(loop)
+        self._drained = asyncio.Event()
+        self._drained.set()
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self._host, self._port)
+            )
+        except Exception as exc:
+            self._start_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._server = server
+        sock = server.sockets[0]
+        self._address = sock.getsockname()[:2]
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def close(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain, then shut every connection down *typed*.
+
+        Requests still unanswered after *drain_timeout* resolve with an
+        ``ERROR(shutdown)`` frame; every open connection then receives a
+        ``SHUTDOWN`` frame before its socket closes (including
+        connections mid-way through writing a frame to us).  Idempotent.
+        """
+        if self._closed or self._loop is None or self._address is None:
+            self._closed = True
+            return
+        self._closed = True
+        future = asyncio.run_coroutine_threadsafe(
+            self._shutdown(drain_timeout), self._loop
+        )
+        try:
+            future.result(timeout=drain_timeout + 10.0)
+        except Exception:  # pragma: no cover - the loop stops regardless
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    async def _shutdown(self, drain_timeout: float) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._inflight > 0:
+            self._drained.clear()
+            try:
+                await asyncio.wait_for(self._drained.wait(), timeout=drain_timeout)
+            except asyncio.TimeoutError:
+                pass
+        for conn in list(self._conns):
+            for request_id in list(conn.pending):
+                conn.pending.pop(request_id, None)
+                self._dec_inflight()
+                self.metrics.record_failed()
+                obs.count("net.failed", 1)
+                await self._send(
+                    conn,
+                    Error(request_id, protocol.ERR_SHUTDOWN, "frontend closing"),
+                )
+            await self._send(conn, Shutdown("frontend closing"))
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        self._conns.clear()
+
+    def __enter__(self) -> "NetFrontend":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- connection handling ---------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        conn = _Connection(writer, self._max_frame_bytes)
+        self._conns.add(conn)
+        self.metrics.record_connection()
+        obs.count("net.accept", 1)
+        try:
+            while not conn.closed:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break
+                try:
+                    with obs.trace_span("net.decode", nbytes=len(data)):
+                        frames = conn.decoder.feed(data)
+                except ProtocolError as exc:
+                    self.metrics.record_protocol_error()
+                    await self._send(
+                        conn,
+                        Error(0, protocol.ERR_PROTOCOL, f"{type(exc).__name__}: {exc}"),
+                    )
+                    break
+                for frame in frames:
+                    await self._dispatch(conn, frame)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if conn in self._conns:
+                self._conns.discard(conn)
+                conn.closed = True
+                # The peer is gone; its admitted requests still resolve in
+                # the backend, but their response writes become no-ops.
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+            self.metrics.record_connection_closed()
+
+    async def _dispatch(self, conn: _Connection, frame) -> None:
+        if isinstance(frame, Request):
+            await self._handle_request(conn, frame)
+        elif isinstance(frame, Ping):
+            self.metrics.record_ping()
+            await self._send(conn, Pong(frame.nonce))
+        else:
+            # Server-to-client frame types arriving here are nonsense.
+            self.metrics.record_protocol_error()
+            await self._send(
+                conn,
+                Error(
+                    0,
+                    protocol.ERR_PROTOCOL,
+                    f"unexpected client frame {frame.type_name!r}",
+                ),
+            )
+            conn.closed = True
+
+    async def _handle_request(self, conn: _Connection, frame: Request) -> None:
+        self.metrics.record_request()
+        obs.count("net.request", 1)
+        if self._closing:
+            self.metrics.record_rejected()
+            obs.count("net.rejected", 1)
+            await self._send(
+                conn, Rejected(frame.request_id, protocol.REJECT_CLOSING, "closing")
+            )
+            return
+        if self._inflight >= self._max_inflight:
+            self.metrics.record_rejected()
+            obs.count("net.rejected", 1)
+            await self._send(
+                conn,
+                Rejected(
+                    frame.request_id,
+                    protocol.REJECT_QUEUE_FULL,
+                    f"{self._inflight} requests in flight (max {self._max_inflight})",
+                ),
+            )
+            return
+        self._inflight += 1
+        await self._send(conn, Accepted(frame.request_id))
+        loop = asyncio.get_running_loop()
+        try:
+            # submit() may block on the cascade's backpressure: executor.
+            backend_future = await loop.run_in_executor(
+                None, self._backend.submit, frame.image
+            )
+        except NoHealthyReplica as exc:
+            self._dec_inflight()
+            self.metrics.record_rejected()
+            obs.count("net.rejected", 1)
+            await self._send(
+                conn, Rejected(frame.request_id, protocol.REJECT_NO_REPLICA, str(exc))
+            )
+            return
+        except Exception as exc:
+            self._dec_inflight()
+            self.metrics.record_failed()
+            obs.count("net.failed", 1)
+            await self._send(
+                conn, Error(frame.request_id, _error_code_for(exc), repr(exc))
+            )
+            return
+        conn.pending[frame.request_id] = backend_future
+        request_id = frame.request_id
+
+        def _on_done(fut, conn=conn, request_id=request_id):
+            # Runs on a backend serving thread: hop back onto the loop.
+            try:
+                self._loop.call_soon_threadsafe(
+                    lambda: self._loop.create_task(self._finish(conn, request_id, fut))
+                )
+            except RuntimeError:  # loop already closed; shutdown path answered
+                pass
+
+        backend_future.add_done_callback(_on_done)
+
+    async def _finish(self, conn: _Connection, request_id: int, fut) -> None:
+        if conn.pending.pop(request_id, None) is None:
+            return  # already answered by the shutdown path — exactly once
+        self._dec_inflight()
+        exc = fut.exception()
+        if exc is None:
+            result = fut.result()
+            self.metrics.record_answered()
+            obs.count("net.answered", 1)
+            await self._send(
+                conn,
+                Decision(
+                    request_id,
+                    int(result.prediction),
+                    int(result.bnn_prediction),
+                    result.source,
+                    float(result.confidence),
+                    float(result.latency_seconds),
+                ),
+            )
+            await self._send(
+                conn,
+                Logits(request_id, np.asarray([result.confidence], dtype=np.float64)),
+            )
+        else:
+            self.metrics.record_failed()
+            obs.count("net.failed", 1)
+            await self._send(conn, Error(request_id, _error_code_for(exc), repr(exc)))
+
+    def _dec_inflight(self) -> None:
+        self._inflight -= 1
+        if self._inflight <= 0 and self._drained is not None:
+            self._drained.set()
+
+    async def _send(self, conn: _Connection, frame) -> None:
+        if conn.closed:
+            return
+        try:
+            async with conn.write_lock:
+                conn.writer.write(encode_frame(frame))
+                await conn.writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            conn.closed = True

@@ -33,8 +33,10 @@ instead, so the trace stays single-process).
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 import traceback
+from multiprocessing.connection import wait as _conn_wait
 
 import numpy as np
 
@@ -71,9 +73,19 @@ def worker_main(worker_id: int, conn, payload) -> None:
         return
     conn.send(("ready", worker_id))
 
+    # Watch the parent's death sentinel alongside the pipe: if the parent
+    # is SIGKILLed, sibling workers' forked copies of our pipe keep it
+    # from ever reaching EOF, so a blocking recv() would orphan us — and
+    # orphans pin the parent's inherited stdout/stderr pipes open,
+    # wedging any harness that waits for EOF on them (CI, pytest | tail).
+    parent = multiprocessing.parent_process()
+    watch = [conn] if parent is None else [conn, parent.sentinel]
+
     ring: WorkerRing | None = None
     while True:
         try:
+            if conn not in _conn_wait(watch):
+                break  # parent died with nothing left to read: exit
             msg = conn.recv()
         except (EOFError, OSError):
             break  # parent is gone: exit quietly

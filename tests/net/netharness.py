@@ -1,0 +1,72 @@
+"""Shared helpers for the network-layer test suite (imported, not a conftest)."""
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serve.server import ServeResult
+
+
+def make_result(prediction: int = 3, source: str = "bnn") -> ServeResult:
+    return ServeResult(
+        prediction=prediction,
+        bnn_prediction=prediction,
+        confidence=0.9,
+        source=source,
+        latency_seconds=0.001,
+    )
+
+
+class FakeBackend:
+    """Controllable ``submit()`` backend for frontend/router tests.
+
+    ``mode`` selects the behaviour:
+
+    * ``"resolve"`` — every future resolves immediately; the prediction
+      echoes ``int(image.flat[0])`` so tests can match request to answer.
+    * ``"hold"`` — futures stay pending until the test resolves them
+      (``backend.held``), modelling an arbitrarily slow cascade.
+    * an exception instance — ``submit`` raises it.
+    """
+
+    def __init__(self, mode="resolve"):
+        self.mode = mode
+        self.lock = threading.Lock()
+        self.submitted: list[np.ndarray] = []
+        self.held: list[Future] = []
+        self.closed = False
+
+    def submit(self, image) -> Future:
+        with self.lock:
+            if isinstance(self.mode, BaseException):
+                raise self.mode
+            self.submitted.append(np.asarray(image))
+            fut: Future = Future()
+            if self.mode == "hold":
+                self.held.append(fut)
+            else:
+                fut.set_result(make_result(prediction=int(np.asarray(image).flat[0])))
+            return fut
+
+    def resolve_held(self) -> None:
+        with self.lock:
+            held, self.held = self.held, []
+        for i, fut in enumerate(held):
+            if not fut.done():
+                fut.set_result(make_result(prediction=i))
+
+    def close(self, timeout: float | None = None) -> None:
+        self.closed = True
+
+
+def wait_until(predicate, timeout: float = 10.0, interval: float = 0.005) -> None:
+    """Poll *predicate* until true; pytest-fail on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    pytest.fail(f"condition not reached within {timeout}s")

@@ -1,0 +1,205 @@
+"""Shard router tests: placement, breakers, failover, books.
+
+Most tests use :class:`~repro.net.router.InProcessReplica` around the
+controllable fake backend so placement and failure handling are
+deterministic and fast; one lifecycle test exercises a real
+:class:`~repro.net.router.ProcessReplica` (spawn → submit → ping →
+kill → typed in-flight failure).  The invariant every test ends on::
+
+    routed + rejected + failed == submitted
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.net.bench import make_oracle_images, oracle_replica_kwargs
+from repro.net.router import (
+    InProcessReplica,
+    NoHealthyReplica,
+    ProcessReplica,
+    ReplicaFailure,
+    ShardRouter,
+)
+from repro.serve.resilience import CircuitBreaker
+
+from netharness import FakeBackend, wait_until
+
+
+def make_router(n=3, placement="round_robin", modes=None, **kwargs):
+    backends = [
+        FakeBackend(mode=(modes[i] if modes else "resolve")) for i in range(n)
+    ]
+    replicas = [InProcessReplica(i, backend) for i, backend in enumerate(backends)]
+    router = ShardRouter(replicas, placement=placement, **kwargs)
+    return router, backends
+
+
+def _images(n, start=0):
+    return [np.full(4, float(start + i)) for i in range(n)]
+
+
+class TestPlacement:
+    def test_round_robin_spreads_evenly(self):
+        router, backends = make_router(3)
+        results = router.classify_many(_images(9), timeout=10.0)
+        assert len(results) == 9
+        assert [len(b.submitted) for b in backends] == [3, 3, 3]
+        snap = router.snapshot()
+        assert snap.routed == 9
+        assert snap.replica_routed == {0: 3, 1: 3, 2: 3}
+        assert snap.failovers == 0
+        assert snap.balanced
+
+    def test_rendezvous_is_sticky_per_image(self):
+        router, backends = make_router(3, placement="rendezvous")
+        image = np.full(4, 7.0)
+        for _ in range(5):
+            router.submit(image).result(timeout=10.0)
+        counts = [len(b.submitted) for b in backends]
+        # All five placements landed on the same replica.
+        assert sorted(counts) == [0, 0, 5]
+
+    def test_rendezvous_spreads_distinct_images(self):
+        router, backends = make_router(3, placement="rendezvous")
+        router.classify_many(_images(60), timeout=10.0)
+        counts = [len(b.submitted) for b in backends]
+        assert sum(counts) == 60
+        # HRW over 60 distinct payloads should touch every replica.
+        assert all(count > 0 for count in counts)
+
+    def test_rendezvous_remaps_only_dead_replicas_share(self):
+        router, backends = make_router(3, placement="rendezvous")
+        images = _images(30)
+        router.classify_many(images, timeout=10.0)
+        before = [len(b.submitted) for b in backends]
+        owner = max(range(3), key=lambda i: before[i])
+        survivor_share = {
+            i: before[i] for i in range(3) if i != owner
+        }
+        router.replicas[owner].kill()
+        router.classify_many(images, timeout=10.0)
+        after = [len(b.submitted) for b in backends]
+        # Survivors kept their original images (plus the remapped ones);
+        # an image owned by a survivor never moved.
+        for i, share in survivor_share.items():
+            assert after[i] >= 2 * share
+        assert after[owner] == before[owner]  # dead replica got nothing new
+        assert router.snapshot().balanced
+
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError, match="placement"):
+            make_router(2, placement="random")
+
+    def test_needs_replicas(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            ShardRouter([])
+
+
+class TestFailover:
+    def test_dead_replica_drains_to_survivors(self):
+        router, backends = make_router(3)
+        router.replicas[0].kill()
+        results = router.classify_many(_images(6), timeout=10.0)
+        assert len(results) == 6
+        assert len(backends[0].submitted) == 0
+        assert len(backends[1].submitted) + len(backends[2].submitted) == 6
+        snap = router.snapshot()
+        assert snap.routed == 6
+        assert snap.failovers >= 1  # rotations that preferred replica 0
+        assert snap.balanced
+
+    def test_all_dead_raises_no_healthy_replica(self):
+        router, _ = make_router(2)
+        for replica in router.replicas:
+            replica.kill()
+        with pytest.raises(NoHealthyReplica):
+            router.submit(np.zeros(4))
+        snap = router.snapshot()
+        assert (snap.submitted, snap.rejected) == (1, 1)
+        assert snap.balanced
+
+    def test_in_flight_failure_is_typed_not_replayed(self):
+        router, backends = make_router(2, modes=["hold", "resolve"])
+        fut = router.submit(np.zeros(4))  # round-robin: replica 0 first
+        wait_until(lambda: len(backends[0].submitted) == 1)
+        held = backends[0].held.pop()
+        held.set_exception(ReplicaFailure(0, "replica killed"))
+        with pytest.raises(ReplicaFailure):
+            fut.result(timeout=10.0)
+        snap = router.snapshot()
+        assert (snap.submitted, snap.failed) == (1, 1)
+        assert snap.replica_failed == {0: 1}
+        # The request was NOT resubmitted to the healthy replica.
+        assert len(backends[1].submitted) == 0
+        assert snap.balanced
+
+    def test_breaker_opens_after_repeated_failures(self):
+        router, backends = make_router(
+            2,
+            modes=[ReplicaFailure(0, "boom"), "resolve"],
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=3, cooldown_s=60.0
+            ),
+        )
+        for i in range(8):
+            router.submit(np.full(4, float(i))).result(timeout=10.0)
+        assert router.breaker_states()[0] == "open"
+        assert router.breaker_states()[1] == "closed"
+        # Once open, replica 0 is skipped without attempting dispatch.
+        failovers_when_open = router.snapshot().failovers
+        router.submit(np.zeros(4)).result(timeout=10.0)
+        snap = router.snapshot()
+        assert snap.routed == 9
+        assert len(backends[1].submitted) == 9
+        assert snap.balanced
+        assert snap.failovers >= failovers_when_open
+
+    def test_closed_router_rejects(self):
+        router, _ = make_router(1)
+        router.close()
+        with pytest.raises(NoHealthyReplica):
+            router.submit(np.zeros(4))
+
+    def test_health_views(self):
+        router, _ = make_router(2)
+        assert router.alive() == [True, True]
+        assert router.ping() == [True, True]
+        router.replicas[1].kill()
+        assert router.alive() == [True, False]
+        assert router.ping() == [True, False]
+        router.close()
+
+
+class TestProcessReplica:
+    """One real child process end to end (the chaos suite does the rest)."""
+
+    def test_lifecycle_submit_ping_kill(self):
+        replica = ProcessReplica(0, partial(oracle_replica_kwargs, threshold=0.7))
+        try:
+            assert replica.alive()
+            assert replica.ping(timeout=10.0)
+            image = make_oracle_images(1, seed=3, signal=4.0)[0]
+            result = replica.submit(image).result(timeout=30.0)
+            assert result.prediction == int(image[-1])
+            assert result.source in ("bnn", "host")
+            # Kill with a request in flight: typed failure, no hang.
+            fut = replica.submit(image)
+            replica.kill()
+            with pytest.raises(ReplicaFailure):
+                fut.result(timeout=30.0)
+            assert not replica.alive()
+            assert not replica.ping(timeout=1.0)
+            with pytest.raises(ReplicaFailure):
+                replica.submit(image)
+        finally:
+            replica.close(timeout=5.0)
+
+    def test_factory_error_is_reported(self):
+        with pytest.raises(RuntimeError, match="failed to start"):
+            ProcessReplica(0, _broken_factory)
+
+
+def _broken_factory():
+    raise RuntimeError("no cascade for you")
