@@ -12,6 +12,7 @@ from .binarize import binarize_sign, clip_weights, ste_mask
 from .bitops import popcount, popcount_rows
 from .export import load_folded_bnn, save_folded_bnn
 from .inference import (
+    ENV_COMPILE,
     FloatDenseHead,
     FoldedBNN,
     FoldedConv,
@@ -21,14 +22,17 @@ from .inference import (
 )
 from .kernels import (
     ENV_BACKEND,
+    ENV_THREADS,
     BinaryKernel,
     available_backends,
     default_backend,
     get_kernel,
     register_kernel,
+    resolve_bnn_threads,
     select_backend,
 )
 from .packing import PackedMaps, PackedRows, maxpool_packed
+from .plan import CompiledBNNPlan, PlanUnsupported
 from .layers import BinaryActivation, BinaryConv2D, BinaryDense
 from .quantize import (
     QuantizedActivation,
@@ -52,7 +56,12 @@ __all__ = [
     "available_backends",
     "default_backend",
     "select_backend",
+    "resolve_bnn_threads",
     "ENV_BACKEND",
+    "ENV_THREADS",
+    "ENV_COMPILE",
+    "CompiledBNNPlan",
+    "PlanUnsupported",
     "PackedRows",
     "PackedMaps",
     "maxpool_packed",

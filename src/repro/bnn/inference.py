@@ -26,6 +26,7 @@ backend and of whether the packed pipeline is active.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,7 +51,18 @@ __all__ = [
     "FloatDenseHead",
     "FoldedBNN",
     "fold_network",
+    "ENV_COMPILE",
 ]
+
+#: Environment variable gating the automatic use of the compiled plan in
+#: :meth:`FoldedBNN.forward` ("0"/"off"/"false"/"no" disables it).
+ENV_COMPILE = "REPRO_BNN_COMPILE"
+
+
+def _auto_compile_enabled() -> bool:
+    return os.environ.get(ENV_COMPILE, "").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
 
 
 def _kernel_matmul(
@@ -310,11 +322,55 @@ class FoldedBNN:
         self.packed = packed
         self._plan: list[bool] | None = None
         self._span_names: list[str] | None = None
+        self._compiled: dict[int, object] = {}
+        self._compile_failed = False
 
     def with_backend(self, backend: str | None) -> "FoldedBNN":
         """Same stages (weight prep caches included), different backend."""
         clone = FoldedBNN(self.stages, self.num_classes, backend=backend, packed=self.packed)
         return clone
+
+    # -- compiled plan -------------------------------------------------------
+    def compile_inference(
+        self,
+        micro_batch: int = 64,
+        backend: str | None = None,
+        threads: int | None = None,
+    ):
+        """Preplan the packed dataflow end-to-end; see :mod:`repro.bnn.plan`.
+
+        Returns a :class:`~repro.bnn.plan.CompiledBNNPlan` whose
+        ``forward`` is bit-identical to ``self.forward(x, batch_size=
+        micro_batch)`` while reusing preallocated per-layer buffers and a
+        per-stage backend resolved once at compile time.  Raises
+        :class:`~repro.bnn.plan.PlanUnsupported` when the network has no
+        packed pipeline to compile (``packed=False``).
+        """
+        from .plan import CompiledBNNPlan
+
+        return CompiledBNNPlan(
+            self, micro_batch=micro_batch, backend=backend, threads=threads
+        )
+
+    def _auto_plan(self, batch_size: int):
+        """Cached plan for ``forward`` (None = use the uncompiled path)."""
+        if not self.packed or self._compile_failed or not _auto_compile_enabled():
+            return None
+        plan = self._compiled.get(batch_size)
+        if plan is None:
+            from .plan import PlanUnsupported
+
+            try:
+                plan = self.compile_inference(micro_batch=batch_size)
+            except PlanUnsupported:
+                self._compile_failed = True
+                return None
+            if len(self._compiled) >= 2:
+                # Callers alternating batch sizes get at most two live
+                # buffer sets; anything older is dropped.
+                self._compiled.pop(next(iter(self._compiled)))
+            self._compiled[batch_size] = plan
+        return plan
 
     # -- packed-pipeline planning -------------------------------------------
     def _consumer_after(self, index: int):
@@ -380,10 +436,23 @@ class FoldedBNN:
     def forward(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
         """Raw output scores (N, out_features of the last engine).
 
+        Packed networks route through a cached
+        :class:`~repro.bnn.plan.CompiledBNNPlan` (bit-identical,
+        buffer-reusing; disable with ``REPRO_BNN_COMPILE=0``); the
+        uncompiled datapath stays available as :meth:`forward_uncompiled`.
+
         With a :mod:`repro.obs` tracer installed, every stage emits a
         ``bnn.<label>`` span (see :attr:`stage_labels`); without one the
         per-stage overhead is a single global read.
         """
+        compiled = self._auto_plan(batch_size)
+        if compiled is not None:
+            return compiled.forward(images)
+        return self.forward_uncompiled(images, batch_size)
+
+    def forward_uncompiled(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """The per-call (no preplanned buffers) datapath — the reference
+        the compiled plan is verified against bit-for-bit."""
         plan = self._emit_plan()
         labels = self.stage_labels
         outputs = []

@@ -21,6 +21,12 @@ pad position contributes nothing to XOR-popcounts, 0/1 products, or row
 popcounts, so every backend computes the exact integer dot product
 ``sum(a_i * w_i)`` over the ``n`` valid positions — backends are
 interchangeable bit-for-bit, and the autotuner may pick freely on speed.
+
+Backend *variants* extend the registry with configured instances of a
+registered backend: ``get_kernel("threaded@2")`` asks the ``threaded``
+kernel for a 2-thread variant via :meth:`BinaryKernel.variant`.  The
+autotuner uses variant names to race thread counts and tile sizes
+against each other without registering one global instance per config.
 """
 
 from __future__ import annotations
@@ -35,12 +41,14 @@ __all__ = [
     "register_kernel",
     "get_kernel",
     "available_backends",
+    "autotune_candidates",
     "default_backend",
     "ENV_BACKEND",
 ]
 
 #: Environment variable overriding the backend for every folded network:
-#: one of the registered names, or "auto" for the per-shape autotuner.
+#: one of the registered names (optionally with an ``@variant`` suffix),
+#: or "auto" for the per-shape autotuner.
 ENV_BACKEND = "REPRO_BNN_BACKEND"
 
 
@@ -49,6 +57,12 @@ class BinaryKernel(abc.ABC):
 
     #: Registry name; subclasses set it.
     name: str = ""
+
+    #: Whether the autotuner should race this backend by default.  Set
+    #: False on backends that lose everywhere (they stay registered and
+    #: selectable via ``REPRO_BNN_BACKEND`` / explicit ``backend=``, but
+    #: stop burning autotune time).
+    autotune: bool = True
 
     def prepare(self, w_words: np.ndarray, n: int):
         """Fold-time weight preparation; result is passed to :meth:`matmul`.
@@ -60,8 +74,25 @@ class BinaryKernel(abc.ABC):
         return w_words
 
     @abc.abstractmethod
-    def matmul(self, a_words: np.ndarray, w_prep, n: int) -> np.ndarray:
-        """(M, N) int64 matrix of ±1 dot products over ``n`` valid bits."""
+    def matmul(
+        self, a_words: np.ndarray, w_prep, n: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """(M, N) int64 matrix of ±1 dot products over ``n`` valid bits.
+
+        ``out``, when given, is a preallocated C-contiguous (M, N) int64
+        array the kernel writes into and returns — the compiled plan's
+        zero-allocation hot path.  Every backend must produce identical
+        bits with or without it.
+        """
+
+    def variant(self, spec: str) -> "BinaryKernel":
+        """Return a configured instance for ``"<name>@<spec>"`` lookups.
+
+        The base implementation rejects the request; backends with
+        tunable knobs (thread count, tile size) override it.  Variants
+        share all bit-exactness guarantees with their base backend.
+        """
+        raise KeyError(f"backend {self.name!r} has no variants (got spec {spec!r})")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -87,15 +118,23 @@ def available_backends() -> tuple[str, ...]:
     return tuple(names)
 
 
+def autotune_candidates() -> tuple[str, ...]:
+    """Backends the autotuner races by default (``autotune=True`` only)."""
+    return tuple(n for n in available_backends() if _REGISTRY[n].autotune)
+
+
 def get_kernel(name: str) -> BinaryKernel:
-    """Look up a backend by registry name."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown binary-kernel backend {name!r}; "
-            f"available: {', '.join(available_backends())}"
-        ) from None
+    """Look up a backend by registry name, or a ``base@spec`` variant."""
+    kernel = _REGISTRY.get(name)
+    if kernel is not None:
+        return kernel
+    base, sep, spec = name.partition("@")
+    if sep and base in _REGISTRY:
+        return _REGISTRY[base].variant(spec)
+    raise KeyError(
+        f"unknown binary-kernel backend {name!r}; "
+        f"available: {', '.join(available_backends())}"
+    ) from None
 
 
 def default_backend() -> str:
@@ -107,9 +146,12 @@ def default_backend() -> str:
     name = os.environ.get(ENV_BACKEND, "").strip()
     if not name:
         return "auto"
-    if name != "auto" and name not in _REGISTRY:
-        raise KeyError(
-            f"{ENV_BACKEND}={name!r} does not name a backend; "
-            f"available: auto, {', '.join(available_backends())}"
-        )
+    if name != "auto":
+        try:
+            get_kernel(name)  # validates plain names and @variants alike
+        except KeyError:
+            raise KeyError(
+                f"{ENV_BACKEND}={name!r} does not name a backend; "
+                f"available: auto, {', '.join(available_backends())}"
+            ) from None
     return name

@@ -20,6 +20,7 @@ cycle model of Eqs. (3)-(5) at P = S = 1
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from dataclasses import dataclass
@@ -28,7 +29,7 @@ from pathlib import Path
 import numpy as np
 
 from .base import available_backends, get_kernel
-from .select import select_backend
+from .select import select_backend, selection_cache_path
 
 __all__ = [
     "KernelBenchConfig",
@@ -128,7 +129,9 @@ def _bench_shapes(config: KernelBenchConfig, backends: tuple[str, ...]) -> list[
 
         reference = None
         timings, exact = {}, {}
-        for name in backends:
+
+        def time_backend(name: str) -> None:
+            nonlocal reference
             kernel = get_kernel(name)
             prep = kernel.prepare(w, n_bits)
             out = kernel.matmul(a, prep, n_bits)
@@ -136,6 +139,15 @@ def _bench_shapes(config: KernelBenchConfig, backends: tuple[str, ...]) -> list[
                 reference = out
             exact[name] = bool(np.array_equal(out, reference))
             timings[name] = _time_call(lambda: kernel.matmul(a, prep, n_bits), config.repeats)
+
+        for name in backends:
+            time_backend(name)
+        # The autotuner races its own candidate list (thread-count variants
+        # included, lut64 excluded); make sure the winner has a timing even
+        # when it is a variant name like "threaded@2".
+        autotuned = select_backend(m, n_out, n_bits)
+        if autotuned not in timings:
+            time_backend(autotuned)
         base = timings[backends[0]]
         results.append(
             {
@@ -144,7 +156,7 @@ def _bench_shapes(config: KernelBenchConfig, backends: tuple[str, ...]) -> list[
                 "timings_s": timings,
                 "speedup_vs_reference": {k: base / v for k, v in timings.items()},
                 "bit_exact": exact,
-                "autotuned": select_backend(m, n_out, n_bits, candidates=backends),
+                "autotuned": autotuned,
             }
         )
     return results
@@ -163,24 +175,47 @@ def _bench_end_to_end(config: KernelBenchConfig, backends: tuple[str, ...]) -> d
 
     runs: dict[str, dict] = {}
     baseline_pred = None
-    # Seed datapath first: reference kernel over the unpacked float pipeline.
-    variants = [("reference (unpacked)", "reference", False)]
-    variants += [(name, name, True) for name in backends]
-    variants.append(("auto", "auto", True))
-    for label, backend, packed in variants:
-        folded = fold_network(net, backend=backend, packed=packed)
-        pred = folded.predict(images, batch_size=config.batch_size)
+
+    def record(label: str, num_classes: int, scores_fn) -> None:
+        nonlocal baseline_pred
+        pred = scores_fn()[:, :num_classes].argmax(axis=1)
         if baseline_pred is None:
             baseline_pred = pred
-        seconds = _time_call(
-            lambda: folded.class_scores(images, batch_size=config.batch_size),
-            config.repeats,
-        )
+        seconds = _time_call(scores_fn, config.repeats)
         runs[label] = {
             "img_per_s": len(images) / seconds,
             "seconds": seconds,
             "predictions_match_reference": bool(np.array_equal(pred, baseline_pred)),
         }
+
+    # Seed datapath first: reference kernel over the unpacked float
+    # pipeline; then each backend over the uncompiled packed pipeline.
+    # forward_uncompiled keeps these legs honest now that plain forward
+    # auto-compiles.
+    variants = [("reference (unpacked)", "reference", False)]
+    variants += [(name, name, True) for name in backends]
+    variants.append(("auto", "auto", True))
+    for label, backend, packed in variants:
+        folded = fold_network(net, backend=backend, packed=packed)
+        record(
+            label,
+            folded.num_classes,
+            lambda folded=folded: folded.forward_uncompiled(
+                images, batch_size=config.batch_size
+            ),
+        )
+    # Compiled-plan legs: the preplanned packed dataflow (the datapath
+    # FoldedBNN.forward and the cascade server's BNN stage actually run),
+    # plus an explicit thread sweep of the threaded GEMM backend.
+    folded = fold_network(net, packed=True)
+    compiled = [("compiled (auto)", "auto", None), ("compiled (bitplane)", "bitplane", None)]
+    thread_counts = [1, 2] + ([4] if (os.cpu_count() or 1) >= 4 else [])
+    compiled += [(f"compiled (threaded@{k})", "threaded", k) for k in thread_counts]
+    for label, backend, threads in compiled:
+        plan = folded.compile_inference(
+            micro_batch=config.batch_size, backend=backend, threads=threads
+        )
+        record(label, folded.num_classes, lambda plan=plan: plan.forward(images))
     base = runs["reference (unpacked)"]["img_per_s"]
     for run in runs.values():
         run["speedup_vs_reference"] = run["img_per_s"] / base
@@ -228,6 +263,28 @@ def run_kernel_bench(
             "numpy": np.__version__,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+            "single_core": (os.cpu_count() or 1) <= 1,
+            "note": (
+                "single-core machine: threaded-GEMM legs cannot exceed 1x over "
+                "threaded@1 here; re-run on a multi-core runner for real scaling"
+                if (os.cpu_count() or 1) <= 1
+                else f"{os.cpu_count()} cores available to the threaded GEMM backend"
+            ),
+            "selection_cache": str(selection_cache_path() or "disabled"),
+        },
+        "notes": {
+            "lut64": (
+                "retired from the default autotune candidates (trails reference "
+                "on the dominant shape); still registered and opt-in via "
+                "REPRO_BNN_BACKEND=lut64"
+            ),
+            "compiled": (
+                "compiled legs run FoldedBNN.compile_inference (preallocated "
+                "buffers, fused pack/GEMM/threshold, per-stage backend resolved "
+                "once) — the datapath FoldedBNN.forward and the cascade server "
+                "use by default"
+            ),
         },
         "backends": list(backends),
         "shapes": shapes,

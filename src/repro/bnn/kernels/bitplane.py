@@ -59,11 +59,14 @@ class BitplaneGemmKernel(BinaryKernel):
         correction = n - 2 * popcount_rows(w_words)
         return np.ascontiguousarray(plane.T), correction
 
-    def matmul(self, a_words: np.ndarray, w_prep, n: int) -> np.ndarray:
+    def matmul(
+        self, a_words: np.ndarray, w_prep, n: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
         w_plane_t, correction = w_prep
         m = a_words.shape[0]
         row_chunk = max(1, self.plane_elements // max(1, a_words.shape[1] * 8))
-        out = np.empty((m, w_plane_t.shape[1]), dtype=np.int64)
+        if out is None:
+            out = np.empty((m, w_plane_t.shape[1]), dtype=np.int64)
         for start in range(0, m, row_chunk):
             block = a_words[start : start + row_chunk]
             a_plane = np.unpackbits(block, axis=1).astype(w_plane_t.dtype)

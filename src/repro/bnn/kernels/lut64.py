@@ -23,9 +23,20 @@ __all__ = ["Lut64Kernel"]
 
 
 class Lut64Kernel(BinaryKernel):
-    """Chunked uint64 XOR + LUT16 popcount."""
+    """Chunked uint64 XOR + LUT16 popcount.
+
+    Retired from the default autotune candidate list (``autotune=False``):
+    BENCH_kernels.json shows it at 0.56x of reference on the dominant
+    conv2 shape — the (chunk, N, W) XOR broadcast still materializes the
+    full outer product, so the 8x element-count win never beats BLAS and
+    rarely beats ``np.bitwise_count``.  It stays registered (opt-in via
+    ``REPRO_BNN_BACKEND=lut64`` or ``backend="lut64"``) because it is the
+    fastest *LUT-popcount* path on NumPy < 2.0 word-XOR workloads and a
+    useful cross-check, but it no longer burns autotune time.
+    """
 
     name = "lut64"
+    autotune = False
 
     def __init__(self, chunk: int = 512):
         self.chunk = int(chunk)
@@ -33,10 +44,13 @@ class Lut64Kernel(BinaryKernel):
     def prepare(self, w_words: np.ndarray, n: int):
         return words_u8_to_u64(w_words)
 
-    def matmul(self, a_words: np.ndarray, w_prep: np.ndarray, n: int) -> np.ndarray:
+    def matmul(
+        self, a_words: np.ndarray, w_prep: np.ndarray, n: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
         a64 = words_u8_to_u64(a_words)
         m, n_out = a64.shape[0], w_prep.shape[0]
-        out = np.empty((m, n_out), dtype=np.int64)
+        if out is None:
+            out = np.empty((m, n_out), dtype=np.int64)
         for start in range(0, m, self.chunk):
             block = a64[start : start + self.chunk]
             xor = block[:, None, :] ^ w_prep[None, :, :]

@@ -28,8 +28,14 @@ class ReferenceXnorKernel(BinaryKernel):
 
     name = "reference"
 
-    def matmul(self, a_words: np.ndarray, w_prep: np.ndarray, n: int) -> np.ndarray:
-        return xnor_popcount_matmul(a_words, w_prep, n)
+    def matmul(
+        self, a_words: np.ndarray, w_prep: np.ndarray, n: int, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        result = xnor_popcount_matmul(a_words, w_prep, n)
+        if out is None:
+            return result
+        out[...] = result
+        return out
 
 
 register_kernel(ReferenceXnorKernel())

@@ -1,0 +1,587 @@
+"""Compiled FoldedBNN inference: the packed dataflow, preplanned end-to-end.
+
+:meth:`repro.bnn.FoldedBNN.compile_inference` returns a
+:class:`CompiledBNNPlan` — the BNN-side counterpart of
+:meth:`repro.nn.Sequential.compile_inference` (PR 5's float
+``InferenceEngine``).  The uncompiled :meth:`FoldedBNN.forward` is
+correct but re-derives everything per call: fresh im2col gathers,
+fresh kernel accumulators, fresh threshold intermediates, per-call
+backend resolution.  The plan hoists all of that to compile time:
+
+* **Fold-time weight layout** — every matmul stage resolves its backend
+  once (``"auto"`` runs the autotuner with the real micro-batch M) and
+  prepares its weight words once, shared with the stage's own prep cache.
+* **Preallocated buffers** — im2col/pack rows, integer accumulators,
+  threshold scratch and pool outputs are allocated per layer for a fixed
+  micro-batch and reused across calls; the odd tail chunk gets its own
+  (smaller) buffer set.  Per-stage gathers write straight into the
+  reusable rows buffers instead of materializing strided copies.
+* **Fused pack→GEMM→threshold hops** — thresholding runs as three
+  ``out=``-ed ufuncs on reused scratch instead of allocating the
+  broadcast chain, and packed max-pool ORs into its output buffer.
+* **Eval-mode hygiene** — compilation is inference-only: no caches grow
+  with call count, no RNG is consumed, and two consecutive calls on the
+  same plan touch exactly the same memory (buffer-reuse determinism,
+  verified in ``tests/bnn/test_plan.py``).
+
+Bit-identity contract (same as the float engine): integer kernel stages
+are exact under any backend/threading, and the one float GEMM (the
+real-valued first conv) issues the identical BLAS call per chunk, so
+``plan.forward(x)`` equals ``FoldedBNN.forward(x, batch_size=B)``
+bit-for-bit whenever ``micro_batch == B`` — BLAS results may depend on
+the GEMM's M dimension, so matched chunking is the stable shard
+boundary.
+
+Tracing: the plan keeps the legacy per-stage ``bnn.<label>`` span names
+(``repro trace`` keys its Eqs. (3)-(5) residuals off them) and adds
+``bnn.plan.compile`` / ``bnn.plan.forward`` spans around its own phases;
+the threaded kernel reports a ``kernel.threads`` gauge per matmul.
+
+Topology coverage: the fused fast path covers the packed pipeline that
+:func:`repro.bnn.fold_network` emits for CNV-style networks (float-input
+first conv, pad-free packed inner convs, packed pools, packed dense
+stages, affine or float-head output).  A stage that breaks the packed
+chain mid-network ends the fused prefix; the remaining stages run
+through the legacy per-stage calls inside the same chunk loop, keeping
+results identical for *any* foldable topology.  ``packed=False``
+networks do not compile (:class:`PlanUnsupported`) — the float ±1
+datapath is the equivalence-testing path and stays uncompiled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+from ..nn import functional as F
+from .packing import PackedMaps, PackedRows
+from .thresholding import ChannelThresholds
+
+__all__ = ["CompiledBNNPlan", "PlanUnsupported"]
+
+
+class PlanUnsupported(TypeError):
+    """The folded network cannot be compiled (e.g. ``packed=False``)."""
+
+
+class _BufferPool:
+    """Preallocated named buffers keyed by (stage, role, shape, dtype).
+
+    Full chunks and the tail chunk have different leading dimensions, so
+    each keeps its own entry; the pool is bounded by (stages × roles × 2).
+    """
+
+    def __init__(self):
+        self._buffers: dict = {}
+
+    def get(self, stage: int, role: str, shape: tuple, dtype, zero: bool = False):
+        key = (stage, role, shape, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+
+class _Thresholds:
+    """Compile-time view of a stage's ChannelThresholds for the fused hop.
+
+    ``apply_bits`` decides ``sign * (acc - tau) >= 0`` in float64.  Both
+    compiled rewrites below are exact transliterations of that decision,
+    not approximations:
+
+    * **Integer accumulators** (every binary matmul stage): ``acc`` is an
+      exact integer, so ``acc >= tau`` iff ``acc >= ceil(tau)`` and
+      ``acc <= tau`` iff ``acc < floor(tau) + 1``.  One int64 broadcast
+      compare against a precomputed per-channel bound, then a flip of the
+      negative-sign columns, replaces the subtract/multiply/compare chain
+      — the threshold hop's memory traffic drops from three accumulator
+      passes to one.
+    * **Float accumulators** (the real-valued first conv): multiplying by
+      the exact ±1 ``sign`` commutes with the compare, so
+      ``sign*(acc - tau) >= 0`` iff ``sign*acc >= sign*tau`` (IEEE
+      subtraction of representable doubles is zero only on exact
+      equality and never flips sign), folding the subtract pass into a
+      precomputed comparand.
+    """
+
+    def __init__(self, thresholds: ChannelThresholds):
+        self.tau = thresholds.tau[None, :]
+        self.sign = thresholds.sign[None, :]
+        self.const_mask = thresholds.sign == 0
+        self.has_const = bool(self.const_mask.any())
+        self.const_bits = (thresholds.constant > 0)[self.const_mask]
+        neg = thresholds.sign < 0
+        self.neg_mask = neg
+        self.has_neg = bool(neg.any())
+        bound = np.where(neg, np.floor(thresholds.tau) + 1.0, np.ceil(thresholds.tau))
+        # Constant channels are overwritten below; zero their bound so the
+        # int64 cast never sees the fold's placeholder values.
+        self.int_bound = np.where(
+            self.const_mask, 0.0, bound
+        ).astype(np.int64)[None, :]
+        self.tau_signed = (thresholds.tau * thresholds.sign)[None, :]
+        self._epilogue_cache: dict = {}
+        if self.has_const:
+            # Byte masks to stamp constant channels onto already-packed
+            # words (MSB-first bit order matches np.packbits).
+            const_vals = np.zeros(self.const_mask.shape, dtype=np.bool_)
+            const_vals[self.const_mask] = self.const_bits
+            self.word_and = np.bitwise_not(np.packbits(self.const_mask))
+            self.word_or = np.packbits(const_vals)
+
+    def epilogue_args(self, dtype) -> tuple:
+        """Comparands for a kernel's fused threshold epilogue.
+
+        Returns ``(bound, neg_mask)`` with the integer bound cast to the
+        kernel's GEMM dtype — exact, since ``|bound| <= n + 1`` and f32
+        planes are only used below the f32 exact-integer limit.
+        """
+        key = np.dtype(dtype)
+        cached = self._epilogue_cache.get(key)
+        if cached is None:
+            bound = np.ascontiguousarray(self.int_bound[0].astype(key))
+            cached = self._epilogue_cache[key] = (
+                bound, self.neg_mask if self.has_neg else None
+            )
+        return cached
+
+    def finish_words(self, words: np.ndarray) -> np.ndarray:
+        """Stamp constant channels onto packed words from a fused epilogue."""
+        if self.has_const:
+            np.bitwise_and(words, self.word_and[None, :], out=words)
+            np.bitwise_or(words, self.word_or[None, :], out=words)
+        return words
+
+    def signed_weight_t(self, weight_matrix: np.ndarray) -> np.ndarray:
+        """``(sign * W)^T`` for the sign-folded float GEMM.
+
+        Negating weight rows is IEEE-exact (products and partial sums of
+        the negated row are exact negations of the originals), so the
+        GEMM emits ``sign * acc`` bitwise and the threshold hop becomes
+        the single compare against ``tau_signed`` — the multiply pass
+        disappears from the runtime entirely.
+        """
+        return np.ascontiguousarray((weight_matrix * self.sign.T).T)
+
+    def to_words(
+        self,
+        acc: np.ndarray,
+        pool: _BufferPool,
+        stage: int,
+        presigned: bool = False,
+    ) -> np.ndarray:
+        """Fused accumulator -> packed bits, identical to ``apply_bits``.
+
+        ``presigned`` marks a float accumulator that already carries the
+        sign fold (see :meth:`signed_weight_t`).
+        """
+        decided = pool.get(stage, "bits", acc.shape, np.bool_)
+        if acc.dtype.kind in "iu":
+            np.greater_equal(acc, self.int_bound, out=decided)
+            if self.has_neg:
+                decided[:, self.neg_mask] ^= True
+        elif presigned:
+            np.greater_equal(acc, self.tau_signed, out=decided)
+        else:
+            scratch = pool.get(stage, "thr", acc.shape, np.float64)
+            np.multiply(acc, self.sign, out=scratch)
+            np.greater_equal(scratch, self.tau_signed, out=decided)
+        if self.has_const:
+            decided[:, self.const_mask] = self.const_bits
+        return np.packbits(decided, axis=1)
+
+
+def _packed_pool_or(
+    words: np.ndarray, win: int, s: int, oh: int, ow: int, out: np.ndarray
+) -> np.ndarray:
+    """Window-wise bitwise OR into ``out`` via per-offset slice ORs.
+
+    One strided binary OR per window offset beats the 6-d
+    ``bitwise_or.reduce`` over as_strided windows by ~7x on the CNV pool
+    shapes — the ufunc inner loop stays on 4-d views with a contiguous
+    last axis instead of rank-6 gather strides.
+    """
+    offsets = [(dy, dx) for dy in range(win) for dx in range(win)]
+
+    def view(dy: int, dx: int) -> np.ndarray:
+        return words[
+            :, dy : dy + s * (oh - 1) + 1 : s, dx : dx + s * (ow - 1) + 1 : s
+        ]
+
+    if len(offsets) == 1:
+        out[...] = view(*offsets[0])
+        return out
+    np.bitwise_or(view(*offsets[0]), view(*offsets[1]), out=out)
+    for dy, dx in offsets[2:]:
+        np.bitwise_or(out, view(dy, dx), out=out)
+    return out
+
+
+class CompiledBNNPlan:
+    """A preplanned, buffer-reusing executor for one :class:`FoldedBNN`.
+
+    Build via :meth:`repro.bnn.FoldedBNN.compile_inference`.  Not
+    thread-safe: each plan owns one set of buffers, so give each serving
+    thread (or replica) its own plan — the cascade server's single BNN
+    worker thread is the intended consumer.
+
+    Parameters
+    ----------
+    folded:
+        The folded network to compile (must have ``packed=True``).
+    micro_batch:
+        Fixed chunk size the buffers are sized for.  Also the
+        bit-stability boundary: output equals
+        ``folded.forward(x, batch_size=micro_batch)`` exactly.
+    backend:
+        Kernel backend override for the fused matmul stages; ``None``
+        defers to the folded network's backend (then the
+        ``REPRO_BNN_BACKEND`` env / ``"auto"`` chain).
+    threads:
+        Thread-count override applied when a stage's backend resolves to
+        the ``threaded`` family (pins ``threaded@<threads>``).
+    """
+
+    def __init__(
+        self,
+        folded,
+        micro_batch: int = 64,
+        backend: str | None = None,
+        threads: int | None = None,
+    ):
+        from .inference import FloatDenseHead, FoldedConv, FoldedDense, FoldedPool
+
+        if micro_batch < 1:
+            raise ValueError("micro_batch must be >= 1")
+        if not folded.packed:
+            raise PlanUnsupported(
+                "compile_inference requires a packed-pipeline FoldedBNN "
+                "(packed=False is the float equivalence path)"
+            )
+        self._types = (FoldedConv, FoldedDense, FoldedPool, FloatDenseHead)
+        self.folded = folded
+        self.micro_batch = int(micro_batch)
+        self.backend = backend if backend is not None else folded.backend
+        self.threads = threads
+        self.stages = list(folded.stages)
+        self.labels = folded.stage_labels
+        self.emit = folded._emit_plan()
+        self._pool = _BufferPool()
+        self._ops: list[tuple] | None = None  # resolved lazily at first chunk
+        self._geometry: tuple | None = None
+        self._thresholds = [
+            _Thresholds(s.thresholds)
+            if isinstance(s, (FoldedConv, FoldedDense)) and s.thresholds is not None
+            else None
+            for s in self.stages
+        ]
+
+    # -- compile-time resolution -------------------------------------------
+
+    def _resolve_backend(self, m: int, n_out: int, n_bits: int) -> str:
+        from .kernels import default_backend, select_backend
+
+        name = self.backend or default_backend()
+        if name == "auto":
+            name = select_backend(m, n_out, n_bits)
+        if self.threads is not None and (
+            name == "threaded" or name.startswith("threaded@")
+        ):
+            name = f"threaded@{int(self.threads)}"
+        return name
+
+    def _prep_for(self, stage, name: str, weight_words: np.ndarray, layout_key: str, n_bits: int):
+        """Weight prep shared with the stage's own per-backend cache."""
+        from .kernels import get_kernel
+
+        kernel = get_kernel(name)
+        key = (name, layout_key)
+        prep = stage._prep_cache.get(key)
+        if prep is None:
+            prep = kernel.prepare(weight_words, n_bits)
+            stage._prep_cache[key] = prep
+        return kernel, prep
+
+    def _compile(self, chunk_shape: tuple) -> None:
+        """Resolve per-stage ops for the input geometry of the first chunk.
+
+        Runs once per geometry (re-runs only if the spatial input shape
+        changes); sizes are derived from the full micro-batch so the
+        autotuner sees the M it will actually serve.
+        """
+        from .inference import FloatDenseHead, FoldedConv, FoldedDense, FoldedPool
+
+        _, c_in, h_in, w_in = chunk_shape
+        nb = self.micro_batch
+        ops: list[tuple] = []
+        # Symbolic representation flowing between stages:
+        # ("float", C, H, W) | ("maps", H, W, C) | ("rows", n, layout) | ("flat",)
+        repr_state: tuple = ("float", c_in, h_in, w_in)
+        fused = True
+        for i, stage in enumerate(self.stages):
+            emit = self.emit[i]
+            if not fused:
+                ops.append(("legacy", None))
+                continue
+            if isinstance(stage, FoldedConv):
+                if repr_state[0] == "float" and not stage.binary_input:
+                    _, c, h, w = repr_state
+                    oh = F.conv_output_size(h, stage.kernel_size, stage.stride, stage.pad)
+                    ow = F.conv_output_size(w, stage.kernel_size, stage.stride, stage.pad)
+                    if emit:
+                        w_signed_t = self._thresholds[i].signed_weight_t(
+                            stage.weight_matrix
+                        )
+                        ops.append(("conv_float", (c, h, w, oh, ow, w_signed_t)))
+                        bc = -(-stage.out_channels // 8)
+                        repr_state = ("maps", oh, ow, stage.out_channels, bc)
+                        continue
+                elif repr_state[0] == "maps" and stage.binary_input and stage.pad == 0:
+                    _, h, w, c, bc_in = repr_state
+                    if c == stage.in_channels and emit:
+                        oh = F.conv_output_size(h, stage.kernel_size, stage.stride, 0)
+                        ow = F.conv_output_size(w, stage.kernel_size, stage.stride, 0)
+                        name = self._resolve_backend(
+                            nb * oh * ow, stage.out_channels, stage.fan_in
+                        )
+                        ops.append(("conv_packed", (h, w, oh, ow, bc_in, name)))
+                        bc = -(-stage.out_channels // 8)
+                        repr_state = ("maps", oh, ow, stage.out_channels, bc)
+                        continue
+                fused = False
+                ops.append(("legacy", None))
+            elif isinstance(stage, FoldedPool):
+                if repr_state[0] == "maps":
+                    _, h, w, c, bc = repr_state
+                    oh = (h - stage.window) // stage.stride + 1
+                    ow = (w - stage.window) // stage.stride + 1
+                    if oh > 0 and ow > 0:
+                        ops.append(("pool_packed", (h, w, oh, ow, bc)))
+                        repr_state = ("maps", oh, ow, c, bc)
+                        continue
+                fused = False
+                ops.append(("legacy", None))
+            elif isinstance(stage, FoldedDense):
+                layout = None
+                if repr_state[0] == "maps":
+                    _, h, w, c, bc = repr_state
+                    layout = ("hwc", h, w, c)
+                elif repr_state[0] == "rows":
+                    layout = repr_state[1]
+                else:
+                    fused = False
+                    ops.append(("legacy", None))
+                    continue
+                weight_words, layout_key = stage._weights_for_layout(layout)
+                name = self._resolve_backend(nb, stage.out_features, stage.fan_in)
+                if stage.thresholds is not None and emit:
+                    ops.append(("dense_pack", (layout, layout_key, name)))
+                    repr_state = ("rows", None)
+                elif stage.thresholds is None:
+                    ops.append(("dense_affine", (layout, layout_key, name)))
+                    repr_state = ("flat",)
+                else:
+                    # Thresholding dense that must emit float (terminal or
+                    # consumer can't take bits): the legacy call handles it.
+                    ops.append(("legacy", None))
+                    fused = False
+            elif isinstance(stage, FloatDenseHead):
+                ops.append(("legacy", None))
+                fused = False
+            else:  # pragma: no cover - fold_network emits only known stages
+                ops.append(("legacy", None))
+                fused = False
+        self._ops = ops
+        self._geometry = (c_in, h_in, w_in)
+
+    # -- runtime ------------------------------------------------------------
+
+    def _legacy_stage(self, i: int, x):
+        """One stage through the uncompiled code path (suffix stages)."""
+        from .inference import FloatDenseHead, FoldedConv, FoldedDense
+
+        stage = self.stages[i]
+        if isinstance(stage, (FoldedDense, FloatDenseHead)):
+            if isinstance(x, PackedMaps):
+                x = x.flatten_rows()
+            elif isinstance(x, np.ndarray) and x.ndim == 4:
+                x = x.reshape(x.shape[0], -1)
+        if isinstance(stage, (FoldedConv, FoldedDense)):
+            return stage(x, emit_packed=self.emit[i], backend=self.backend)
+        return stage(x)
+
+    def _kernel_call(self, name: str, kernel, a_words, prep, n_bits: int, out):
+        if not obs.enabled():
+            return kernel.matmul(a_words, prep, n_bits, out=out)
+        with obs.trace_span(
+            "kernel." + name, category="kernel",
+            m=int(a_words.shape[0]), n_out=int(out.shape[1]), n_bits=int(n_bits),
+        ):
+            return kernel.matmul(a_words, prep, n_bits, out=out)
+
+    def _matmul_to_words(
+        self, i: int, name: str, kernel, a_words, prep, stage, n_out: int
+    ) -> np.ndarray:
+        """Binary matmul + threshold for one stage: fused when the kernel
+        offers a threshold epilogue (``matmul_bits``) and the output fits
+        one column tile, else matmul into the int64 accumulator followed
+        by the pooled ``to_words`` hop.  Both paths are bit-identical."""
+        pool = self._pool
+        thr = self._thresholds[i]
+        m = a_words.shape[0]
+        if getattr(kernel, "matmul_bits", None) is not None and n_out <= kernel.col_tile:
+            words = pool.get(i, "words", (m, -(-n_out // 8)), np.uint8)
+            bound, neg_mask = thr.epilogue_args(prep[0].dtype)
+            if not obs.enabled():
+                kernel.matmul_bits(a_words, prep, stage.fan_in, bound, neg_mask, words)
+            else:
+                with obs.trace_span(
+                    "kernel." + name, category="kernel",
+                    m=int(m), n_out=int(n_out), n_bits=int(stage.fan_in), fused=True,
+                ):
+                    kernel.matmul_bits(
+                        a_words, prep, stage.fan_in, bound, neg_mask, words
+                    )
+            return thr.finish_words(words)
+        acc = pool.get(i, "acc", (m, n_out), np.int64)
+        self._kernel_call(name, kernel, a_words, prep, stage.fan_in, acc)
+        return thr.to_words(acc, pool, i)
+
+    def _run_chunk(self, x: np.ndarray):
+        pool = self._pool
+        for i, (op, params) in enumerate(self._ops):
+            stage = self.stages[i]
+            with obs.trace_span("bnn." + self.labels[i], category="bnn"):
+                if op == "conv_float":
+                    c, h, w, oh, ow, w_signed_t = params
+                    n = x.shape[0]
+                    k, s, p = stage.kernel_size, stage.stride, stage.pad
+                    if p:
+                        # Borders of the padded buffer are zero-filled at
+                        # allocation and never written again.
+                        xp = pool.get(i, "pad", (n, c, h + 2 * p, w + 2 * p), x.dtype, zero=True)
+                        xp[:, :, p : p + h, p : p + w] = x
+                    else:
+                        xp = x
+                    sn, sc, sh, sw = xp.strides
+                    windows = np.lib.stride_tricks.as_strided(
+                        xp, shape=(n, c, oh, ow, k, k),
+                        strides=(sn, sc, sh * s, sw * s, sh, sw), writeable=False,
+                    )
+                    m = n * oh * ow
+                    cols = pool.get(i, "cols", (m, c * k * k), x.dtype)
+                    cols.reshape(n, oh, ow, c, k, k)[...] = windows.transpose(0, 2, 3, 1, 4, 5)
+                    acc = pool.get(i, "accf", (m, stage.out_channels), np.float64)
+                    np.matmul(cols, w_signed_t, out=acc)
+                    words = self._thresholds[i].to_words(acc, pool, i, presigned=True)
+                    x = PackedMaps(words.reshape(n, oh, ow, -1), stage.out_channels)
+                elif op == "conv_packed":
+                    h, w, oh, ow, bc_in, name = params
+                    words_in = x.words
+                    n = words_in.shape[0]
+                    k, s = stage.kernel_size, stage.stride
+                    sn, sh, sw, sb = words_in.strides
+                    windows = np.lib.stride_tricks.as_strided(
+                        words_in, shape=(n, oh, ow, k, k, bc_in),
+                        strides=(sn, sh * s, sw * s, sh, sw, sb), writeable=False,
+                    )
+                    m = n * oh * ow
+                    rows = pool.get(i, "rows", (m, k * k * bc_in), np.uint8)
+                    rows.reshape(n, oh, ow, k, k, bc_in)[...] = windows
+                    kernel, prep = self._prep_for(
+                        stage, name, stage._spatial_weight_words(), "spatial", stage.fan_in
+                    )
+                    words = self._matmul_to_words(
+                        i, name, kernel, rows, prep, stage, stage.out_channels
+                    )
+                    x = PackedMaps(words.reshape(n, oh, ow, -1), stage.out_channels)
+                elif op == "pool_packed":
+                    h, w, oh, ow, bc = params
+                    words_in = x.words
+                    n = words_in.shape[0]
+                    win, s = stage.window, stage.stride
+                    out = pool.get(i, "pool", (n, oh, ow, bc), np.uint8)
+                    x = PackedMaps(
+                        _packed_pool_or(words_in, win, s, oh, ow, out), x.channels
+                    )
+                elif op in ("dense_pack", "dense_affine"):
+                    layout, layout_key, name = params
+                    rows_in = x.flatten_rows() if isinstance(x, PackedMaps) else x
+                    weight_words, _ = stage._weights_for_layout(layout)
+                    kernel, prep = self._prep_for(
+                        stage, name, weight_words, layout_key, stage.fan_in
+                    )
+                    m = rows_in.words.shape[0]
+                    if op == "dense_pack":
+                        words = self._matmul_to_words(
+                            i, name, kernel, rows_in.words, prep, stage,
+                            stage.out_features,
+                        )
+                        x = PackedRows(words, stage.out_features)
+                    else:
+                        acc = pool.get(i, "acc", (m, stage.out_features), np.int64)
+                        self._kernel_call(
+                            name, kernel, rows_in.words, prep, stage.fan_in, acc
+                        )
+                        out = pool.get(i, "out", (m, stage.out_features), np.float64)
+                        out[...] = acc
+                        if stage.output_scale is not None:
+                            np.multiply(out, stage.output_scale, out=out)
+                            np.add(out, stage.output_offset, out=out)
+                        x = out
+                else:  # "legacy"
+                    x = self._legacy_stage(i, x)
+        return x
+
+    def forward(self, images: np.ndarray, batch_size: int | None = None) -> np.ndarray:
+        """Raw output scores, bit-identical to the uncompiled forward.
+
+        ``batch_size`` is accepted for signature compatibility but must
+        match the plan's ``micro_batch`` when given — chunking is part of
+        the compiled layout (and of the bit-identity contract).
+        """
+        if batch_size is not None and int(batch_size) != self.micro_batch:
+            raise ValueError(
+                f"plan compiled for micro_batch={self.micro_batch}, "
+                f"got batch_size={batch_size}; recompile instead"
+            )
+        images = np.asarray(images)
+        if images.ndim != 4:
+            raise ValueError(f"expected NCHW images, got shape {images.shape}")
+        with obs.trace_span(
+            "bnn.plan.forward", category="bnn",
+            images=int(images.shape[0]), micro_batch=self.micro_batch,
+        ):
+            chunk_shape = (
+                min(self.micro_batch, images.shape[0]),
+            ) + images.shape[1:]
+            if self._ops is None or self._geometry != images.shape[1:]:
+                with obs.trace_span("bnn.plan.compile", category="bnn"):
+                    if self._geometry is not None and self._geometry != images.shape[1:]:
+                        self._pool = _BufferPool()  # geometry changed: resize
+                    self._compile(chunk_shape)
+            result: np.ndarray | None = None
+            for start in range(0, images.shape[0], self.micro_batch):
+                out = self._run_chunk(images[start : start + self.micro_batch])
+                out = np.asarray(out)
+                if result is None:
+                    result = np.empty(
+                        (images.shape[0],) + out.shape[1:], dtype=out.dtype
+                    )
+                # Copy out of the reused buffer before the next chunk
+                # overwrites it.
+                result[start : start + out.shape[0]] = out
+            if result is None:
+                raise ValueError("cannot run inference on an empty batch")
+        return result
+
+    def class_scores(self, images: np.ndarray) -> np.ndarray:
+        """Scores truncated to the real classes (FINN pads the last layer)."""
+        return self.forward(images)[:, : self.folded.num_classes]
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return self.class_scores(images).argmax(axis=1)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return self.forward(images)

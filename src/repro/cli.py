@@ -153,7 +153,10 @@ def serve_bench_main(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=defaults.seed)
     parser.add_argument(
         "--bnn-backend", default=None,
-        help="binary-kernel backend for the BNN stage (reference/bitplane/lut64/auto)",
+        help=(
+            "binary-kernel backend for the BNN stage "
+            "(reference/bitplane/threaded[@K[:TILE]]/lut64/auto)"
+        ),
     )
     parser.add_argument(
         "--measure-t-bnn", type=float, default=None, metavar="SCALE",
@@ -295,7 +298,14 @@ def bench_kernels_main(argv: list[str]) -> int:
         if getattr(args, name) < 1:
             parser.error(f"--{name.replace('_', '-')} must be >= 1")
     if args.backends:
-        unknown = [b for b in args.backends if b not in available_backends()]
+        from .bnn.kernels import get_kernel
+
+        unknown = []
+        for b in args.backends:
+            try:
+                get_kernel(b)  # accepts variants like threaded@2
+            except KeyError:
+                unknown.append(b)
         if unknown:
             parser.error(f"unknown backend(s): {', '.join(unknown)}")
         if args.backends[0] != "reference":

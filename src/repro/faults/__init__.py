@@ -21,7 +21,15 @@ deadlines, retries, circuit breaker) is tested against this package in
 the load harness through a scenario.  See ``docs/ROBUSTNESS.md``.
 """
 
-from .inject import FaultEvent, FaultInjector, FaultLog, InjectedFault, wrap_stack
+from .inject import (
+    FaultEvent,
+    FaultInjector,
+    FaultLog,
+    InjectedFault,
+    faults_suspended,
+    suspend_faults,
+    wrap_stack,
+)
 from .plan import FAULT_KINDS, STAGES, FaultPlan, FaultSpec, load_fault_plan
 
 __all__ = [
@@ -35,4 +43,6 @@ __all__ = [
     "FaultLog",
     "FaultInjector",
     "wrap_stack",
+    "suspend_faults",
+    "faults_suspended",
 ]

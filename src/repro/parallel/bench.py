@@ -213,6 +213,29 @@ def run_parallel_bench(config: ParallelBenchConfig | None = None) -> dict:
         affinity = len(os.sched_getaffinity(0))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
         affinity = None
+
+    # -- BNN stage (thread-vs-process composition) ----------------------------
+    # The Eq. (1) bound above uses the configured t_bnn constant; measure the
+    # real compiled-plan BNN stage at 1 and 2 GEMM threads so the report shows
+    # how intra-stage threads (REPRO_BNN_THREADS) compose with the host-side
+    # process sharding timed by the procs-* legs.
+    from ..serve.bench import measured_t_bnn
+
+    bnn_images = 32 if config.smoke else 128
+    bnn_stage = {
+        "t_bnn_config": config.t_bnn,
+        "t_bnn_measured": {
+            spec: measured_t_bnn(
+                backend=f"threaded@{k}", num_images=bnn_images, seed=config.seed
+            )
+            for spec, k in (("threaded@1", 1), ("threaded@2", 2))
+        },
+        "composition": (
+            "BNN GEMM threads run inside each worker process; size "
+            "REPRO_BNN_THREADS so threads-per-worker x host workers <= cores"
+        ),
+    }
+
     procs_max = next(leg for leg in reversed(legs) if leg["name"].startswith("procs-"))
     report = {
         "config": asdict(config),
@@ -224,6 +247,7 @@ def run_parallel_bench(config: ParallelBenchConfig | None = None) -> dict:
             "numpy": np.__version__,
         },
         "single_core": affinity == 1 or os.cpu_count() == 1,
+        "bnn_stage": bnn_stage,
         "legs": legs,
         "summary": {
             "speedup_procs_max_vs_serial_legacy": procs_max["speedup_vs_legacy"],
@@ -280,6 +304,13 @@ def format_parallel_bench(report: dict) -> str:
     )
     if report.get("note"):
         lines.append("note: " + report["note"])
+    bnn = report.get("bnn_stage")
+    if bnn:
+        measured = ", ".join(
+            f"{spec} {spi * 1e3:.2f} ms/img"
+            for spec, spi in sorted(bnn["t_bnn_measured"].items())
+        )
+        lines.append(f"BNN stage (compiled plan): {measured} — {bnn['composition']}")
     lines.append(
         "Eq.(1) column: t_multi = max(t_fp * R_rerun, t_bnn) with this leg as the "
         f"host stage (R_rerun={cfg['target_rerun_ratio']}, "

@@ -123,9 +123,23 @@ def folded_bnn_scores_fn(folded, batch_size: int = 128):
     The folded network's kernel backend (``FoldedBNN(backend=...)`` or the
     ``REPRO_BNN_BACKEND`` override) carries through unchanged — this is
     how a deployment serves real images instead of the synthetic stream.
+
+    Packed networks route through one :class:`repro.bnn.CompiledBNNPlan`
+    built here and reused for the life of the server (geometry/backends
+    resolve on the first batch; every later batch hits preallocated
+    buffers); networks the plan cannot compile (``packed=False``) keep
+    the uncompiled datapath.  The results are bit-identical either way.
     """
+    from ..bnn.plan import PlanUnsupported
+
+    try:
+        plan = folded.compile_inference(micro_batch=batch_size)
+    except PlanUnsupported:
+        plan = None
 
     def fn(images: np.ndarray) -> np.ndarray:
+        if plan is not None:
+            return plan.class_scores(images)
         return folded.class_scores(images, batch_size=batch_size)
 
     return fn

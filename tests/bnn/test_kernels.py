@@ -115,7 +115,7 @@ def test_default_backend_env_override(monkeypatch):
 def test_select_backend_returns_valid_name_and_caches():
     clear_selection_cache()
     pick = select_backend(256, 16, 144)
-    assert pick in available_backends()
+    get_kernel(pick)  # valid name or variant (e.g. "threaded@2")
     assert len(selection_cache()) == 1
     # Same shape bucket: answered from cache, no new entry.
     assert select_backend(200, 16, 144) == pick

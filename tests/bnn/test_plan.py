@@ -1,0 +1,121 @@
+"""Compiled-plan contract: ``FoldedBNN.compile_inference`` is invisible.
+
+The plan preallocates every buffer and fuses pack/GEMM/threshold hops,
+but the XNOR arithmetic is integer-exact, so on a *trained* network the
+compiled path must reproduce the uncompiled loop bit-for-bit — for every
+backend, every thread count, and batch sizes that exercise full chunks,
+ragged tails, and single images.  Buffer reuse across calls must be
+observable only as speed, never as state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn import ENV_COMPILE, PlanUnsupported, fold_network
+from repro.data import normalize_to_pm1
+
+BATCH_SIZES = (1, 7, 64, 129)
+BACKENDS = ("reference", "bitplane", "lut64", "threaded", "threaded@2", "auto")
+
+
+@pytest.fixture(scope="module")
+def folded_packed(micro_workbench):
+    return fold_network(micro_workbench.bnn_net, packed=True)
+
+
+@pytest.fixture(scope="module")
+def test_images(micro_workbench):
+    return normalize_to_pm1(micro_workbench.splits.test.images)
+
+
+@pytest.mark.parametrize("micro_batch", BATCH_SIZES)
+def test_plan_bit_identical_every_backend(folded_packed, test_images, micro_batch):
+    # batch 1 walks one image per chunk; cap the count so the slow
+    # reference backend stays cheap without losing the ragged-tail case.
+    images = test_images[:13] if micro_batch == 1 else test_images
+    for backend in BACKENDS:
+        expected = folded_packed.with_backend(backend).forward_uncompiled(
+            images, batch_size=micro_batch
+        )
+        plan = folded_packed.compile_inference(
+            micro_batch=micro_batch, backend=backend
+        )
+        np.testing.assert_array_equal(
+            plan.forward(images), expected, err_msg=f"{backend}@batch{micro_batch}"
+        )
+
+
+def test_thread_count_invariance(folded_packed, test_images):
+    plans = [
+        folded_packed.compile_inference(micro_batch=64, backend="threaded", threads=k)
+        for k in (1, 2, 4)
+    ]
+    baseline = plans[0].forward(test_images).copy()
+    for k, plan in zip((2, 4), plans[1:]):
+        np.testing.assert_array_equal(
+            plan.forward(test_images), baseline, err_msg=f"threads={k}"
+        )
+
+
+def test_buffer_reuse_is_deterministic(folded_packed, test_images):
+    plan = folded_packed.compile_inference(micro_batch=32)
+    first = plan.forward(test_images)
+    first_copy = first.copy()
+    second = plan.forward(test_images)
+    np.testing.assert_array_equal(second, first_copy)
+    # The returned array is the caller's, not a view of the reused pool.
+    np.testing.assert_array_equal(first, first_copy)
+    assert first is not second
+
+
+def test_class_scores_and_predict(folded_packed, test_images):
+    plan = folded_packed.compile_inference(micro_batch=64)
+    scores = plan.class_scores(test_images)
+    assert scores.shape == (len(test_images), folded_packed.num_classes)
+    np.testing.assert_array_equal(
+        scores, folded_packed.class_scores(test_images, batch_size=64)
+    )
+    np.testing.assert_array_equal(plan.predict(test_images), scores.argmax(axis=1))
+
+
+def test_forward_autocompiles_and_env_disables(folded_packed, test_images, monkeypatch):
+    monkeypatch.delenv(ENV_COMPILE, raising=False)
+    auto = folded_packed.forward(test_images, batch_size=64)
+    assert folded_packed._auto_plan(64) is not None
+    np.testing.assert_array_equal(
+        auto, folded_packed.forward_uncompiled(test_images, batch_size=64)
+    )
+    monkeypatch.setenv(ENV_COMPILE, "0")
+    assert folded_packed._auto_plan(64) is None
+    np.testing.assert_array_equal(
+        folded_packed.forward(test_images, batch_size=64), auto
+    )
+
+
+def test_unpacked_network_is_unsupported(micro_workbench):
+    unpacked = fold_network(micro_workbench.bnn_net, packed=False)
+    with pytest.raises(PlanUnsupported):
+        unpacked.compile_inference()
+    assert unpacked._auto_plan(64) is None  # forward falls back silently
+
+
+def test_batch_size_must_match_micro_batch(folded_packed, test_images):
+    plan = folded_packed.compile_inference(micro_batch=64)
+    with pytest.raises(ValueError):
+        plan.forward(test_images, batch_size=32)
+    # Explicitly passing the plan's own micro-batch is fine.
+    plan.forward(test_images[:64], batch_size=64)
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 9))
+@settings(max_examples=10, deadline=None)
+def test_plan_matches_uncompiled_on_random_inputs(folded_packed, seed, n):
+    rng = np.random.default_rng(seed)
+    images = rng.uniform(-1.0, 1.0, size=(n, 3, 32, 32))
+    plan = folded_packed.compile_inference(micro_batch=4)
+    np.testing.assert_array_equal(
+        plan.forward(images),
+        folded_packed.forward_uncompiled(images, batch_size=4),
+    )

@@ -1,0 +1,195 @@
+"""Autotuner persistence and timing-isolation contracts.
+
+Disk cache: decisions survive process restarts (simulated by clearing
+the in-memory cache), corrupt/mismatched files degrade to a cache miss,
+``REPRO_KERNEL_CACHE`` relocates or disables the file, and
+``clear_selection_cache`` forgets disk state too.
+
+Isolation (regression for the traced-server bug): the candidate
+microbenchmarks must run with no tracer installed and with fault
+injection suspended, so span bookkeeping and injected chaos can never
+tilt the winner — while the ``kernel.autotune`` span still lands on the
+caller's tracer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bnn.kernels import (
+    BinaryKernel,
+    clear_selection_cache,
+    get_kernel,
+    select_backend,
+    selection_cache,
+    selection_cache_path,
+)
+from repro.bnn.kernels import select as select_mod
+from repro.bnn.kernels.base import _REGISTRY
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, faults_suspended, suspend_faults
+from repro.obs import tracer as tracer_mod
+
+
+@pytest.fixture()
+def cache_file(tmp_path, monkeypatch):
+    path = tmp_path / "kernel_select.json"
+    monkeypatch.setenv(select_mod.ENV_CACHE, str(path))
+    clear_selection_cache()
+    yield path
+    clear_selection_cache()
+
+
+def _forget_memory():
+    """Simulate a fresh process: drop RAM state, keep the disk file."""
+    select_mod._CACHE.clear()
+    select_mod._DISK_LOADED.clear()
+
+
+def test_round_trip_across_processes(cache_file):
+    pick = select_backend(256, 16, 144)
+    assert cache_file.exists()
+    data = json.loads(cache_file.read_text())
+    assert data["version"] == select_mod._DISK_VERSION
+    assert pick in str(data["machines"])
+
+    _forget_memory()
+    assert selection_cache() == {}
+    # Warm process: answered from disk — no re-benchmark, same winner.
+    assert select_backend(256, 16, 144) == pick
+    assert len(selection_cache()) == 1
+
+
+def test_corrupt_file_is_a_cache_miss(cache_file):
+    for garbage in ("not json{", '{"version": 1, "machines": "nope"}', ""):
+        cache_file.write_text(garbage)
+        _forget_memory()
+        pick = select_backend(64, 8, 64)  # retunes instead of crashing
+        get_kernel(pick)
+        # ... and rewrites the file into a valid state.
+        assert json.loads(cache_file.read_text())["version"] == select_mod._DISK_VERSION
+
+
+def test_version_mismatch_is_a_cache_miss(cache_file):
+    select_backend(64, 8, 64)
+    data = json.loads(cache_file.read_text())
+    data["version"] = 999
+    cache_file.write_text(json.dumps(data))
+    _forget_memory()
+    select_backend(64, 8, 64)
+    assert selection_cache()  # re-measured, not silently trusted
+
+
+def test_stale_backend_names_are_skipped(cache_file):
+    select_backend(64, 8, 64)
+    data = json.loads(cache_file.read_text())
+    for entries in data["machines"].values():
+        for key in entries:
+            entries[key] = "kernel-that-no-longer-exists"
+    cache_file.write_text(json.dumps(data))
+    _forget_memory()
+    pick = select_backend(64, 8, 64)
+    get_kernel(pick)  # retuned to a real backend
+
+
+def test_env_disables_persistence(tmp_path, monkeypatch):
+    monkeypatch.setenv(select_mod.ENV_CACHE, "off")
+    assert selection_cache_path() is None
+    clear_selection_cache()
+    select_backend(64, 8, 64)
+    assert selection_cache()  # in-memory caching still works
+    assert list(tmp_path.iterdir()) == []
+    clear_selection_cache()
+
+
+def test_clear_selection_cache_clears_disk(cache_file):
+    select_backend(64, 8, 64)
+    assert cache_file.exists()
+    clear_selection_cache()
+    assert not cache_file.exists()
+    assert selection_cache() == {}
+
+
+# -- timing isolation (regression: traced/chaos servers tilted autotune) ----
+
+
+class _ProbeKernel(BinaryKernel):
+    """Records the isolation state observed inside the timed matmul."""
+
+    autotune = False
+
+    def __init__(self, name):
+        self.name = name
+        self.observed = []
+
+    def matmul(self, a_words, w_prep, n, out=None):
+        self.observed.append(
+            (tracer_mod.active() is None, faults_suspended())
+        )
+        m, n_out_ = a_words.shape[0], w_prep.shape[0]
+        result = np.zeros((m, n_out_), dtype=np.int64)
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+
+@pytest.fixture()
+def probe_kernels(cache_file):
+    probes = [_ProbeKernel("probe-a"), _ProbeKernel("probe-b")]
+    _REGISTRY.update({p.name: p for p in probes})
+    yield probes
+    for p in probes:
+        _REGISTRY.pop(p.name, None)
+
+
+def test_autotune_runs_under_null_tracer_with_faults_suspended(probe_kernels):
+    tracer = tracer_mod.Tracer()
+    with tracer_mod.tracing(tracer):
+        winner = select_backend(32, 4, 64, candidates=("probe-a", "probe-b"))
+        # ...and the tracer is back in place once tuning returns.
+        assert tracer_mod.active() is tracer
+    assert winner in ("probe-a", "probe-b")
+    for probe in probe_kernels:
+        assert probe.observed, probe.name
+        assert all(probe.observed), (
+            f"{probe.name} saw a live tracer or unsuspended faults: {probe.observed}"
+        )
+    # The decision itself is still observable on the caller's tracer...
+    autotune = [s for s in tracer.spans if s.name == "kernel.autotune"]
+    assert len(autotune) == 1
+    assert autotune[0].args["winner"] == winner
+    assert set(autotune[0].args["timings_ms"]) == {"probe-a", "probe-b"}
+
+
+def test_autotune_not_charged_to_fault_streams(probe_kernels):
+    plan = FaultPlan(
+        seed=7,
+        specs=(FaultSpec(stage="bnn", kind="exception", probability=1.0),),
+    )
+    injector = FaultInjector(plan)
+
+    def tuned_stage(images):
+        return select_backend(32, 4, 64, candidates=("probe-a", "probe-b"))
+
+    wrapped = injector.wrap("bnn", tuned_stage)
+    # Outside suspension the stage faults as planned ...
+    with pytest.raises(Exception):
+        wrapped(None)
+    calls_after_fault = injector.calls("bnn")
+    # ... but a suspended caller (e.g. warmup/tuning paths) passes through
+    # without drawing from the stream, so replay sequences stay intact.
+    with suspend_faults():
+        wrapped(None)
+    assert injector.calls("bnn") == calls_after_fault
+    assert faults_suspended() is False  # context restored
+
+
+def test_suspend_faults_is_reentrant():
+    assert faults_suspended() is False
+    with suspend_faults():
+        assert faults_suspended() is True
+        with suspend_faults():
+            assert faults_suspended() is True
+        assert faults_suspended() is True
+    assert faults_suspended() is False

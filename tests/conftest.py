@@ -1,0 +1,20 @@
+"""Suite-wide isolation fixtures.
+
+The kernel autotuner persists its selection cache to the user's home
+directory by default; every test gets a session-scoped temp file instead
+so the suite neither reads a developer's warm cache (timing decisions
+would leak between machines) nor deletes it (``clear_selection_cache``
+removes the file on disk).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_kernel_cache(tmp_path_factory, monkeypatch):
+    from repro.bnn.kernels.select import ENV_CACHE
+
+    path = tmp_path_factory.getbasetemp() / "kernel_select.json"
+    monkeypatch.setenv(ENV_CACHE, str(path))
