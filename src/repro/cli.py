@@ -17,6 +17,7 @@ The serving layer has its own load-test subcommand:
     python -m repro serve-bench --target-rerun 0.25 --host-workers 2
     python -m repro serve-bench --measure-t-bnn 0.25 --bnn-backend bitplane
     python -m repro serve-bench --fault-plan examples/faultplan_host_flaky.json
+    python -m repro serve-bench --ladder 0.002   # 3-stage precision ladder
 
 and the binary-kernel backends have a benchmark harness:
 
@@ -42,6 +43,7 @@ the wire books (see docs/NETWORK.md):
     python -m repro serve-net --replicas 2 --requests 200
     python -m repro serve-net --placement rendezvous --kill-replica-after 50
     python -m repro serve-net --fault-plan examples/faultplan_host_flaky.json
+    python -m repro serve-net --ladder      # 3-stage ladder replicas
 """
 
 from __future__ import annotations
@@ -192,7 +194,44 @@ def serve_bench_main(argv: list[str]) -> int:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="per-request deadline; late requests degrade or fail (default: off)",
     )
+    parser.add_argument(
+        "--ladder", default=None, metavar="T1[,T2...]",
+        help=(
+            "bench an N-stage precision ladder: comma-separated middle-rung "
+            "seconds/image between the BNN and the host (e.g. --ladder 0.002 "
+            "for a 3-stage bnn -> mid1 -> host run); the report gains the "
+            "Eq. (1N) per-stage terms and the per-stage books check"
+        ),
+    )
+    parser.add_argument(
+        "--ladder-target-forward", type=float, default=None, metavar="RATIO",
+        help=(
+            "per-hop target forward ratio for the ladder's adaptive leg "
+            "(default: --target-rerun at every hop)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    ladder_stage_times = None
+    if args.ladder is not None:
+        try:
+            ladder_stage_times = tuple(
+                float(part) for part in args.ladder.split(",") if part.strip()
+            )
+        except ValueError:
+            parser.error(f"--ladder must be comma-separated floats, got {args.ladder!r}")
+        if not ladder_stage_times:
+            parser.error("--ladder needs at least one middle-rung time")
+        if len(ladder_stage_times) > 4:
+            parser.error("--ladder supports at most 4 middle rungs")
+        if any(t <= 0 for t in ladder_stage_times):
+            parser.error("--ladder stage times must be positive")
+    if args.ladder_target_forward is not None and not (
+        0.0 <= args.ladder_target_forward <= 1.0
+    ):
+        parser.error(
+            f"--ladder-target-forward must be in [0, 1], got {args.ladder_target_forward}"
+        )
 
     if not 0.0 <= args.target_rerun <= 1.0:
         parser.error(f"--target-rerun must be in [0, 1], got {args.target_rerun}")
@@ -238,14 +277,25 @@ def serve_bench_main(argv: list[str]) -> int:
         trace_path=args.trace,
         fault_plan_path=args.fault_plan,
         deadline_s=args.deadline,
+        ladder_stage_times=ladder_stage_times,
+        ladder_target_forward_ratio=args.ladder_target_forward,
     )
     print(
         f"serve-bench: 2 runs x {config.num_requests} requests, "
-        f"{config.num_clients} closed-loop clients ...",
+        f"{config.num_clients} closed-loop clients"
+        + (
+            f", {2 + len(ladder_stage_times)}-stage ladder"
+            if ladder_stage_times
+            else ""
+        )
+        + " ...",
         file=sys.stderr,
     )
-    print(format_serve_bench(run_serve_bench(config)))
-    return 0
+    report = run_serve_bench(config)
+    print(format_serve_bench(report))
+    # Nonzero unless every leg's per-stage books balance: the ladder CI
+    # smoke (and any scripted run) hard-fails on lost/duplicated requests.
+    return 0 if report.books_balanced else 1
 
 
 def bench_kernels_main(argv: list[str]) -> int:
@@ -553,6 +603,13 @@ def serve_net_main(argv: list[str]) -> int:
         "--kill-replica-after", type=int, default=None, metavar="N",
         help="chaos: hard-kill replica 0 after N requests were submitted",
     )
+    parser.add_argument(
+        "--ladder", action="store_true",
+        help=(
+            "run each replica as a 3-stage precision ladder "
+            "(bnn -> mid1 -> host, docs/LADDER.md) instead of the 2-stage cascade"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.requests < 1:
@@ -583,6 +640,7 @@ def serve_net_main(argv: list[str]) -> int:
         seed=args.seed,
         fault_plan_path=args.fault_plan,
         kill_replica_after=args.kill_replica_after,
+        ladder=args.ladder,
     )
     print(
         f"serve-net: {config.num_replicas} replica processes, "

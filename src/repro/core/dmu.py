@@ -9,6 +9,13 @@ application of a Sigmoid positive transfer function."
 Trained on the BNN's scores over the *training* set labelled with
 success/failure, thresholded at deployment to trade accuracy against the
 host re-inference rate.
+
+In the N-stage precision ladder (``docs/LADDER.md``,
+:mod:`repro.core.ladder`) every rung but the last carries one of these
+units: rung ``i``'s DMU decides accept-vs-forward, its flag rate is the
+per-hop forward ratio ``r_i`` of Eq. (1'), and the 2-stage quantities
+below are the ``i = 0`` specialization (``rerun_ratio`` = ``r_0``,
+``rerun_err_ratio`` = ``R_err_1``).
 """
 
 from __future__ import annotations
@@ -52,12 +59,19 @@ class DMUCategories:
 
     @property
     def rerun_ratio(self) -> float:
-        """R_rerun of Eq. (1): fraction of images sent to the host."""
+        """R_rerun of Eq. (1): fraction of images sent to the host.
+
+        In ladder notation this is the stage's forward ratio ``r_i`` —
+        the fraction of *its own arrivals* the DMU sends up one rung.
+        """
         return self.fbar_sbar + self.f_sbar
 
     @property
     def rerun_err_ratio(self) -> float:
-        """R_rerun_err of Eq. (2): correctly-classified images rerun anyway."""
+        """R_rerun_err of Eq. (2): correctly-classified images rerun anyway.
+
+        The per-hop wasted-forward term ``R_err_{i+1}`` of Eq. (2N).
+        """
         return self.f_sbar
 
     @property

@@ -6,6 +6,12 @@ per-image confidence, and the high-accuracy floating-point network
 re-classifies only the flagged subset.  This module computes *what* the
 system answers; *when* it answers is the job of :mod:`repro.hetero`
 (pipelined timing) and :mod:`repro.core.analytic` (closed forms).
+
+This is the 2-rung special case of the N-stage precision ladder
+(:mod:`repro.core.ladder`, ``docs/LADDER.md``): the BNN is rung 0, the
+host is the final rung, ``rerun_ratio`` is the single forward ratio
+``r_0``, and Eqs. (1)/(2) are Eq. (1N)/(2N) at N=2.  New code that may
+ever grow a third stage should target :class:`repro.core.PrecisionLadder`.
 """
 
 from __future__ import annotations

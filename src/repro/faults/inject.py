@@ -180,6 +180,13 @@ class FaultInjector:
         order, under the stage lock — the stream is a pure function of
         ``(seed, stage, call_index)``.  Returns the events that fire this
         call (usually zero or one; multiple specs may fire together).
+
+        At most one ``exception`` event fires per call: the wrapped
+        callable can only raise once, so letting a second exception spec
+        "fire" would log an event with no observable fault and desync the
+        log from :class:`repro.serve.ServerMetrics` fault counters.  The
+        losing spec's variate is still drawn (stream position is call-
+        indexed) and its fire budget is not consumed.
         """
         if stage not in STAGES:
             raise ValueError(f"stage must be one of {STAGES}, got {stage!r}")
@@ -195,6 +202,10 @@ class FaultInjector:
                 if call_index < spec.start_call:
                     continue
                 if spec.max_faults is not None and state.fired[slot] >= spec.max_faults:
+                    continue
+                if spec.kind == "exception" and any(
+                    e.kind == "exception" for e in events
+                ):
                     continue
                 if u < spec.probability:
                     state.fired[slot] += 1

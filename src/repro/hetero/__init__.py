@@ -2,7 +2,12 @@
 
 from .devices import FPGAExecutor, HostExecutor
 from .gantt import gantt_chart
-from .metrics import AnalyticComparison, compare_serving_with_eq1, compare_with_eq1
+from .metrics import (
+    AnalyticComparison,
+    compare_serving_with_eq1,
+    compare_serving_with_ladder,
+    compare_with_eq1,
+)
 from .scheduler import (
     BatchRecord,
     SimulationResult,
@@ -23,5 +28,6 @@ __all__ = [
     "AnalyticComparison",
     "compare_with_eq1",
     "compare_serving_with_eq1",
+    "compare_serving_with_ladder",
     "gantt_chart",
 ]

@@ -1,17 +1,28 @@
-"""Comparison of simulated/served cascade timing against Eq. (1)."""
+"""Comparison of simulated/served cascade timing against Eq. (1)/(1N).
+
+The 2-stage helpers check Eq. (1) as written in the paper; ladders use
+:func:`compare_serving_with_ladder`, which evaluates the generalized
+Eq. (1N) bound ``max_i t_i * R_i`` (``docs/LADDER.md``) at the forward
+ratios a serving run actually measured.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
-from ..core.analytic import multi_precision_interval
+from ..core.analytic import ladder_interval, multi_precision_interval
 from .scheduler import SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..serve.metrics import MetricsSnapshot
 
-__all__ = ["AnalyticComparison", "compare_with_eq1", "compare_serving_with_eq1"]
+__all__ = [
+    "AnalyticComparison",
+    "compare_with_eq1",
+    "compare_serving_with_eq1",
+    "compare_serving_with_ladder",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,39 @@ def compare_serving_with_eq1(
     analytic = multi_precision_interval(
         t_fp / num_host_workers, t_bnn, snapshot.rerun_ratio
     )
+    return AnalyticComparison(
+        simulated_seconds_per_image=snapshot.seconds_per_image,
+        analytic_seconds_per_image=analytic,
+    )
+
+
+def compare_serving_with_ladder(
+    snapshot: "MetricsSnapshot",
+    stage_times: Sequence[float],
+    stage_names: Sequence[str],
+    num_host_workers: int = 1,
+) -> AnalyticComparison:
+    """Compare a live ladder-serving window against Eq. (1N).
+
+    ``stage_times``/``stage_names`` describe the rungs cheapest-first
+    (the names must match the server's — ``("bnn", ..., "host")``); the
+    per-hop forward ratios come from the snapshot's
+    ``stage_arrived``/``stage_forwarded`` traffic counters, so the bound
+    is evaluated at the routing the run actually realized.  The final
+    stage time is divided by the worker-pool size, as in the 2-stage
+    form.  At two stages this reduces to :func:`compare_serving_with_eq1`
+    up to the measured-ratio definition (per-rung arrivals, not
+    completions).
+    """
+    if len(stage_names) != len(stage_times):
+        raise ValueError("need one name per stage")
+    if num_host_workers < 1:
+        raise ValueError("num_host_workers must be >= 1")
+    ratios = snapshot.ladder_forward_ratios
+    forward_ratios = [ratios.get(name, 0.0) for name in stage_names[:-1]]
+    effective = [float(t) for t in stage_times]
+    effective[-1] = effective[-1] / num_host_workers
+    analytic = ladder_interval(effective, forward_ratios)
     return AnalyticComparison(
         simulated_seconds_per_image=snapshot.seconds_per_image,
         analytic_seconds_per_image=analytic,

@@ -52,6 +52,22 @@ def _oracle_bnn_scores(images: np.ndarray) -> np.ndarray:
     return np.asarray(images)[:, :NUM_CLASSES]
 
 
+def _oracle_mid_scores(images: np.ndarray) -> np.ndarray:
+    """Middle-rung oracle: the BNN scores with extra signal on the label.
+
+    Module-level and picklable, like the other stage callables: a ladder
+    replica's :class:`~repro.core.LadderStage` crosses the ``spawn``
+    boundary inside the factory partial.  The boost models a mid-precision
+    engine refining the cheap stage's answer — most images sharpen enough
+    for the mid DMU to accept, the rest still forward to the host.
+    """
+    images = np.asarray(images)
+    scores = images[:, :NUM_CLASSES].copy()
+    labels = images[:, NUM_CLASSES].astype(int)
+    scores[np.arange(len(scores)), labels] += 1.5
+    return scores
+
+
 def _oracle_host_predict(images: np.ndarray) -> np.ndarray:
     return np.asarray(images)[:, NUM_CLASSES].astype(int)
 
@@ -76,6 +92,7 @@ def oracle_replica_kwargs(
     fault_plan: FaultPlan | None = None,
     batch_delay_s: float = 0.001,
     host_queue_capacity: int = 256,
+    ladder: bool = False,
 ) -> dict:
     """:class:`~repro.serve.CascadeServer` kwargs for one oracle replica.
 
@@ -84,17 +101,33 @@ def oracle_replica_kwargs(
     When *fault_plan* is given the three stage callables are wrapped in
     a fresh :class:`~repro.faults.FaultInjector` inside the child, so
     every replica replays the same seeded per-stage fault stream.
+
+    With ``ladder=True`` each replica runs the 3-stage precision ladder
+    (``docs/LADDER.md``): a ``mid1`` rung (:func:`_oracle_mid_scores`,
+    label-boosted scores) between the BNN and the host, with its own
+    margin DMU at the same static threshold.
     """
+    from ..core.ladder import LadderStage
+
     bnn_fn, dmu, host_fn = _oracle_bnn_scores, _margin_dmu(threshold), _oracle_host_predict
     if fault_plan is not None:
         bnn_fn, dmu, host_fn, _ = wrap_stack(fault_plan, bnn_fn, dmu, host_fn)
-    return dict(
+    kwargs = dict(
         bnn_scores_fn=bnn_fn,
         dmu=dmu,
         host_predict_fn=host_fn,
         batch_delay_s=batch_delay_s,
         host_queue_capacity=host_queue_capacity,
     )
+    if ladder:
+        kwargs["ladder"] = [
+            LadderStage(
+                name="mid1",
+                scores_fn=_oracle_mid_scores,
+                dmu=_margin_dmu(threshold),
+            )
+        ]
+    return kwargs
 
 
 @dataclass(frozen=True)
@@ -114,6 +147,8 @@ class NetBenchConfig:
     fault_plan_path: str | None = None
     #: Hard-kill one replica after this many submitted requests (chaos).
     kill_replica_after: int | None = None
+    #: Run each replica as a 3-stage precision ladder (bnn -> mid1 -> host).
+    ladder: bool = False
 
 
 def _client_worker(config, address, images, outcome, lock):
@@ -135,7 +170,10 @@ def run_net_bench(config: NetBenchConfig) -> dict:
         load_fault_plan(config.fault_plan_path) if config.fault_plan_path else None
     )
     factory = partial(
-        oracle_replica_kwargs, threshold=config.threshold, fault_plan=fault_plan
+        oracle_replica_kwargs,
+        threshold=config.threshold,
+        fault_plan=fault_plan,
+        ladder=config.ladder,
     )
     images = make_oracle_images(config.num_requests, seed=config.seed,
                                 signal=config.signal)
@@ -193,6 +231,7 @@ def run_net_bench(config: NetBenchConfig) -> dict:
             "placement": config.placement,
             "fault_plan": config.fault_plan_path,
             "kill_replica_after": config.kill_replica_after,
+            "ladder": config.ladder,
             "seed": config.seed,
         },
         "wall_seconds": wall,
@@ -245,6 +284,8 @@ def format_net_bench(report: dict) -> str:
         f"  requests={cfg['num_requests']} clients={cfg['num_clients']} "
         f"replicas={cfg['num_replicas']} placement={cfg['placement']}",
     ]
+    if cfg.get("ladder"):
+        lines.append("  ladder: 3-stage replicas (bnn -> mid1 -> host)")
     if cfg["fault_plan"]:
         lines.append(f"  fault plan: {cfg['fault_plan']}")
     if cfg["kill_replica_after"] is not None:

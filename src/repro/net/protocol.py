@@ -59,6 +59,7 @@ __all__ = [
     "FRAME_TYPES",
     "SOURCE_TO_CODE",
     "CODE_TO_SOURCE",
+    "SOURCE_NAMED",
     "REJECT_QUEUE_FULL",
     "REJECT_CLOSING",
     "REJECT_NO_REPLICA",
@@ -125,9 +126,14 @@ FRAME_TYPES = {
     "pong": _T_PONG,
 }
 
-#: ``ServeResult.source`` on the wire (1 byte).
+#: ``ServeResult.source`` on the wire (1 byte).  Codes 0-2 cover the
+#: fixed 2-stage cascade; :data:`SOURCE_NAMED` flags a ladder rung
+#: (``docs/LADDER.md``): the stage name rides as a utf-8 suffix after
+#: the decision's fixed fields.  Frames from 2-stage servers are
+#: byte-identical to protocol version 1 before the extension.
 SOURCE_TO_CODE = {"bnn": 0, "host": 1, "degraded": 2}
 CODE_TO_SOURCE = {code: name for name, code in SOURCE_TO_CODE.items()}
+SOURCE_NAMED = 255
 
 #: ``REJECTED`` reason codes (admission control; the 503 analogues).
 REJECT_QUEUE_FULL = 1   # frontend at max in-flight
@@ -321,7 +327,7 @@ class Decision:
     request_id: int
     prediction: int
     bnn_prediction: int
-    source: str               # "bnn" | "host" | "degraded"
+    source: str               # "bnn" | "host" | "degraded" | ladder stage name
     confidence: float
     latency_seconds: float
 
@@ -404,8 +410,13 @@ def _encode_body(frame) -> tuple[int, bytes]:
         )
     if isinstance(frame, Decision):
         source_code = SOURCE_TO_CODE.get(frame.source)
+        suffix = b""
         if source_code is None:
-            raise ProtocolError(f"unknown decision source {frame.source!r}")
+            # A ladder rung answered: carry its stage name as the tail.
+            if not frame.source:
+                raise ProtocolError("decision source must be non-empty")
+            source_code = SOURCE_NAMED
+            suffix = _utf8(frame.source)
         return _T_DECISION, struct.pack(
             ">IiiBdd",
             frame.request_id,
@@ -414,7 +425,7 @@ def _encode_body(frame) -> tuple[int, bytes]:
             source_code,
             frame.confidence,
             frame.latency_seconds,
-        )
+        ) + suffix
     if isinstance(frame, Logits):
         return _T_LOGITS, (
             struct.pack(">I", frame.request_id) + _encode_array(np.asarray(frame.values))
@@ -471,12 +482,27 @@ def _decode_code_detail(body: bytes, what: str) -> tuple[int, int, str]:
 
 
 def _decode_decision(body: bytes) -> Decision:
+    fixed = struct.calcsize(">IiiBdd")
+    _need(body, fixed, "decision")
     request_id, prediction, bnn_prediction, source_code, confidence, latency = (
-        _decode_fixed(">IiiBdd", body, "decision")
+        struct.unpack_from(">IiiBdd", body, 0)
     )
-    source = CODE_TO_SOURCE.get(source_code)
-    if source is None:
-        raise CorruptFrame(f"unknown decision source code {source_code}")
+    suffix = body[fixed:]
+    if source_code == SOURCE_NAMED:
+        if not suffix:
+            raise CorruptFrame("named decision source is empty")
+        try:
+            source = suffix.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CorruptFrame(f"decision source is not utf-8: {exc}") from None
+    else:
+        source = CODE_TO_SOURCE.get(source_code)
+        if source is None:
+            raise CorruptFrame(f"unknown decision source code {source_code}")
+        if suffix:
+            raise CorruptFrame(
+                f"decision: {len(suffix)} unexpected bytes after fixed body"
+            )
     return Decision(request_id, prediction, bnn_prediction, source, confidence, latency)
 
 

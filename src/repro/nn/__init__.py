@@ -24,6 +24,7 @@ from .layers import (
     Tanh,
 )
 from .infer import InferenceEngine
+from .quantized import SUPPORTED_BITS, QuantizedEngine
 from .losses import BinaryCrossEntropy, Loss, SoftmaxCrossEntropy, SquaredHinge
 from .network import Sequential
 from .optim import SGD, Adam, NesterovSGD, Optimizer, RMSProp
@@ -52,6 +53,8 @@ __all__ = [
     "Flatten",
     "Sequential",
     "InferenceEngine",
+    "QuantizedEngine",
+    "SUPPORTED_BITS",
     "Loss",
     "SoftmaxCrossEntropy",
     "BinaryCrossEntropy",

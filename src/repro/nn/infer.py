@@ -245,7 +245,8 @@ class _ConvStep(_Step):
     def out_width(self):
         return self.wmat.shape[1]
 
-    def run(self, a, bufs, dt):
+    def _gather(self, a, bufs, dt):
+        """im2col into a reused buffer; returns ``(cols, n, oh, ow)``."""
         n, h, w, c = a.shape
         k, st, p = self.k, self.stride, self.pad
         oh = F.conv_output_size(h, k, st, p)
@@ -268,8 +269,16 @@ class _ConvStep(_Step):
                 writeable=False,
             )
             cols.reshape(n, oh, ow, k, k, c)[...] = windows  # one strided gather
-        out = bufs.get((self.idx, "out"), (n * oh * ow, self.wmat.shape[1]), dt)
+        return cols, n, oh, ow
+
+    def _gemm(self, cols, bufs, dt):
+        out = bufs.get((self.idx, "out"), (cols.shape[0], self.wmat.shape[1]), dt)
         np.matmul(cols, self.wmat, out=out)
+        return out
+
+    def run(self, a, bufs, dt):
+        cols, n, oh, ow = self._gather(a, bufs, dt)
+        out = self._gemm(cols, bufs, dt)
         if self.bias is not None:
             out += self.bias
         if self.fuse_relu:
@@ -288,9 +297,13 @@ class _DenseStep(_Step):
     def out_width(self):
         return self.wmat.shape[1]
 
-    def run(self, a, bufs, dt):
+    def _gemm(self, a, bufs, dt):
         out = bufs.get((self.idx, "out"), (a.shape[0], self.wmat.shape[1]), dt)
         np.matmul(a, self.wmat, out=out)
+        return out
+
+    def run(self, a, bufs, dt):
+        out = self._gemm(a, bufs, dt)
         if self.bias is not None:
             out += self.bias
         return out

@@ -96,6 +96,30 @@ class Sequential:
             self, dtype=np.float32 if dtype is None else dtype, micro_batch=micro_batch
         )
 
+    def compile_quantized(
+        self,
+        bits: int = 8,
+        calibration_images=None,
+        dtype=None,
+        micro_batch: int = 16,
+    ):
+        """Compile a post-training ``bits``-bit :class:`repro.nn.QuantizedEngine`.
+
+        The quantized sibling of :meth:`compile_inference`, used for the
+        middle rungs of a precision ladder (``docs/LADDER.md``).  Pass a
+        ``calibration_images`` batch here or call ``.calibrate(batch)``
+        on the result before predicting — activation scales are static.
+        """
+        from .quantized import QuantizedEngine
+
+        return QuantizedEngine(
+            self,
+            bits=bits,
+            calibration_images=calibration_images,
+            dtype=np.float32 if dtype is None else dtype,
+            micro_batch=micro_batch,
+        )
+
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Run inference in eval mode, batched to bound memory."""
         self.eval_mode()

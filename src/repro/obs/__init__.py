@@ -15,8 +15,8 @@ checkable on a live run:
 * :mod:`~repro.obs.export` — Chrome ``chrome://tracing`` / Perfetto
   trace-event JSON, plain JSON summaries, and a converter for the
   simulated :mod:`repro.hetero` timeline.
-* :mod:`~repro.obs.residuals` — Eq. (1) and Eqs. (3)–(5)
-  predicted-vs-measured residuals.
+* :mod:`~repro.obs.residuals` — Eq. (1)/(1N) and Eqs. (3)–(5)
+  predicted-vs-measured residuals (2-stage and N-stage ladders).
 
 The serving layer (:mod:`repro.serve`), the folded BNN
 (:class:`repro.bnn.FoldedBNN`), the kernel autotuner and the offline
@@ -31,7 +31,7 @@ from .export import (
     trace_summary,
     write_chrome_trace,
 )
-from .residuals import eq1_residual, eq345_layer_residuals
+from .residuals import eq1_residual, eq345_layer_residuals, ladder_eq1_residual
 from .stats import (
     Histogram,
     SpanSummary,
@@ -84,5 +84,6 @@ __all__ = [
     "timeline_to_chrome",
     # residuals
     "eq1_residual",
+    "ladder_eq1_residual",
     "eq345_layer_residuals",
 ]

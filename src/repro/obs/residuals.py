@@ -25,7 +25,9 @@ Eq. (1) closed form.
 
 from __future__ import annotations
 
-__all__ = ["eq1_residual", "eq345_layer_residuals"]
+from typing import Sequence
+
+__all__ = ["eq1_residual", "ladder_eq1_residual", "eq345_layer_residuals"]
 
 
 def eq1_residual(
@@ -58,6 +60,66 @@ def eq1_residual(
         "t_fp": t_fp,
         "t_bnn": t_bnn,
         "num_host_workers": num_host_workers,
+    }
+
+
+def ladder_eq1_residual(
+    measured_seconds_per_image: float,
+    stage_times: Sequence[float],
+    forward_ratios: Sequence[float],
+    stage_names: Sequence[str] | None = None,
+    num_host_workers: int = 1,
+) -> dict:
+    """Measured ladder interval vs the Eq. (1N) prediction, per stage.
+
+    The N-stage generalization of :func:`eq1_residual` (``docs/LADDER.md``):
+    with reach fractions ``R_i = prod_{j<i} r_j`` the prediction is
+    ``max_i t_i * R_i``, and the per-stage busy terms say *which rung*
+    the prediction makes the bottleneck.  The final (host) stage time is
+    divided by the worker-pool size, as in the 2-stage form.  Returns a
+    JSON-serializable dict whose ``stages`` list carries each rung's
+    reach, busy seconds/image and share of the predicted bound.
+    """
+    from ..core.analytic import ladder_reach_fractions
+
+    if num_host_workers < 1:
+        raise ValueError("num_host_workers must be >= 1")
+    stage_times = [float(t) for t in stage_times]
+    if len(stage_times) < 2:
+        raise ValueError("a ladder needs at least 2 stages")
+    if len(forward_ratios) != len(stage_times) - 1:
+        raise ValueError("need exactly one forward ratio per hop")
+    if any(t <= 0 for t in stage_times):
+        raise ValueError("stage times must be positive")
+    if stage_names is None:
+        stage_names = [f"stage{i}" for i in range(len(stage_times))]
+    if len(stage_names) != len(stage_times):
+        raise ValueError("need one name per stage")
+    effective = list(stage_times)
+    effective[-1] = effective[-1] / num_host_workers
+    reach = ladder_reach_fractions(forward_ratios)
+    busy = [t * w for t, w in zip(effective, reach)]
+    predicted = max(busy)
+    bottleneck = max(range(len(busy)), key=busy.__getitem__)
+    residual = measured_seconds_per_image - predicted
+    return {
+        "predicted_seconds_per_image": predicted,
+        "measured_seconds_per_image": measured_seconds_per_image,
+        "residual_seconds_per_image": residual,
+        "relative_residual": residual / predicted,
+        "bottleneck_stage": stage_names[bottleneck],
+        "num_host_workers": num_host_workers,
+        "forward_ratios": [float(r) for r in forward_ratios],
+        "stages": [
+            {
+                "name": name,
+                "t_image": t,
+                "reach_fraction": w,
+                "busy_seconds_per_image": b,
+                "share_of_bound": b / predicted if predicted > 0 else 0.0,
+            }
+            for name, t, w, b in zip(stage_names, effective, reach, busy)
+        ],
     }
 
 

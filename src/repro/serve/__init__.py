@@ -7,6 +7,11 @@ worker pool, and an adaptive controller holds the DMU threshold at the
 operating point the paper selects statically.  ``python -m repro
 serve-bench`` exercises the whole stack under load.
 
+The same server runs N-stage precision ladders (``docs/LADDER.md``):
+pass ``ladder=[LadderStage(...), ...]`` to insert quantized middle
+rungs between the BNN and the host, each with its own queue, worker,
+DMU, and — via :class:`LadderThresholdController` — threshold knob.
+
 The stack is hardened against stage faults (see ``docs/ROBUSTNESS.md``
 and :mod:`repro.faults`): crash-safe workers, per-request deadlines,
 retry with backoff on the host path, and a circuit breaker that flips
@@ -22,10 +27,12 @@ from .bench import (
     format_serve_bench,
     measure_t_host,
     measured_t_bnn,
+    run_books,
     run_serve_bench,
+    synthetic_ladder_stages,
     synthetic_serving_stack,
 )
-from .controller import AdaptiveThresholdController
+from .controller import AdaptiveThresholdController, LadderThresholdController
 from .metrics import MetricsSnapshot, QueueStats, ServerMetrics, StageStats
 from .resilience import (
     CircuitBreaker,
@@ -39,6 +46,7 @@ from .server import CascadeServer, ServeResult
 __all__ = [
     "MicroBatcher",
     "AdaptiveThresholdController",
+    "LadderThresholdController",
     "ServerClosed",
     "DeadlineExceeded",
     "StageFailure",
@@ -54,9 +62,11 @@ __all__ = [
     "ServeBenchRun",
     "ServeBenchReport",
     "synthetic_serving_stack",
+    "synthetic_ladder_stages",
     "folded_bnn_scores_fn",
     "measured_t_bnn",
     "measure_t_host",
+    "run_books",
     "run_serve_bench",
     "format_serve_bench",
 ]

@@ -13,6 +13,17 @@ vector, the BNN stage sleeps ``t_bnn`` per image and returns the scores,
 the host stage sleeps ``t_fp`` per image and returns the argmax, and a
 fixed margin-reading DMU converts scores to confidence.  Timing is then
 a controlled experiment in queueing, not in numpy throughput.
+
+``ladder_stage_times`` turns the same harness into an N-stage precision
+ladder bench (``docs/LADDER.md``): each middle rung sleeps its ``t_i``
+per image, and hop *k*'s DMU reads the margin at sorted-score positions
+``(2k, 2k+1)`` — disjoint positions give every hop its own continuous,
+largely decorrelated confidence CDF, so every per-hop forward ratio in
+(0, 1) is reachable and the multi-knob
+:class:`~repro.serve.controller.LadderThresholdController` has a
+well-posed plant at each hop.  The report then checks the generalized
+Eq. (1N) bound ``max_i t_i * R_i`` and the per-stage books
+(``accepted + Σ rerun_i + degraded + failed == submitted``).
 """
 
 from __future__ import annotations
@@ -24,10 +35,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import obs
+from ..core.analytic import ladder_interval
 from ..core.ascii_chart import line_chart
 from ..core.dmu import DecisionMakingUnit
+from ..core.ladder import LadderStage
 from ..core.report import format_percent, format_rate, render_table
-from .controller import AdaptiveThresholdController
+from .controller import AdaptiveThresholdController, LadderThresholdController
 from .metrics import MetricsSnapshot
 from .server import CascadeServer
 
@@ -36,9 +49,11 @@ __all__ = [
     "ServeBenchRun",
     "ServeBenchReport",
     "synthetic_serving_stack",
+    "synthetic_ladder_stages",
     "folded_bnn_scores_fn",
     "measured_t_bnn",
     "measure_t_host",
+    "run_books",
     "run_serve_bench",
     "format_serve_bench",
 ]
@@ -100,6 +115,15 @@ class ServeBenchConfig:
     #: width scale, sharded over ``host_process_workers`` processes — the
     #: host-side analogue of ``measured_bnn_scale``.
     measured_host_scale: float | None = None
+    #: Middle-rung stage times (seconds/image), cheapest-first, between
+    #: the BNN and the host: ``(0.002,)`` benches a 3-stage ladder
+    #: (bnn -> mid1 -> host).  None keeps the classic 2-stage cascade.
+    #: At most 4 middle rungs (each hop's DMU needs its own pair of
+    #: sorted-score positions out of 10 classes).
+    ladder_stage_times: tuple[float, ...] | None = None
+    #: Per-hop target forward ratio for the ladder's adaptive leg
+    #: (None = ``target_rerun_ratio`` at every hop).
+    ladder_target_forward_ratio: float | None = None
 
     @property
     def host_parallelism(self) -> int:
@@ -107,8 +131,39 @@ class ServeBenchConfig:
         return self.num_host_workers * (self.host_process_workers or 1)
 
     @property
+    def stage_times(self) -> tuple[float, ...]:
+        """All rung times cheapest-first: (t_bnn, *middles, t_fp)."""
+        return (self.t_bnn, *(self.ladder_stage_times or ()), self.t_fp)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Rung names matching the server's: ("bnn", "mid1", ..., "host")."""
+        mids = tuple(
+            f"mid{i + 1}" for i in range(len(self.ladder_stage_times or ()))
+        )
+        return ("bnn", *mids, "host")
+
+    @property
+    def hop_target_forward_ratio(self) -> float:
+        return (
+            self.ladder_target_forward_ratio
+            if self.ladder_target_forward_ratio is not None
+            else self.target_rerun_ratio
+        )
+
+    @property
     def analytic_bound_fps(self) -> float:
-        """Eq. (1) at the target rerun ratio, with the host pool scaled."""
+        """Eq. (1)/(1N) at the target ratio(s), with the host pool scaled.
+
+        For a ladder, every hop is assumed to forward its target ratio,
+        so rung *i*'s reach is ``r_target ** i`` (Eq. (1N) at the
+        controller's setpoint).
+        """
+        if self.ladder_stage_times:
+            times = list(self.stage_times)
+            times[-1] /= self.host_parallelism
+            ratios = [self.hop_target_forward_ratio] * (len(times) - 1)
+            return 1.0 / ladder_interval(times, ratios)
         t_host = self.t_fp * self.target_rerun_ratio / self.host_parallelism
         return 1.0 / max(t_host, self.t_bnn)
 
@@ -235,6 +290,44 @@ def synthetic_serving_stack(config: ServeBenchConfig):
     return bnn_scores_fn, dmu, host_predict_fn, scores
 
 
+def synthetic_ladder_stages(config: ServeBenchConfig) -> list[LadderStage]:
+    """Middle rungs for the ladder bench, one per ``ladder_stage_times``.
+
+    Rung *k* sleeps its ``t_k`` per image and returns the scores; its DMU
+    reads the margin at sorted-score positions ``(2k, 2k+1)``, a pair no
+    other hop reads, so each hop's confidence CDF is continuous and only
+    weakly correlated with the hops below it.
+    """
+    times = config.ladder_stage_times or ()
+    if len(times) > 4:
+        raise ValueError(
+            "at most 4 middle rungs: each hop's DMU needs its own pair of "
+            "sorted-score positions out of 10 classes"
+        )
+    if any(t <= 0 for t in times):
+        raise ValueError("ladder stage times must be positive")
+    stages = []
+    for hop, t_stage in enumerate(times, start=1):
+        weights = np.zeros(10)
+        weights[2 * hop], weights[2 * hop + 1] = 4.0, -4.0
+
+        def scores_fn(images: np.ndarray, _t: float = t_stage) -> np.ndarray:
+            time.sleep(_t * len(images))
+            return images
+
+        stages.append(
+            LadderStage(
+                name=f"mid{hop}",
+                scores_fn=scores_fn,
+                dmu=DecisionMakingUnit(
+                    weights, bias=0.0, threshold=config.naive_threshold
+                ),
+                t_image=t_stage,
+            )
+        )
+    return stages
+
+
 @dataclass(frozen=True)
 class ServeBenchRun:
     """Outcome of one server configuration under the client fleet."""
@@ -245,13 +338,43 @@ class ServeBenchRun:
     final_threshold: float
     analytic_bound_fps: float
     #: Eq. (1) residual at the *realized* steady rerun ratio
-    #: (:func:`repro.obs.eq1_residual`), set by :func:`run_serve_bench`.
+    #: (:func:`repro.obs.eq1_residual`), set by :func:`run_serve_bench`;
+    #: :func:`repro.obs.ladder_eq1_residual` for ladder runs.
     eq1: dict | None = None
+    #: Final threshold of every hop, bnn-first (2-stage: one entry).
+    final_thresholds: tuple[float, ...] = ()
+    #: Drained end-of-run books (``accepted + Σ rerun_stages + degraded +
+    #: failed == submitted`` and ``Σ rerun_stages == rerun``), see
+    #: :func:`run_books`.
+    books: dict | None = None
 
     @property
     def bound_fraction(self) -> float:
         """Steady throughput as a fraction of the Eq. (1) bound."""
         return self.steady.images_per_second / self.analytic_bound_fps
+
+
+def run_books(total: MetricsSnapshot) -> dict:
+    """Per-stage accounting of a fully drained run.
+
+    ``balanced`` asserts the ladder invariant: every submitted request is
+    accounted for exactly once (``accepted + rerun + degraded + failed ==
+    submitted``) and the per-rung breakdown re-sums to the top line
+    (``Σ rerun_stages == rerun``).
+    """
+    answered = total.accepted + total.rerun + total.degraded + total.failed
+    return {
+        "submitted": total.submitted,
+        "accepted": total.accepted,
+        "rerun": total.rerun,
+        "rerun_stages": dict(total.rerun_stages),
+        "degraded": total.degraded,
+        "failed": total.failed,
+        "balanced": (
+            answered == total.submitted
+            and total.rerun_stage_total == total.rerun
+        ),
+    }
 
 
 @dataclass(frozen=True)
@@ -265,6 +388,14 @@ class ServeBenchReport:
     span_summary: dict | None = None
     #: Injected-fault counts per stage/kind per leg (``fault_plan_path``).
     fault_report: dict | None = None
+
+    @property
+    def books_balanced(self) -> bool:
+        """True when both legs' per-stage books balance (CI gate)."""
+        return all(
+            run.books is not None and run.books["balanced"]
+            for run in (self.naive, self.adaptive)
+        )
 
 
 def _drive(
@@ -357,6 +488,10 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
     fault_report: dict | None = None
     for label in ("naive", "adaptive"):
         bnn_fn, dmu, host_fn, scores = synthetic_serving_stack(config)
+        # Fresh middle rungs per leg; the fault plan wraps only the
+        # bnn/dmu/host stages (the seeded streams the plans name).
+        ladder = synthetic_ladder_stages(config) if config.ladder_stage_times else None
+        num_hops = 1 + len(ladder or ())
         injector = None
         if fault_plan is not None:
             from ..faults import wrap_stack
@@ -365,11 +500,19 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
         if label == "adaptive":
             # Start from the same bad operating point the naive run uses:
             # convergence, not initialization, must close the gap.
-            controller: AdaptiveThresholdController | float = AdaptiveThresholdController(
-                initial_threshold=config.naive_threshold,
-                target_rerun_ratio=config.target_rerun_ratio,
-                gain=config.controller_gain,
-            )
+            controller: LadderThresholdController | AdaptiveThresholdController | float
+            if ladder is not None:
+                controller = LadderThresholdController.from_targets(
+                    initial_thresholds=[config.naive_threshold] * num_hops,
+                    target_forward_ratios=[config.hop_target_forward_ratio] * num_hops,
+                    gain=config.controller_gain,
+                )
+            else:
+                controller = AdaptiveThresholdController(
+                    initial_threshold=config.naive_threshold,
+                    target_rerun_ratio=config.target_rerun_ratio,
+                    gain=config.controller_gain,
+                )
         else:
             controller = config.naive_threshold
         server = CascadeServer(
@@ -384,6 +527,7 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             host_workers=config.host_process_workers,
             host_batch_size=config.host_batch_size,
             deadline_s=config.deadline_s,
+            ladder=ladder,
         )
         # Trace only the adaptive leg: one representative timeline, and
         # the naive leg stays a tracer-free control for the overhead claim.
@@ -392,29 +536,47 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             with obs.tracing() as tracer:
                 with server:
                     total, steady = _drive(server, scores, config, label)
-                    final_threshold = server.threshold
+                    final_thresholds = tuple(
+                        server.stage_threshold(h) for h in range(num_hops)
+                    )
             trace_file = str(obs.write_chrome_trace(tracer, config.trace_path))
             span_summary = obs.trace_summary(tracer)
         else:
             with server:
                 total, steady = _drive(server, scores, config, label)
-                final_threshold = server.threshold
-        eq1 = obs.eq1_residual(
-            measured_seconds_per_image=(
-                steady.wall_seconds / steady.completed if steady.completed else float("nan")
-            ),
-            t_fp=config.t_fp,
-            t_bnn=config.t_bnn,
-            rerun_ratio=steady.rerun_ratio,
-            num_host_workers=config.host_parallelism,
+                final_thresholds = tuple(
+                    server.stage_threshold(h) for h in range(num_hops)
+                )
+        measured = (
+            steady.wall_seconds / steady.completed if steady.completed else float("nan")
         )
+        if ladder is not None:
+            names = config.stage_names
+            ratios = steady.ladder_forward_ratios
+            eq1 = obs.ladder_eq1_residual(
+                measured_seconds_per_image=measured,
+                stage_times=list(config.stage_times),
+                forward_ratios=[ratios.get(n, 0.0) for n in names[:-1]],
+                stage_names=list(names),
+                num_host_workers=config.host_parallelism,
+            )
+        else:
+            eq1 = obs.eq1_residual(
+                measured_seconds_per_image=measured,
+                t_fp=config.t_fp,
+                t_bnn=config.t_bnn,
+                rerun_ratio=steady.rerun_ratio,
+                num_host_workers=config.host_parallelism,
+            )
         runs[label] = ServeBenchRun(
             label=label,
             total=total,
             steady=steady,
-            final_threshold=final_threshold,
+            final_threshold=final_thresholds[0],
             analytic_bound_fps=config.analytic_bound_fps,
             eq1=eq1,
+            final_thresholds=final_thresholds,
+            books=run_books(total),
         )
         if injector is not None:
             from ..faults import STAGES
@@ -507,9 +669,59 @@ def format_serve_bench(report: ServeBenchReport) -> str:
         )
     residuals = ""
     if residual_lines:
+        eq_name = "Eq. (1N)" if cfg.ladder_stage_times else "Eq. (1)"
         residuals = (
-            "\n\nEq. (1) residual at each policy's *realized* steady R_rerun:\n"
+            f"\n\n{eq_name} residual at each policy's *realized* steady routing:\n"
             + "\n".join(residual_lines)
+        )
+    ladder_section = ""
+    if cfg.ladder_stage_times and report.adaptive.eq1 is not None:
+        stage_rows = [
+            [
+                stage["name"],
+                f"{stage['t_image'] * 1e3:.2f}",
+                f"{stage['reach_fraction']:.3f}",
+                f"{stage['busy_seconds_per_image'] * 1e3:.2f}",
+                format_percent(stage["share_of_bound"]),
+            ]
+            for stage in report.adaptive.eq1["stages"]
+        ]
+        ladder_table = render_table(
+            ["stage", "t_i ms", "reach R_i", "busy ms/img", "of bound"],
+            stage_rows,
+            title=(
+                f"{len(cfg.stage_names)}-stage ladder "
+                f"({' -> '.join(cfg.stage_names)}), adaptive leg's Eq. (1N) "
+                f"terms at measured forward ratios; bottleneck = "
+                f"{report.adaptive.eq1['bottleneck_stage']}"
+            ),
+        )
+        thr_lines = [
+            f"  {run.label:<9} final thresholds "
+            + ", ".join(
+                f"{name}={thr:.3f}"
+                for name, thr in zip(cfg.stage_names[:-1], run.final_thresholds)
+            )
+            for run in (report.naive, report.adaptive)
+        ]
+        book_lines = []
+        for run in (report.naive, report.adaptive):
+            if run.books is None:
+                continue
+            b = run.books
+            splits = " + ".join(
+                f"{name}:{count}" for name, count in sorted(b["rerun_stages"].items())
+            )
+            book_lines.append(
+                f"  {run.label:<9} accepted {b['accepted']} + rerun {b['rerun']} "
+                f"[{splits or 'none'}] + degraded {b['degraded']} + failed "
+                f"{b['failed']} == submitted {b['submitted']}: "
+                f"{'OK' if b['balanced'] else 'IMBALANCED'}"
+            )
+        ladder_section = (
+            "\n\n" + ladder_table + "\n\n" + "\n".join(thr_lines)
+            + "\n\nper-stage books (accepted + Σ rerun_i + degraded + failed == submitted):\n"
+            + "\n".join(book_lines)
         )
     host_lines = []
     for run in (report.naive, report.adaptive):
@@ -571,4 +783,4 @@ def format_serve_bench(report: ServeBenchReport) -> str:
         "controller walks the threshold down until the rerun ratio holds the\n"
         "target, keeping the host pool busy but un-saturated (Eq. (1) regime)."
     )
-    return table + chart + residuals + host_split + spans + faults + notes
+    return table + chart + residuals + ladder_section + host_split + spans + faults + notes

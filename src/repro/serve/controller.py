@@ -19,8 +19,9 @@ passing ``gain=0``.
 from __future__ import annotations
 
 import threading
+from typing import Sequence
 
-__all__ = ["AdaptiveThresholdController"]
+__all__ = ["AdaptiveThresholdController", "LadderThresholdController"]
 
 
 class AdaptiveThresholdController:
@@ -123,3 +124,73 @@ class AdaptiveThresholdController:
             )
             self._observations += 1
             return self._threshold
+
+
+class LadderThresholdController:
+    """Multi-knob routing policy: one integral controller per ladder hop.
+
+    An N-stage precision ladder (``docs/LADDER.md``) has ``N - 1``
+    forwarding decisions, each with its own DMU threshold.  This class
+    composes one :class:`AdaptiveThresholdController` per hop — knob
+    ``i`` regulates the forward ratio ``r_i`` of stage ``i`` toward its
+    own target, which via Eq. (1') sets the reach products ``R_i`` and
+    hence which rung Eq. (1N) makes the bottleneck.  The knobs are
+    independent by design: each hop's plant (its confidence CDF) only
+    depends on its own threshold, while upstream knobs merely rescale
+    its traffic volume, which a ratio controller is invariant to.
+
+    :class:`repro.serve.CascadeServer` feeds each knob from the stage
+    worker that owns it; hop 0 is the BNN's DMU, hop ``N-2`` gates entry
+    to the final (host) rung.
+    """
+
+    def __init__(self, knobs: Sequence[AdaptiveThresholdController]):
+        knobs = tuple(knobs)
+        if not knobs:
+            raise ValueError("need at least one knob (one per ladder hop)")
+        self.knobs = knobs
+
+    @classmethod
+    def from_targets(
+        cls,
+        initial_thresholds: Sequence[float],
+        target_forward_ratios: Sequence[float],
+        **kwargs,
+    ) -> "LadderThresholdController":
+        """One knob per hop from parallel threshold/target lists.
+
+        ``kwargs`` (``gain``, ``ewma_alpha``, ...) are shared by every
+        knob; build the knobs by hand for per-hop tuning.
+        """
+        if len(initial_thresholds) != len(target_forward_ratios):
+            raise ValueError("need one target per initial threshold")
+        return cls(
+            [
+                AdaptiveThresholdController(
+                    initial_threshold=float(thr),
+                    target_rerun_ratio=float(target),
+                    **kwargs,
+                )
+                for thr, target in zip(initial_thresholds, target_forward_ratios)
+            ]
+        )
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.knobs)
+
+    @property
+    def thresholds(self) -> list[float]:
+        return [knob.threshold for knob in self.knobs]
+
+    def threshold_for(self, hop: int) -> float:
+        return self.knobs[hop].threshold
+
+    def observe(self, hop: int, total: int, forwarded: int, degraded: int = 0) -> float:
+        """Feed one batch of hop *hop*'s decisions; returns its threshold.
+
+        ``forwarded`` plays the role of ``rerun`` on the underlying
+        knob: images the stage's DMU flagged for the next rung
+        (including any later degraded).
+        """
+        return self.knobs[hop].observe(total=total, rerun=forwarded, degraded=degraded)

@@ -12,6 +12,14 @@ Paper anchors: the accepted/rerun/degraded counts realize the paper's
 (``t_multi = max(t_fp * R_rerun, t_bnn)``); ``MetricsSnapshot.since``
 carves the steady-state windows that are compared against that bound.
 
+N-stage ladders (``docs/LADDER.md``) keep the same top-line books —
+``rerun`` totals every answer produced *above* stage 0 — and add a
+per-stage breakdown: ``rerun_stages[name]`` splits ``rerun`` by the
+answering rung (so ``accepted + Σ rerun_stages + degraded + failed ==
+submitted`` once drained), while ``stage_arrived`` / ``stage_forwarded``
+record per-rung traffic, giving the measured forward ratios ``r_i``
+that :func:`repro.obs.ladder_eq1_residual` checks against Eq. (1N).
+
 Robustness accounting (``docs/ROBUSTNESS.md``): every injected or
 organic stage fault, host retry, deadline miss and failed request is
 counted, and circuit-breaker transitions are integrated into
@@ -83,6 +91,9 @@ class MetricsSnapshot:
     host_parallel_workers: int = 0      # ParallelHostRunner pool size (0 = serial host)
     host_worker_images: dict[int, int] = field(default_factory=dict)  # worker -> imgs served
     host_worker_seconds: dict[int, float] = field(default_factory=dict)  # worker -> infer secs
+    rerun_stages: dict[str, int] = field(default_factory=dict)   # answering rung -> answers
+    stage_arrived: dict[str, int] = field(default_factory=dict)  # rung -> images scored
+    stage_forwarded: dict[str, int] = field(default_factory=dict)  # rung -> images sent up
 
     @property
     def answered(self) -> int:
@@ -105,8 +116,21 @@ class MetricsSnapshot:
 
     @property
     def rerun_ratio(self) -> float:
-        """R_rerun of Eq. (1): fraction of answers sent to the host."""
+        """R_rerun of Eq. (1): fraction of answers produced above stage 0."""
         return self.rerun / self.completed if self.completed else 0.0
+
+    @property
+    def ladder_forward_ratios(self) -> dict[str, float]:
+        """Measured per-rung ``r_i``: forwarded / arrived (Eq. (1'))."""
+        return {
+            name: self.stage_forwarded.get(name, 0) / arrived if arrived else 0.0
+            for name, arrived in self.stage_arrived.items()
+        }
+
+    @property
+    def rerun_stage_total(self) -> int:
+        """Σ rerun_i — must equal ``rerun`` when the breakdown is recorded."""
+        return sum(self.rerun_stages.values())
 
     @property
     def degraded_ratio(self) -> float:
@@ -158,6 +182,18 @@ class MetricsSnapshot:
                 worker: secs - earlier.host_worker_seconds.get(worker, 0.0)
                 for worker, secs in self.host_worker_seconds.items()
             },
+            rerun_stages={
+                name: count - earlier.rerun_stages.get(name, 0)
+                for name, count in self.rerun_stages.items()
+            },
+            stage_arrived={
+                name: count - earlier.stage_arrived.get(name, 0)
+                for name, count in self.stage_arrived.items()
+            },
+            stage_forwarded={
+                name: count - earlier.stage_forwarded.get(name, 0)
+                for name, count in self.stage_forwarded.items()
+            },
         )
 
 
@@ -197,6 +233,9 @@ class ServerMetrics:
         self._host_parallel_workers = 0
         self._host_worker_images: dict[int, int] = {}
         self._host_worker_seconds: dict[int, float] = {}
+        self._rerun_stages: dict[str, int] = {}
+        self._stage_arrived: dict[str, int] = {}
+        self._stage_forwarded: dict[str, int] = {}
         self._started = clock()
 
     # -- stage latency ------------------------------------------------------
@@ -226,11 +265,35 @@ class ServerMetrics:
         with self._lock:
             self._submitted += count
 
-    def record_decisions(self, accepted: int = 0, rerun: int = 0, degraded: int = 0) -> None:
+    def record_decisions(
+        self,
+        accepted: int = 0,
+        rerun: int = 0,
+        degraded: int = 0,
+        stage: str | None = None,
+    ) -> None:
+        """Book terminal answers; *stage* names the rung behind a ``rerun``.
+
+        The top-line ``rerun`` counter is unchanged by *stage* — the
+        per-rung breakdown rides alongside so the 2-stage books invariant
+        keeps holding verbatim for ladders of any depth.
+        """
         with self._lock:
             self._accepted += accepted
             self._rerun += rerun
             self._degraded += degraded
+            if stage is not None and rerun:
+                self._rerun_stages[stage] = self._rerun_stages.get(stage, 0) + rerun
+
+    def record_stage_traffic(self, name: str, arrived: int = 0, forwarded: int = 0) -> None:
+        """Per-rung traffic: *arrived* images scored, *forwarded* sent up."""
+        with self._lock:
+            if arrived:
+                self._stage_arrived[name] = self._stage_arrived.get(name, 0) + arrived
+            if forwarded:
+                self._stage_forwarded[name] = (
+                    self._stage_forwarded.get(name, 0) + forwarded
+                )
 
     def record_threshold(self, threshold: float) -> None:
         with self._lock:
@@ -328,4 +391,7 @@ class ServerMetrics:
                 host_parallel_workers=self._host_parallel_workers,
                 host_worker_images=dict(self._host_worker_images),
                 host_worker_seconds=dict(self._host_worker_seconds),
+                rerun_stages=dict(self._rerun_stages),
+                stage_arrived=dict(self._stage_arrived),
+                stage_forwarded=dict(self._stage_forwarded),
             )

@@ -10,19 +10,31 @@ batch's flagged subset in parallel):
     submit() ──► MicroBatcher ──► bnn queue ──► BNN worker ──► futures
                   (size/deadline)   (bounded)       │ DMU accept
                                                     │ DMU flag
+                                           stage-1 queue (bounded)
+                                                    │ per-stage worker:
+                                                    │ score, DMU accept
+                                                    │ or forward residue
+                                                   ...
                                               host queue (bounded)
                                                     │        │ Full → degrade:
                                               host workers   │ answer with the
-                                                    └──► futures  BNN result
+                                                    └──► futures  best so far
 
-    Every bounded queue exerts backpressure upstream; the only queue that
-    *sheds* instead of blocking is the host queue, because blocking there
-    would stall the BNN for the exact traffic mix (R_rerun too high) that
-    Eq. (1) says the host cannot absorb anyway.
+    The default is the paper's 2-stage shape (no middle rungs).  Passing
+    ``ladder=[LadderStage(...), ...]`` inserts quantized middle rungs
+    between the BNN and the host — the N-stage precision ladder of
+    ``docs/LADDER.md`` — each with its own bounded queue, worker thread,
+    DMU and threshold knob.  Every bounded queue exerts backpressure
+    upstream; the queues that *shed* instead of blocking are the
+    forwarding queues (middle and host), because blocking there would
+    stall the cheaper rungs for the exact traffic mix (reach ``R_i`` too
+    high) that Eq. (1N) says the slower rungs cannot absorb anyway.
 
 An :class:`~repro.serve.controller.AdaptiveThresholdController` closes
 the loop between the two stages at runtime; a plain float threshold
-reproduces the paper's static operating point.
+reproduces the paper's static operating point, and a
+:class:`~repro.serve.controller.LadderThresholdController` carries one
+knob per hop for ladders.
 
 Fault containment (``docs/ROBUSTNESS.md``): worker loops are crash-safe
 — a raise inside any stage callable fails only the affected requests and
@@ -65,8 +77,9 @@ import numpy as np
 
 from .. import obs
 from ..core.dmu import DecisionMakingUnit
+from ..core.ladder import LadderStage
 from .batcher import MicroBatcher
-from .controller import AdaptiveThresholdController
+from .controller import AdaptiveThresholdController, LadderThresholdController
 from .metrics import MetricsSnapshot, ServerMetrics
 from .resilience import (
     CircuitBreaker,
@@ -93,18 +106,19 @@ class ServeResult:
     prediction: int
     bnn_prediction: int
     confidence: float
-    source: str                # "bnn" | "host" | "degraded"
+    source: str                # "bnn" | "degraded" | "host" | a middle-rung name
     latency_seconds: float
 
     @property
     def rerun(self) -> bool:
-        return self.source == "host"
+        """True when a rung above stage 0 produced the answer."""
+        return self.source not in ("bnn", "degraded")
 
 
 class _Request:
     __slots__ = (
         "image", "future", "submit_ts", "deadline_ts", "bnn_prediction", "confidence",
-        "host_enqueue_ts",
+        "last_prediction", "host_enqueue_ts",
     )
 
     def __init__(self, image: np.ndarray, submit_ts: float, deadline_ts: float | None):
@@ -113,7 +127,13 @@ class _Request:
         self.submit_ts = submit_ts
         self.deadline_ts = deadline_ts
         self.bnn_prediction = -1
+        # Best answer produced so far (refined at every rung) — what a
+        # degrade falls back to.  Equals bnn_prediction in 2-stage mode.
+        self.last_prediction = -1
         self.confidence = float("nan")
+        # Set whenever the request is enqueued to the *next* rung's
+        # queue; the consuming worker books the queue-wait under
+        # "<rung>_queue_wait".
         self.host_enqueue_ts = float("nan")
 
 
@@ -133,7 +153,19 @@ class CascadeServer:
     controller:
         Threshold policy.  A float gives the paper's static threshold; an
         :class:`AdaptiveThresholdController` adapts it at runtime.
-        ``None`` uses ``dmu.threshold`` statically.
+        ``None`` uses ``dmu.threshold`` statically.  With a ladder, a
+        :class:`LadderThresholdController` supplies one knob per hop
+        (it must have ``len(ladder) + 1`` knobs); any other value
+        applies to hop 0 only, with the middle rungs pinned to their
+        stages' static thresholds.
+    ladder:
+        Optional middle rungs (:class:`repro.core.LadderStage`, cheapest
+        first) inserted between the BNN and the host — each needs a DMU
+        and gets its own bounded queue and worker thread.  ``None`` or
+        empty reproduces the paper's 2-stage cascade exactly.
+    ladder_queue_capacity:
+        Bound of each middle rung's queue in images (default: the host
+        queue capacity).
     max_batch_size / batch_delay_s:
         Micro-batcher limits for the BNN stage.
     bnn_queue_capacity / host_queue_capacity:
@@ -176,7 +208,9 @@ class CascadeServer:
         bnn_scores_fn: Callable[[np.ndarray], np.ndarray],
         dmu: DecisionMakingUnit,
         host_predict_fn: Callable[[np.ndarray], np.ndarray],
-        controller: AdaptiveThresholdController | float | None = None,
+        controller: (
+            AdaptiveThresholdController | LadderThresholdController | float | None
+        ) = None,
         max_batch_size: int = 32,
         batch_delay_s: float = 0.002,
         bnn_queue_capacity: int = 4,
@@ -189,6 +223,8 @@ class CascadeServer:
         deadline_s: float | None = None,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = _DEFAULT,  # type: ignore[assignment]
+        ladder: Sequence[LadderStage] | None = None,
+        ladder_queue_capacity: int | None = None,
     ):
         if num_host_workers < 1:
             raise ValueError("num_host_workers must be >= 1")
@@ -199,19 +235,58 @@ class CascadeServer:
         self._bnn_scores_fn = bnn_scores_fn
         self._dmu = dmu
         self._host_predict_fn = host_predict_fn
-        if controller is None:
-            controller = float(dmu.threshold)
-        if isinstance(controller, AdaptiveThresholdController):
-            self._controller: AdaptiveThresholdController | None = controller
-            self._static_threshold = controller.threshold
+
+        # -- ladder topology: middle rungs between the BNN and the host.
+        stages = tuple(ladder) if ladder else ()
+        reserved = {"bnn", "host", "degraded"}
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names) or reserved & set(names):
+            raise ValueError(
+                f"ladder stage names must be unique and none of {sorted(reserved)}"
+            )
+        for stage in stages:
+            if stage.dmu is None:
+                raise ValueError(
+                    f"ladder stage {stage.name!r} forwards traffic and needs a DMU"
+                )
+        self._ladder_stages = stages
+        num_hops = 1 + len(stages)
+        if ladder_queue_capacity is None:
+            ladder_queue_capacity = host_queue_capacity
+        if ladder_queue_capacity < 1:
+            raise ValueError("ladder_queue_capacity must be >= 1")
+
+        # -- routing policy: one (static or adaptive) knob per hop.
+        self._hop_controllers: list[AdaptiveThresholdController | None]
+        self._hop_static: list[float] = [0.0] * num_hops
+        if isinstance(controller, LadderThresholdController):
+            if controller.num_hops != num_hops:
+                raise ValueError(
+                    f"LadderThresholdController has {controller.num_hops} knobs "
+                    f"but the ladder has {num_hops} hops"
+                )
+            self._hop_controllers = list(controller.knobs)
         else:
-            self._controller = None
-            self._static_threshold = float(controller)
-            if not 0.0 <= self._static_threshold <= 1.0:
-                raise ValueError("threshold must be in [0, 1]")
+            self._hop_controllers = [None] * num_hops
+            hop0 = float(dmu.threshold) if controller is None else controller
+            if isinstance(hop0, AdaptiveThresholdController):
+                self._hop_controllers[0] = hop0
+            else:
+                self._hop_static[0] = float(hop0)
+                if not 0.0 <= self._hop_static[0] <= 1.0:
+                    raise ValueError("threshold must be in [0, 1]")
+            for i, stage in enumerate(stages):
+                thr = stage.effective_threshold
+                if thr is None:
+                    raise ValueError(
+                        f"ladder stage {stage.name!r} has no threshold"
+                    )
+                self._hop_static[i + 1] = float(thr)
         self._clock = clock
         self.metrics = metrics if metrics is not None else ServerMetrics(clock=clock)
         self.metrics.register_queue(BNN_QUEUE, bnn_queue_capacity)
+        for stage in stages:
+            self.metrics.register_queue(stage.name, ladder_queue_capacity)
         self.metrics.register_queue(HOST_QUEUE, host_queue_capacity)
         self.metrics.record_threshold(self.threshold)
 
@@ -233,6 +308,9 @@ class CascadeServer:
             self._breaker._on_transition = self._on_breaker_transition
 
         self._bnn_queue: queue.Queue = queue.Queue(maxsize=bnn_queue_capacity)
+        self._mid_queues: list[queue.Queue] = [
+            queue.Queue(maxsize=ladder_queue_capacity) for _ in stages
+        ]
         self._host_queue: queue.Queue = queue.Queue(maxsize=host_queue_capacity)
         self._host_batch_size = max(1, int(host_batch_size))
         self._closed = False
@@ -249,11 +327,20 @@ class CascadeServer:
         self._bnn_thread = threading.Thread(
             target=self._bnn_loop, name="serve-bnn", daemon=True
         )
+        self._mid_threads = [
+            threading.Thread(
+                target=self._mid_loop, args=(i,), name=f"serve-{stage.name}",
+                daemon=True,
+            )
+            for i, stage in enumerate(stages)
+        ]
         self._host_threads = [
             threading.Thread(target=self._host_loop, name=f"serve-host-{i}", daemon=True)
             for i in range(num_host_workers)
         ]
         self._bnn_thread.start()
+        for t in self._mid_threads:
+            t.start()
         for t in self._host_threads:
             t.start()
 
@@ -274,10 +361,22 @@ class CascadeServer:
     # -- public API ---------------------------------------------------------
     @property
     def threshold(self) -> float:
-        """The DMU threshold currently applied to new batches."""
-        if self._controller is not None:
-            return self._controller.threshold
-        return self._static_threshold
+        """The hop-0 DMU threshold currently applied to new batches."""
+        return self.stage_threshold(0)
+
+    def stage_threshold(self, hop: int) -> float:
+        """The threshold gating hop *hop* (0 = BNN, then middle rungs)."""
+        ctrl = self._hop_controllers[hop]
+        return ctrl.threshold if ctrl is not None else self._hop_static[hop]
+
+    @property
+    def num_stages(self) -> int:
+        """Rung count including the BNN and the host (2 = paper cascade)."""
+        return 2 + len(self._ladder_stages)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return ("bnn", *(s.name for s in self._ladder_stages), "host")
 
     @property
     def degraded_mode(self) -> bool:
@@ -342,6 +441,12 @@ class CascadeServer:
             self._batcher.close(timeout=timeout)
             self._put_sentinel(self._bnn_queue, timeout)
             self._bnn_thread.join(timeout=timeout)
+            # Drain the ladder top-down: each rung's sentinel goes in only
+            # after every producer above it has exited, so no request is
+            # left behind a sentinel.
+            for i, thread in enumerate(self._mid_threads):
+                self._put_sentinel(self._mid_queues[i], timeout)
+                thread.join(timeout=timeout)
             for _ in self._host_threads:
                 self._put_sentinel(self._host_queue, timeout)
         for t in self._host_threads:
@@ -382,12 +487,18 @@ class CascadeServer:
                 return True
             return False
 
-    _SOURCE_COUNTER = {"bnn": "accepted", "host": "rerun", "degraded": "degraded"}
-
     def _resolve(self, request: _Request, prediction: int, source: str) -> None:
         if not self._claim(request):
             return  # already failed by close()/deadline — exactly-once wins
-        self.metrics.record_decisions(**{self._SOURCE_COUNTER[source]: 1})
+        if source == "bnn":
+            self.metrics.record_decisions(accepted=1)
+        elif source == "degraded":
+            self.metrics.record_decisions(degraded=1)
+        else:
+            # Any rung above 0 — "host" or a middle-stage name.  The
+            # top-line ``rerun`` counter keeps the 2-stage books
+            # invariant; the stage tag adds the per-rung breakdown.
+            self.metrics.record_decisions(rerun=1, stage=source)
         request.future.set_result(
             ServeResult(
                 prediction=int(prediction),
@@ -478,90 +589,209 @@ class CascadeServer:
             return
         self.metrics.observe_stage("bnn", self._clock() - start, count=len(live))
 
-        # Lazy so a fully-accepted batch never consumes a half-open probe.
-        host_open: bool | None = None
-        accepted = degraded = 0
         for i, request in enumerate(live):
-            request.confidence = float(confidence[i])
-            if accept[i]:
-                self._resolve(request, predictions[i], "bnn")
-                accepted += 1
-                continue
-            if self._past_deadline(request):
-                # The BNN answer exists: degrade rather than error.
-                self.metrics.record_deadline_miss(1)
-                obs.count("serve.deadline_missed", 1)
-                self._resolve(request, predictions[i], "degraded")
-                degraded += 1
-                continue
-            if host_open is None:
-                host_open = self._breaker is not None and not self._breaker.allow()
-            if host_open:
-                # Breaker open: degraded "accept BNN result, skip host" mode.
-                self._resolve(request, predictions[i], "degraded")
-                degraded += 1
-                continue
-            try:
-                request.host_enqueue_ts = self._clock()
-                self._host_queue.put_nowait(request)
-                depth = self._host_queue.qsize()
-                self.metrics.set_queue_depth(HOST_QUEUE, depth)
-                obs.gauge("queue.host", depth)
-            except queue.Full:
-                # Graceful degradation: the host stage is saturated, so
-                # answer with the BNN result instead of stalling the
-                # fast stage (Eq. (1)'s host-bound regime).
-                self._resolve(request, predictions[i], "degraded")
-                degraded += 1
+            request.last_prediction = int(predictions[i])
+        accepted, forwarded, degraded = self._route_after_scoring(
+            0, live, predictions, confidence, accept, "bnn"
+        )
         flagged = len(live) - accepted
+        self.metrics.record_stage_traffic("bnn", arrived=len(live), forwarded=forwarded)
         if obs.enabled():
             obs.count("serve.accepted", accepted)
-            obs.count("serve.rerun", flagged - degraded)
+            obs.count("serve.rerun", forwarded)
             obs.count("serve.degraded", degraded)
-        if self._controller is not None:
-            new_threshold = self._controller.observe(
+        ctrl = self._hop_controllers[0]
+        if ctrl is not None:
+            new_threshold = ctrl.observe(
                 total=len(live), rerun=flagged, degraded=degraded
             )
             self.metrics.record_threshold(new_threshold)
             obs.gauge("serve.threshold", new_threshold)
 
+    # -- internal: routing between rungs --------------------------------------
+    def _next_queue(self, rung: int) -> tuple[queue.Queue, str, bool]:
+        """``(queue, name, breaker_guarded)`` feeding rung ``rung + 1``."""
+        nxt = rung + 1
+        if nxt <= len(self._ladder_stages):
+            return self._mid_queues[nxt - 1], self._ladder_stages[nxt - 1].name, False
+        return self._host_queue, HOST_QUEUE, True
+
+    def _route_after_scoring(
+        self,
+        rung: int,
+        live: list[_Request],
+        predictions: np.ndarray,
+        confidence: np.ndarray,
+        accept: np.ndarray,
+        source: str,
+    ) -> tuple[int, int, int]:
+        """Resolve accepted requests, forward the residue one rung up.
+
+        Shared by the BNN worker (rung 0) and every middle-rung worker.
+        The breaker gates only the hop *into* the host — the middle
+        rungs have their own fallback (degrade to the best answer so
+        far) and must not consume half-open probes.  Returns
+        ``(accepted, forwarded, degraded)``.
+        """
+        nq, nq_name, guarded = self._next_queue(rung)
+        # Lazy so a fully-accepted batch never consumes a half-open probe.
+        host_open: bool | None = None
+        accepted = forwarded = degraded = 0
+        for i, request in enumerate(live):
+            request.confidence = float(confidence[i])
+            if accept[i]:
+                self._resolve(request, predictions[i], source)
+                accepted += 1
+                continue
+            if self._past_deadline(request):
+                # An answer exists at this precision: degrade, don't error.
+                self.metrics.record_deadline_miss(1)
+                obs.count("serve.deadline_missed", 1)
+                self._resolve(request, predictions[i], "degraded")
+                degraded += 1
+                continue
+            if guarded:
+                if host_open is None:
+                    host_open = self._breaker is not None and not self._breaker.allow()
+                if host_open:
+                    # Breaker open: "accept current result, skip host" mode.
+                    self._resolve(request, predictions[i], "degraded")
+                    degraded += 1
+                    continue
+            try:
+                request.host_enqueue_ts = self._clock()
+                nq.put_nowait(request)
+                forwarded += 1
+                depth = nq.qsize()
+                self.metrics.set_queue_depth(nq_name, depth)
+                obs.gauge(f"queue.{nq_name}", depth)
+            except queue.Full:
+                # Graceful degradation: the next rung is saturated, so
+                # answer with this rung's result instead of stalling the
+                # fast stages (Eq. (1N)'s slow-rung-bound regime).
+                self._resolve(request, predictions[i], "degraded")
+                degraded += 1
+        return accepted, forwarded, degraded
+
+    # -- internal: middle-rung workers ----------------------------------------
+    def _mid_loop(self, idx: int) -> None:
+        stage = self._ladder_stages[idx]
+        q = self._mid_queues[idx]
+        while True:
+            requests = self._take_requests(q, stage.name)
+            if requests is None:
+                return
+            try:
+                self._process_mid_batch(idx, requests)
+            except Exception:  # containment: degrade, never kill the worker
+                self._degrade_batch(requests)
+
+    def _process_mid_batch(self, idx: int, requests: list[_Request]) -> None:
+        stage = self._ladder_stages[idx]
+        rung = idx + 1
+        # Deadline gate: these requests carry a cheaper rung's answer, so
+        # lateness degrades (counted) instead of erroring.
+        live: list[_Request] = []
+        for request in requests:
+            if self._past_deadline(request):
+                self.metrics.record_deadline_miss(1)
+                obs.count("serve.deadline_missed", 1)
+                self._resolve(request, request.last_prediction, "degraded")
+            else:
+                live.append(request)
+        if not live:
+            return
+
+        now = self._clock()
+        queue_wait = sum(
+            now - r.host_enqueue_ts for r in live if r.host_enqueue_ts == r.host_enqueue_ts
+        )
+        self.metrics.observe_stage(f"{stage.name}_queue_wait", queue_wait, count=len(live))
+
+        start = self._clock()
+        try:
+            with obs.trace_span(f"serve.{stage.name}", batch=len(live)):
+                images = np.stack([r.image for r in live])
+                scores = np.asarray(stage.scores_fn(images))
+                predictions = scores.argmax(axis=1)
+        except Exception:
+            # This rung is down, but every request carries an answer from
+            # a cheaper rung: fall back instead of erroring.
+            self.metrics.record_fault(stage.name)
+            obs.count(f"serve.fault.{stage.name}", 1)
+            self._degrade_batch(live)
+            return
+        for i, request in enumerate(live):
+            request.last_prediction = int(predictions[i])
+
+        try:
+            with obs.trace_span(f"serve.{stage.name}.dmu", batch=len(live)):
+                confidence = np.atleast_1d(stage.dmu.confidence(scores))
+                accept = confidence >= self.stage_threshold(rung)
+        except Exception:
+            # DMU down but the rung answered: keep this rung's (better)
+            # answer as a degraded result — CascadeCNN's fall-back.
+            self.metrics.record_fault(f"{stage.name}.dmu")
+            obs.count(f"serve.fault.{stage.name}.dmu", 1)
+            if obs.enabled():
+                obs.count("serve.degraded", len(live))
+            for i, request in enumerate(live):
+                self._resolve(request, predictions[i], "degraded")
+            return
+        self.metrics.observe_stage(stage.name, self._clock() - start, count=len(live))
+
+        accepted, forwarded, degraded = self._route_after_scoring(
+            rung, live, predictions, confidence, accept, stage.name
+        )
+        self.metrics.record_stage_traffic(
+            stage.name, arrived=len(live), forwarded=forwarded
+        )
+        if obs.enabled():
+            obs.count(f"serve.{stage.name}.accepted", accepted)
+            obs.count(f"serve.{stage.name}.forwarded", forwarded)
+            obs.count("serve.degraded", degraded)
+        ctrl = self._hop_controllers[rung]
+        if ctrl is not None:
+            ctrl.observe(
+                total=len(live), rerun=len(live) - accepted, degraded=degraded
+            )
+
     # -- internal: host workers ----------------------------------------------
-    def _take_host_requests(self) -> list[_Request] | None:
-        first = self._host_queue.get()
+    def _take_requests(self, q: queue.Queue, name: str) -> list[_Request] | None:
+        first = q.get()
         if first is _SHUTDOWN:
             return None
         requests = [first]
         while len(requests) < self._host_batch_size:
             try:
-                item = self._host_queue.get_nowait()
+                item = q.get_nowait()
             except queue.Empty:
                 break
             if item is _SHUTDOWN:
                 # Not ours to consume: hand it to a sibling worker.  Safe
-                # to block — sentinels are only enqueued after the BNN
-                # producer has exited.
-                self._host_queue.put(item)
+                # to block — sentinels are only enqueued after the
+                # upstream producers have exited.
+                q.put(item)
                 break
             requests.append(item)
-        depth = self._host_queue.qsize()
-        self.metrics.set_queue_depth(HOST_QUEUE, depth)
-        obs.gauge("queue.host", depth)
+        depth = q.qsize()
+        self.metrics.set_queue_depth(name, depth)
+        obs.gauge(f"queue.{name}", depth)
         return requests
 
     def _host_loop(self) -> None:
         while True:
-            requests = self._take_host_requests()
+            requests = self._take_requests(self._host_queue, HOST_QUEUE)
             if requests is None:
                 return
             try:
                 self._process_host_batch(requests)
             except Exception:  # containment: degrade, never kill the worker
-                for request in requests:
-                    self._resolve(request, request.bnn_prediction, "degraded")
+                self._degrade_batch(requests)
 
     def _degrade_batch(self, requests: Sequence[_Request]) -> None:
         for request in requests:
-            self._resolve(request, request.bnn_prediction, "degraded")
+            self._resolve(request, request.last_prediction, "degraded")
 
     def _process_host_batch(self, requests: list[_Request]) -> None:
         # Deadline gate: these requests carry a BNN answer, so lateness
@@ -571,11 +801,12 @@ class CascadeServer:
             if self._past_deadline(request):
                 self.metrics.record_deadline_miss(1)
                 obs.count("serve.deadline_missed", 1)
-                self._resolve(request, request.bnn_prediction, "degraded")
+                self._resolve(request, request.last_prediction, "degraded")
             else:
                 live.append(request)
         if not live:
             return
+        self.metrics.record_stage_traffic(HOST_QUEUE, arrived=len(live))
 
         # Queue-wait vs pure-inference split: the "host" stage below times
         # only the (successful) inference call, so time spent parked in the

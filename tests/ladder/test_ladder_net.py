@@ -1,0 +1,44 @@
+"""Ladder replicas over the real socket stack (serve-net end-to-end)."""
+
+from repro.net.bench import (
+    NetBenchConfig,
+    _oracle_mid_scores,
+    format_net_bench,
+    make_oracle_images,
+    oracle_replica_kwargs,
+    run_net_bench,
+)
+
+
+def test_mid_oracle_boosts_the_label():
+    images = make_oracle_images(32, seed=0, signal=0.0)
+    labels = images[:, -1].astype(int)
+    scores = _oracle_mid_scores(images)
+    base = images[:, :10]
+    # Only the label column moved, and upward.
+    assert (scores[range(32), labels] > base[range(32), labels]).all()
+    off = scores.copy()
+    off[range(32), labels] = base[range(32), labels]
+    assert (off == base).all()
+
+
+def test_replica_kwargs_gain_ladder_stage():
+    kwargs = oracle_replica_kwargs(ladder=True)
+    (stage,) = kwargs["ladder"]
+    assert stage.name == "mid1"
+    assert stage.dmu is not None
+    assert "ladder" not in oracle_replica_kwargs()
+
+
+def test_serve_net_ladder_end_to_end():
+    """3-stage replicas behind real loopback sockets: books + named sources."""
+    report = run_net_bench(
+        NetBenchConfig(
+            num_requests=80, num_clients=2, num_replicas=1, ladder=True, seed=3,
+            signal=0.5,  # weak margins so traffic spreads over all 3 rungs
+        )
+    )
+    assert report["ok"], format_net_bench(report)
+    sources = report["client"]["sources"]
+    assert sources.get("mid1", 0) > 0  # the named source crossed the wire
+    assert set(sources) <= {"bnn", "mid1", "host", "degraded"}

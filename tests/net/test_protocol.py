@@ -69,6 +69,7 @@ def _reconstruct(entry: dict):
             12, -1, 7, "host", 0.25, 1.5
         ),
         "decision_degraded": lambda: p.Decision(13, 2, 2, "degraded", 0.0, 0.0),
+        "decision_ladder_named": lambda: p.Decision(14, 5, 2, "mid1", 0.75, 0.25),
         "logits_one_confidence": lambda: p.Logits(
             11, np.array([0.9375], dtype=np.float64)
         ),
@@ -162,7 +163,13 @@ class TestRoundTrip:
         request_id=UINT32,
         prediction=INT32,
         bnn_prediction=INT32,
-        source=st.sampled_from(sorted(p.SOURCE_TO_CODE)),
+        source=st.one_of(
+            st.sampled_from(sorted(p.SOURCE_TO_CODE)),
+            # Ladder rungs ride as named sources (code SOURCE_NAMED).
+            st.text(min_size=1, max_size=32).filter(
+                lambda s: s not in p.SOURCE_TO_CODE
+            ),
+        ),
         confidence=st.floats(allow_nan=True),
         latency=st.floats(allow_nan=False, allow_infinity=False),
     )
@@ -218,9 +225,9 @@ class TestEncodeRejections:
                 p.Request(1, np.zeros(p.MAX_FRAME_BODY + 1, dtype=np.uint8))
             )
 
-    def test_unknown_decision_source(self):
-        with pytest.raises(p.ProtocolError, match="unknown decision source"):
-            p.encode_frame(p.Decision(1, 0, 0, "oracle", 0.5, 0.0))
+    def test_empty_decision_source(self):
+        with pytest.raises(p.ProtocolError, match="source must be non-empty"):
+            p.encode_frame(p.Decision(1, 0, 0, "", 0.5, 0.0))
 
     def test_unencodable_object(self):
         with pytest.raises(p.ProtocolError, match="cannot encode"):

@@ -1,8 +1,10 @@
 """The documentation coverage gate, run as part of the test suite.
 
 Mirrors the CI step (``python tools/check_doc_coverage.py``): every
-public ``repro.*`` package/module must be reflected in ``docs/API.md``,
-and the observability guide must exist and be linked from the README.
+public ``repro.*`` package/module must be reflected in ``docs/API.md``
+AND referenced by dotted path from somewhere under ``docs/`` (modulo
+the explicit ``INTERNAL_HELPERS`` allowlist), and the observability and
+ladder guides must exist and be cross-linked.
 """
 
 import importlib.util
@@ -42,6 +44,44 @@ def test_module_enumeration_sees_core_packages():
         assert expected in names, f"{expected} missing from enumeration"
 
 
+def test_module_enumeration_sees_ladder_modules():
+    tool = _load_tool()
+    names = {dotted for dotted, _ in tool.public_modules()}
+    for expected in ("repro.core.ladder", "repro.nn.quantized"):
+        assert expected in names, f"{expected} missing from enumeration"
+
+
+def test_internal_helpers_allowlist_is_live():
+    """Every allowlist entry names a real module that docs do NOT name."""
+    tool = _load_tool()
+    names = {dotted for dotted, _ in tool.public_modules()}
+    text = tool.docs_text()
+    for entry in tool.INTERNAL_HELPERS:
+        assert entry in names, f"stale allowlist entry {entry}"
+        assert not tool._referenced(entry, text), (
+            f"{entry} is referenced from docs/ — drop it from INTERNAL_HELPERS"
+        )
+
+
+def test_ladder_modules_must_not_be_allowlisted():
+    """The ladder surface is documentation-bearing, never an internal helper."""
+    tool = _load_tool()
+    for dotted in (
+        "repro.core.ladder", "repro.nn.quantized",
+        "repro.serve.controller", "repro.serve.metrics",
+        "repro.obs.residuals",
+    ):
+        assert dotted not in tool.INTERNAL_HELPERS
+
+
 def test_observability_doc_linked():
     assert (REPO_ROOT / "docs" / "OBSERVABILITY.md").exists()
     assert "docs/OBSERVABILITY.md" in (REPO_ROOT / "README.md").read_text()
+
+
+def test_ladder_doc_cross_linked():
+    assert (REPO_ROOT / "docs" / "LADDER.md").exists()
+    for doc in ("README.md", "docs/API.md", "docs/OBSERVABILITY.md"):
+        assert "LADDER.md" in (REPO_ROOT / doc).read_text(), (
+            f"{doc} does not link docs/LADDER.md"
+        )

@@ -8,7 +8,16 @@ Fails when the importable surface and the documentation drift apart:
   name or by one of its ``__all__`` symbols (so an index line like
   "``run_kernel_bench`` — the bench harness" counts without forcing a
   path-per-module listing style);
-* ``docs/OBSERVABILITY.md`` must exist and be linked from the README.
+* every public module must additionally be referenced **by dotted path**
+  from at least one file under ``docs/`` — unless it is listed in
+  :data:`INTERNAL_HELPERS`, the explicit allowlist for modules that are
+  documented only through their package's public surface.  The allowlist
+  is kept honest both ways: an entry that names no real module, or whose
+  module *is* dotted-referenced from docs, fails the check;
+* ``docs/OBSERVABILITY.md`` must exist and be linked from the README;
+* ``docs/LADDER.md`` must exist and be linked from the README,
+  ``docs/API.md`` and ``docs/OBSERVABILITY.md`` (the precision-ladder
+  guide is the map from serving stages to the paper's equations).
 
 Pure stdlib + ``ast``: nothing is imported, so the check is immune to
 import-time side effects and runs in milliseconds.
@@ -23,9 +32,79 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
-API_MD = REPO_ROOT / "docs" / "API.md"
-OBSERVABILITY_MD = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+DOCS = REPO_ROOT / "docs"
+API_MD = DOCS / "API.md"
+OBSERVABILITY_MD = DOCS / "OBSERVABILITY.md"
+LADDER_MD = DOCS / "LADDER.md"
 README = REPO_ROOT / "README.md"
+
+# Modules documented only through their package's public surface (their
+# __all__ symbols are indexed in docs/API.md under the package heading).
+# Everything NOT listed here must be referenced by dotted path from at
+# least one file under docs/.  Entries are verified to exist and to be
+# genuinely unreferenced — prune an entry the moment a doc names it.
+INTERNAL_HELPERS = frozenset({
+    "repro.bnn.binarize",
+    "repro.bnn.bitops",
+    "repro.bnn.export",
+    "repro.bnn.kernels.base",
+    "repro.bnn.layers",
+    "repro.bnn.packing",
+    "repro.bnn.quantize",
+    "repro.bnn.thresholding",
+    "repro.bnn.xnor",
+    "repro.core.ascii_chart",
+    "repro.core.report",
+    "repro.data.augment",
+    "repro.data.cifar_io",
+    "repro.data.dataset",
+    "repro.data.score_dataset",
+    "repro.data.synthetic",
+    "repro.experiments.finn_config",
+    "repro.experiments.report_all",
+    "repro.experiments.workbench",
+    "repro.finn.balance",
+    "repro.finn.dataflow",
+    "repro.finn.device",
+    "repro.finn.drc",
+    "repro.finn.engine",
+    "repro.finn.memory",
+    "repro.finn.mixed_precision",
+    "repro.finn.report",
+    "repro.finn.resources",
+    "repro.hetero.devices",
+    "repro.hetero.gantt",
+    "repro.hetero.scheduler",
+    "repro.hetero.timeline",
+    "repro.host.cpu",
+    "repro.host.flops",
+    "repro.host.runtime",
+    "repro.models.finn_cnv",
+    "repro.models.registry",
+    "repro.nn.functional",
+    "repro.nn.gradcheck",
+    "repro.nn.initializers",
+    "repro.nn.layers.activations",
+    "repro.nn.layers.batchnorm",
+    "repro.nn.layers.conv",
+    "repro.nn.layers.dense",
+    "repro.nn.layers.dropout",
+    "repro.nn.layers.flatten",
+    "repro.nn.layers.lrn",
+    "repro.nn.layers.pool",
+    "repro.nn.losses",
+    "repro.nn.metrics",
+    "repro.nn.optim",
+    "repro.nn.parameter",
+    "repro.nn.serialize",
+    "repro.nn.trainer",
+    "repro.obs.export",
+    "repro.obs.stats",
+    "repro.obs.tracer",
+    "repro.stream.pipeline",
+    "repro.stream.roi",
+    "repro.stream.video",
+})
 
 
 def public_modules() -> list[tuple[str, Path]]:
@@ -67,6 +146,15 @@ def module_all(path: Path) -> list[str]:
     return []
 
 
+def docs_text() -> str:
+    """Concatenated contents of every markdown file under docs/."""
+    return "\n".join(p.read_text() for p in sorted(DOCS.glob("*.md")))
+
+
+def _referenced(dotted: str, text: str) -> bool:
+    return re.search(rf"\b{re.escape(dotted)}\b", text) is not None
+
+
 def check() -> list[str]:
     """All coverage violations (empty list = documentation is complete)."""
     problems = []
@@ -93,10 +181,45 @@ def check() -> list[str]:
             f"(neither its dotted path nor any of __all__ = {exported or '[]'})"
         )
 
+    # Docs-wide dotted-path coverage, gated by the allowlist.
+    all_docs = docs_text()
+    names = {dotted for dotted, _ in public_modules()}
+    for dotted, path in public_modules():
+        if dotted == "repro" or dotted in INTERNAL_HELPERS:
+            continue
+        if path.name != "__init__.py" and not _referenced(dotted, all_docs):
+            problems.append(
+                f"module {dotted} is not referenced by dotted path from any "
+                "file under docs/ (reference it, or add it to "
+                "INTERNAL_HELPERS in tools/check_doc_coverage.py)"
+            )
+    for entry in sorted(INTERNAL_HELPERS):
+        if entry not in names:
+            problems.append(
+                f"stale INTERNAL_HELPERS entry {entry}: no such module under "
+                "src/repro"
+            )
+        elif _referenced(entry, all_docs):
+            problems.append(
+                f"INTERNAL_HELPERS entry {entry} is referenced from docs/ — "
+                "drop it from the allowlist"
+            )
+
     if not OBSERVABILITY_MD.exists():
         problems.append("missing docs/OBSERVABILITY.md")
     elif README.exists() and "docs/OBSERVABILITY.md" not in README.read_text():
         problems.append("README.md does not link docs/OBSERVABILITY.md")
+
+    if not LADDER_MD.exists():
+        problems.append("missing docs/LADDER.md")
+    else:
+        for doc, label in (
+            (README, "README.md"),
+            (API_MD, "docs/API.md"),
+            (OBSERVABILITY_MD, "docs/OBSERVABILITY.md"),
+        ):
+            if doc.exists() and "LADDER.md" not in doc.read_text():
+                problems.append(f"{label} does not link docs/LADDER.md")
 
     return problems
 
