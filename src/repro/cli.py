@@ -44,6 +44,14 @@ the wire books (see docs/NETWORK.md):
     python -m repro serve-net --placement rendezvous --kill-replica-after 50
     python -m repro serve-net --fault-plan examples/faultplan_host_flaky.json
     python -m repro serve-net --ladder      # 3-stage ladder replicas
+
+``repro serve-load`` replays a seeded open-loop arrival trace (flash
+crowd, diurnal, ...) against the cascade while the SLO autoscaler holds
+a p99 latency target (see docs/TRAFFIC.md):
+
+    python -m repro serve-load --trace flash --slo-p99-ms 25
+    python -m repro serve-load --trace poisson --time-scale 8
+    python -m repro serve-load --trace path/to/trace.json --fault-plan ...
 """
 
 from __future__ import annotations
@@ -296,6 +304,164 @@ def serve_bench_main(argv: list[str]) -> int:
     # Nonzero unless every leg's per-stage books balance: the ladder CI
     # smoke (and any scripted run) hard-fails on lost/duplicated requests.
     return 0 if report.books_balanced else 1
+
+
+def serve_load_main(argv: list[str]) -> int:
+    """``repro serve-load``: open-loop trace replay under the SLO autoscaler."""
+    from .traffic import (
+        TRACE_SHAPES,
+        ServeLoadConfig,
+        format_serve_load,
+        run_serve_load,
+    )
+
+    defaults = ServeLoadConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro serve-load",
+        description=(
+            "Replay a seeded open-loop arrival trace against the cascade "
+            "server while the SLO autoscaler grows the host pool and "
+            "tightens admission to hold a p99 latency target "
+            "(docs/TRAFFIC.md). Exits nonzero unless the books balance."
+        ),
+    )
+    parser.add_argument(
+        "--trace", default=defaults.trace, metavar="SHAPE|PATH",
+        help=(
+            f"trace shape ({', '.join(sorted(TRACE_SHAPES))}) or a trace "
+            "JSON file path (default %(default)s)"
+        ),
+    )
+    parser.add_argument("--slo-p99-ms", type=float, default=defaults.slo_p99_ms,
+                        help="p99 latency target in ms (default %(default)s)")
+    parser.add_argument("--rate", type=float, default=defaults.rate,
+                        help="nominal offered img/s for shape traces (default %(default)s)")
+    parser.add_argument("--duration", type=float, default=defaults.duration,
+                        help="trace span in seconds for shape traces (default %(default)s)")
+    parser.add_argument(
+        "--time-scale", type=float, default=defaults.time_scale, metavar="X",
+        help="replay the trace X times faster than recorded (default %(default)s)",
+    )
+    parser.add_argument("--window", type=float, default=defaults.window_seconds,
+                        metavar="SECONDS",
+                        help="autoscaler control window (default %(default)s)")
+    parser.add_argument(
+        "--host-workers", type=int, default=None, metavar="N",
+        help=(
+            "starting parallel host pool size (default: REPRO_HOST_WORKERS "
+            f"or {defaults.host_workers})"
+        ),
+    )
+    parser.add_argument("--max-workers", type=int, default=defaults.max_workers,
+                        help="pool-size ceiling for the autoscaler (default %(default)s)")
+    parser.add_argument("--target-rerun", type=float, default=defaults.target_rerun_ratio)
+    parser.add_argument("--t-fp", type=float, default=defaults.t_fp,
+                        help="host seconds/image (default %(default)s)")
+    parser.add_argument("--t-bnn", type=float, default=defaults.t_bnn,
+                        help="BNN seconds/image (default %(default)s)")
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help=(
+            "chaos-under-load: inject the seeded repro.faults.FaultPlan JSON "
+            "at PATH into the BNN/DMU/host stages"
+        ),
+    )
+    parser.add_argument(
+        "--obs-trace", default=None, metavar="PATH",
+        help=(
+            "record the run with repro.obs (slo.decision instants, "
+            "slo.workers gauge) and write Chrome trace JSON to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the per-window report JSON here (e.g. "
+             "benchmarks/results/BENCH_traffic.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace not in TRACE_SHAPES:
+        from pathlib import Path
+
+        if not Path(args.trace).is_file():
+            parser.error(
+                f"--trace must be one of {', '.join(sorted(TRACE_SHAPES))} "
+                f"or an existing trace file, got {args.trace!r}"
+            )
+    if args.slo_p99_ms <= 0:
+        parser.error("--slo-p99-ms must be positive")
+    if args.rate <= 0 or args.duration <= 0:
+        parser.error("--rate and --duration must be positive")
+    if args.time_scale <= 0:
+        parser.error("--time-scale must be positive")
+    if args.window <= 0:
+        parser.error("--window must be positive")
+    if not 0.0 <= args.target_rerun <= 1.0:
+        parser.error(f"--target-rerun must be in [0, 1], got {args.target_rerun}")
+    if args.t_fp <= 0 or args.t_bnn <= 0:
+        parser.error("--t-fp and --t-bnn must be positive")
+    if args.host_workers is not None and args.host_workers < 0:
+        parser.error("--host-workers must be >= 0 (0 = serial host)")
+    if args.max_workers < 1:
+        parser.error("--max-workers must be >= 1")
+    if args.fault_plan is not None:
+        from pathlib import Path
+
+        if not Path(args.fault_plan).is_file():
+            parser.error(f"--fault-plan file not found: {args.fault_plan}")
+
+    from dataclasses import replace
+
+    from .parallel import resolve_host_workers
+
+    if args.host_workers is not None:
+        host_workers = args.host_workers
+    else:
+        host_workers = resolve_host_workers(None) or defaults.host_workers
+
+    config = replace(
+        ServeLoadConfig(),
+        trace=args.trace,
+        slo_p99_ms=args.slo_p99_ms,
+        rate=args.rate,
+        duration=args.duration,
+        time_scale=args.time_scale,
+        window_seconds=args.window,
+        host_workers=host_workers,
+        max_workers=args.max_workers,
+        target_rerun_ratio=args.target_rerun,
+        t_fp=args.t_fp,
+        t_bnn=args.t_bnn,
+        seed=args.seed,
+        fault_plan_path=args.fault_plan,
+    )
+    print(
+        f"serve-load: replaying trace '{config.trace}' "
+        f"(x{config.time_scale:g} clock) vs SLO p99 <= "
+        f"{config.slo_p99_ms:g} ms ...",
+        file=sys.stderr,
+    )
+    if args.obs_trace:
+        from . import obs
+
+        with obs.tracing() as tracer:
+            report = run_serve_load(config)
+        trace_path = obs.write_chrome_trace(tracer, args.obs_trace)
+        print(f"wrote {trace_path} ({len(tracer.spans)} spans)", file=sys.stderr)
+    else:
+        report = run_serve_load(config)
+    print(format_serve_load(report))
+    if args.output:
+        import json
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}", file=sys.stderr)
+    # The CI gate: every arrival must be accounted for exactly once.
+    return 0 if report.books["balanced"] else 1
 
 
 def bench_kernels_main(argv: list[str]) -> int:
@@ -659,6 +825,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_bench_main(argv[1:])
     if argv and argv[0] == "serve-net":
         return serve_net_main(argv[1:])
+    if argv and argv[0] == "serve-load":
+        return serve_load_main(argv[1:])
     if argv and argv[0] == "bench-kernels":
         return bench_kernels_main(argv[1:])
     if argv and argv[0] == "bench-parallel":

@@ -215,6 +215,9 @@ class ParallelHostRunner:
         self._metrics = None
         self._closed = False
         self._workers = [_Worker(i) for i in range(self.n_workers)]
+        # Worker indices are never reused across resize(): per-worker
+        # metrics/stats keys stay unambiguous for the whole pool lifetime.
+        self._next_index = self.n_workers
         ensure_tracker()  # children must inherit the parent's tracker
         try:
             for w in self._workers:
@@ -268,6 +271,48 @@ class ParallelHostRunner:
         if worker.ring is not None:
             worker.ring.close()
             worker.ring = None
+
+    def resize(self, n: int) -> int:
+        """Grow or shrink the pool to *n* workers; returns the new size.
+
+        Shrinking stops and reaps the highest-numbered workers; growing
+        spawns fresh processes (ring issued immediately when geometry is
+        already known).  The pool lock serializes this against
+        :meth:`run_sharded`, so a resize only ever lands *between*
+        batches — shards are re-cut on the next call and, in model mode,
+        stay on micro-batch boundaries, preserving bit-identity across
+        the resize.  Crash-safe: ``n_workers`` is re-derived from the
+        live worker list even if a spawn fails partway.
+        """
+        n = int(n)
+        if n < 1:
+            raise ValueError("n_workers must be >= 1")
+        with self._lock:
+            self._require_open()
+            if n == len(self._workers):
+                return self.n_workers
+            try:
+                while len(self._workers) > n:
+                    worker = self._workers.pop()
+                    if worker.conn is not None:
+                        try:
+                            worker.conn.send(("stop",))
+                        except Exception:
+                            pass
+                    if worker.proc is not None:
+                        worker.proc.join(timeout=5.0)
+                    self._kill(worker)
+                while len(self._workers) < n:
+                    worker = _Worker(self._next_index)
+                    self._next_index += 1
+                    self._spawn(worker)
+                    self._workers.append(worker)
+            finally:
+                self.n_workers = len(self._workers)
+                if self._metrics is not None:
+                    self._metrics.set_host_parallel_workers(self.n_workers)
+            obs.gauge("parallel.pool_size", self.n_workers)
+            return self.n_workers
 
     def close(self, timeout: float = 10.0) -> None:
         """Stop all workers and unlink every shm segment (idempotent)."""

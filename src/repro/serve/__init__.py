@@ -18,6 +18,7 @@ retry with backoff on the host path, and a circuit breaker that flips
 the server into a degraded BNN-only mode while the host stage is down.
 """
 
+from .autoscaler import ScalerDecision, SLOAutoscaler
 from .batcher import MicroBatcher
 from .bench import (
     ServeBenchConfig,
@@ -58,6 +59,8 @@ __all__ = [
     "QueueStats",
     "CascadeServer",
     "ServeResult",
+    "SLOAutoscaler",
+    "ScalerDecision",
     "ServeBenchConfig",
     "ServeBenchRun",
     "ServeBenchReport",

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -206,6 +207,12 @@ class _MutableStage:
         self.max_seconds = 0.0
 
 
+#: Bounded end-to-end latency buffer: old samples are dropped once the
+#: autoscaler stops draining (e.g. no scaler attached), so an unattended
+#: server never grows without bound.
+LATENCY_BUFFER_LIMIT = 100_000
+
+
 class ServerMetrics:
     """Thread-safe metrics facade for the cascade serving layer."""
 
@@ -236,6 +243,7 @@ class ServerMetrics:
         self._rerun_stages: dict[str, int] = {}
         self._stage_arrived: dict[str, int] = {}
         self._stage_forwarded: dict[str, int] = {}
+        self._latencies: deque[float] = deque(maxlen=LATENCY_BUFFER_LIMIT)
         self._started = clock()
 
     # -- stage latency ------------------------------------------------------
@@ -313,6 +321,24 @@ class ServerMetrics:
             self._host_worker_seconds[worker] = (
                 self._host_worker_seconds.get(worker, 0.0) + seconds
             )
+
+    # -- end-to-end latency ---------------------------------------------------
+    def record_latency(self, seconds: float) -> None:
+        """One request's submit→resolve latency (fed to the SLO autoscaler)."""
+        with self._lock:
+            self._latencies.append(float(seconds))
+
+    def drain_latencies(self) -> list[float]:
+        """Pop every latency sample recorded since the previous drain.
+
+        Each :class:`repro.serve.SLOAutoscaler` tick drains, so the
+        returned list *is* the control window by construction — no
+        timestamp filtering needed, and two consumers never double-count.
+        """
+        with self._lock:
+            samples = list(self._latencies)
+            self._latencies.clear()
+        return samples
 
     # -- robustness ----------------------------------------------------------
     def record_fault(self, stage: str, count: int = 1) -> None:

@@ -425,6 +425,25 @@ class CascadeServer:
     def snapshot(self) -> MetricsSnapshot:
         return self.metrics.snapshot()
 
+    @property
+    def host_pool_size(self) -> int:
+        """Process workers in the parallel host pool (0 = serial host)."""
+        return self._host_runner.n_workers if self._host_runner is not None else 0
+
+    def resize_host_workers(self, n: int) -> int:
+        """Grow/shrink the parallel host pool mid-stream; returns new size.
+
+        Requires the server to be running a
+        :class:`repro.parallel.ParallelHostRunner` host stage
+        (``host_workers=...`` or ``REPRO_HOST_WORKERS``); serial hosts
+        have nothing to resize and raise :class:`RuntimeError`.  Safe
+        while requests are in flight — the runner only cuts shard
+        boundaries between micro-batches.
+        """
+        if self._host_runner is None:
+            raise RuntimeError("server has no parallel host pool to resize")
+        return self._host_runner.resize(n)
+
     def close(self, timeout: float | None = 10.0) -> None:
         """Drain every stage, join every worker, strand no future.
 
@@ -499,13 +518,15 @@ class CascadeServer:
             # top-line ``rerun`` counter keeps the 2-stage books
             # invariant; the stage tag adds the per-rung breakdown.
             self.metrics.record_decisions(rerun=1, stage=source)
+        latency = self._clock() - request.submit_ts
+        self.metrics.record_latency(latency)
         request.future.set_result(
             ServeResult(
                 prediction=int(prediction),
                 bnn_prediction=int(request.bnn_prediction),
                 confidence=float(request.confidence),
                 source=source,
-                latency_seconds=self._clock() - request.submit_ts,
+                latency_seconds=latency,
             )
         )
 

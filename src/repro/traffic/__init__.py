@@ -1,0 +1,63 @@
+"""Open-loop, trace-driven traffic engine (ROADMAP open item 3).
+
+Seeded arrival traces (:mod:`repro.traffic.trace`), the shape generators
+that build them (:mod:`repro.traffic.generators`), an open-loop replayer
+that fires them at any ``submit() -> Future`` backend
+(:mod:`repro.traffic.replay`), a synthetic-video live source
+(:mod:`repro.traffic.source`), and the ``repro serve-load`` harness that
+drives a cascade + :class:`repro.serve.SLOAutoscaler` under them
+(:mod:`repro.traffic.bench`).  See ``docs/TRAFFIC.md``.
+"""
+
+from .bench import (
+    ServeLoadConfig,
+    ServeLoadReport,
+    WindowStat,
+    format_serve_load,
+    oracle_load_stack,
+    run_serve_load,
+)
+from .generators import (
+    TRACE_SHAPES,
+    bursty_trace,
+    constant_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    make_trace,
+    poisson_trace,
+)
+from .replay import ReplayedRequest, ReplayHandle, ReplayResult, TraceReplayer
+from .source import VideoTrafficSource
+from .trace import (
+    TRACE_FORMAT_VERSION,
+    ArrivalEvent,
+    ArrivalTrace,
+    TraceFormatError,
+    load_trace,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TRACE_SHAPES",
+    "ArrivalEvent",
+    "ArrivalTrace",
+    "TraceFormatError",
+    "load_trace",
+    "constant_trace",
+    "poisson_trace",
+    "diurnal_trace",
+    "bursty_trace",
+    "flash_crowd_trace",
+    "make_trace",
+    "TraceReplayer",
+    "ReplayResult",
+    "ReplayedRequest",
+    "ReplayHandle",
+    "VideoTrafficSource",
+    "ServeLoadConfig",
+    "ServeLoadReport",
+    "WindowStat",
+    "oracle_load_stack",
+    "run_serve_load",
+    "format_serve_load",
+]

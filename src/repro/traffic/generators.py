@@ -1,0 +1,246 @@
+"""Seeded arrival-shape generators: constant, Poisson, diurnal, bursty, flash.
+
+Each generator materializes one :class:`~repro.traffic.trace.ArrivalTrace`
+from a seed — all randomness flows through one ``numpy`` generator keyed
+on that seed, so the same call produces a byte-identical trace file (the
+determinism contract ``tests/traffic`` pins).
+
+The shapes map to the serving regimes the SLO control plane must
+survive (``docs/TRAFFIC.md``):
+
+* ``constant``  — the closed-loop serve-bench regime, for baselines.
+* ``poisson``   — memoryless arrivals at a fixed rate; the queueing
+  behaviour Eq. (1) silently assumes away.
+* ``diurnal``   — a sinusoidal day/night rate swing (inhomogeneous
+  Poisson via Lewis-Shedler thinning); the autoscaler should track it
+  with slow worker-count changes.
+* ``bursty``    — an on/off modulated process (camera panning past a
+  crowd): short windows at a multiple of the base rate.
+* ``flash_crowd`` — a step to many times the base rate with exponential
+  decay back down; the canonical p99-SLO kill test.
+
+``payload_ref`` is assigned round-robin over ``num_payloads`` bank slots
+so replay touches every payload deterministically regardless of shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .trace import ArrivalEvent, ArrivalTrace
+
+__all__ = [
+    "TRACE_SHAPES",
+    "constant_trace",
+    "poisson_trace",
+    "diurnal_trace",
+    "bursty_trace",
+    "flash_crowd_trace",
+    "make_trace",
+]
+
+
+def _finish(name: str, seed: int, offsets: list[float], num_payloads: int) -> ArrivalTrace:
+    if num_payloads < 1:
+        raise ValueError("num_payloads must be >= 1")
+    events = tuple(
+        ArrivalEvent(t, i % num_payloads) for i, t in enumerate(offsets)
+    )
+    return ArrivalTrace(events=events, name=name, seed=seed)
+
+
+def _check(rate: float, duration: float) -> None:
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+
+
+def constant_trace(
+    rate: float, duration: float, seed: int = 0, num_payloads: int = 1
+) -> ArrivalTrace:
+    """Evenly spaced arrivals at *rate* events/s for *duration* seconds."""
+    _check(rate, duration)
+    n = int(math.floor(rate * duration))
+    offsets = [i / rate for i in range(n)]
+    return _finish("constant", seed, offsets, num_payloads)
+
+
+def poisson_trace(
+    rate: float, duration: float, seed: int = 0, num_payloads: int = 1
+) -> ArrivalTrace:
+    """Homogeneous Poisson arrivals: i.i.d. exponential inter-arrival gaps."""
+    _check(rate, duration)
+    rng = np.random.default_rng(seed)
+    offsets: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= duration:
+            break
+        offsets.append(t)
+    return _finish("poisson", seed, offsets, num_payloads)
+
+
+def _thinned(
+    name: str,
+    rate_fn,
+    peak_rate: float,
+    duration: float,
+    seed: int,
+    num_payloads: int,
+) -> ArrivalTrace:
+    """Inhomogeneous Poisson via Lewis-Shedler thinning at *peak_rate*."""
+    rng = np.random.default_rng(seed)
+    offsets: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / peak_rate))
+        if t >= duration:
+            break
+        # One uniform per candidate, drawn unconditionally, keeps the
+        # stream position a pure function of the candidate index.
+        u = float(rng.random())
+        if u * peak_rate < rate_fn(t):
+            offsets.append(t)
+    return _finish(name, seed, offsets, num_payloads)
+
+
+def diurnal_trace(
+    base_rate: float,
+    peak_rate: float,
+    duration: float,
+    period: float | None = None,
+    seed: int = 0,
+    num_payloads: int = 1,
+) -> ArrivalTrace:
+    """Sinusoidal rate swing between *base_rate* and *peak_rate*.
+
+    One full day/night cycle spans *period* seconds (default: the whole
+    *duration*), starting at the trough so short traces show the ramp-up.
+    """
+    _check(base_rate, duration)
+    if peak_rate < base_rate:
+        raise ValueError("peak_rate must be >= base_rate")
+    period = duration if period is None else period
+    if period <= 0:
+        raise ValueError("period must be positive")
+    mid = (base_rate + peak_rate) / 2.0
+    amplitude = (peak_rate - base_rate) / 2.0
+
+    def rate_fn(t: float) -> float:
+        return mid - amplitude * math.cos(2.0 * math.pi * t / period)
+
+    return _thinned("diurnal", rate_fn, peak_rate, duration, seed, num_payloads)
+
+
+def bursty_trace(
+    base_rate: float,
+    burst_rate: float,
+    duration: float,
+    burst_every: float = 1.0,
+    burst_duration: float = 0.25,
+    seed: int = 0,
+    num_payloads: int = 1,
+) -> ArrivalTrace:
+    """On/off modulation: *burst_rate* windows riding on a *base_rate* floor.
+
+    Every *burst_every* seconds the rate steps to *burst_rate* for
+    *burst_duration* seconds, then falls back — sustained camera-style
+    bursts rather than one catastrophe.
+    """
+    _check(base_rate, duration)
+    if burst_rate < base_rate:
+        raise ValueError("burst_rate must be >= base_rate")
+    if burst_every <= 0 or burst_duration <= 0 or burst_duration > burst_every:
+        raise ValueError("need 0 < burst_duration <= burst_every")
+
+    def rate_fn(t: float) -> float:
+        return burst_rate if (t % burst_every) < burst_duration else base_rate
+
+    return _thinned("bursty", rate_fn, burst_rate, duration, seed, num_payloads)
+
+
+def flash_crowd_trace(
+    base_rate: float,
+    flash_rate: float,
+    duration: float,
+    flash_at: float = 0.25,
+    decay: float = 2.0,
+    seed: int = 0,
+    num_payloads: int = 1,
+) -> ArrivalTrace:
+    """A flash crowd: step to *flash_rate* at *flash_at*, decay back down.
+
+    ``flash_at`` is a fraction of *duration*; after the step the excess
+    rate decays exponentially with time constant ``duration / (4 *
+    decay)``, so larger *decay* means a sharper spike.
+    """
+    _check(base_rate, duration)
+    if flash_rate < base_rate:
+        raise ValueError("flash_rate must be >= base_rate")
+    if not 0.0 <= flash_at < 1.0:
+        raise ValueError("flash_at must be in [0, 1)")
+    if decay <= 0:
+        raise ValueError("decay must be positive")
+    t_flash = flash_at * duration
+    tau = duration / (4.0 * decay)
+
+    def rate_fn(t: float) -> float:
+        if t < t_flash:
+            return base_rate
+        return base_rate + (flash_rate - base_rate) * math.exp(-(t - t_flash) / tau)
+
+    return _thinned("flash", rate_fn, flash_rate, duration, seed, num_payloads)
+
+
+#: Named shapes the CLI accepts (``repro serve-load --trace <shape>``);
+#: each maps ``(rate, duration, seed, num_payloads)`` to a trace using
+#: the shape's default modulation parameters.
+TRACE_SHAPES = {
+    "constant": lambda rate, duration, seed, num_payloads: constant_trace(
+        rate, duration, seed=seed, num_payloads=num_payloads
+    ),
+    "poisson": lambda rate, duration, seed, num_payloads: poisson_trace(
+        rate, duration, seed=seed, num_payloads=num_payloads
+    ),
+    "diurnal": lambda rate, duration, seed, num_payloads: diurnal_trace(
+        base_rate=rate * 0.5,
+        peak_rate=rate * 1.5,
+        duration=duration,
+        seed=seed,
+        num_payloads=num_payloads,
+    ),
+    "burst": lambda rate, duration, seed, num_payloads: bursty_trace(
+        base_rate=rate * 0.6,
+        burst_rate=rate * 2.5,
+        duration=duration,
+        burst_every=max(duration / 4.0, 1e-3),
+        burst_duration=max(duration / 16.0, 5e-4),
+        seed=seed,
+        num_payloads=num_payloads,
+    ),
+    "flash": lambda rate, duration, seed, num_payloads: flash_crowd_trace(
+        base_rate=rate * 0.6,
+        flash_rate=rate * 4.0,
+        duration=duration,
+        flash_at=0.25,
+        seed=seed,
+        num_payloads=num_payloads,
+    ),
+}
+
+
+def make_trace(
+    shape: str, rate: float, duration: float, seed: int = 0, num_payloads: int = 1
+) -> ArrivalTrace:
+    """Build a named shape (see :data:`TRACE_SHAPES`) at a nominal rate."""
+    try:
+        builder = TRACE_SHAPES[shape]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace shape {shape!r}; choose from {sorted(TRACE_SHAPES)}"
+        ) from None
+    return builder(rate, duration, seed, num_payloads)

@@ -1,0 +1,87 @@
+"""Live traffic from the synthetic video pipeline.
+
+:class:`VideoTrafficSource` turns the ``repro.stream`` front-end
+(:class:`~repro.stream.SyntheticVideo` frames → ROI detection → 32x32
+crops, the same path :class:`~repro.stream.VideoCascade` classifies
+in-process) into an open-loop workload: every detected ROI becomes one
+:class:`~repro.traffic.trace.ArrivalEvent` stamped at its frame's
+presentation time, and the normalized crops become the payload bank the
+:class:`~repro.traffic.replay.TraceReplayer` binds at playback.
+
+This is the trace engine's "real" load shape — frame-synchronous
+batches whose size swings with how many objects the detector finds —
+as opposed to the analytic shapes in :mod:`repro.traffic.generators`.
+Because the video, the detector, and the crop extraction are all
+seed-deterministic, the resulting ``(trace, payloads)`` pair is too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import normalize_to_pm1
+from ..stream.roi import RoiConfig, detect_rois, extract_patches
+from ..stream.video import SyntheticVideo
+from .trace import ArrivalEvent, ArrivalTrace
+
+__all__ = ["VideoTrafficSource"]
+
+
+class VideoTrafficSource:
+    """Derive an arrival trace + payload bank from a synthetic video.
+
+    Parameters
+    ----------
+    video:
+        Frame source; a default :class:`SyntheticVideo` seeded with
+        *seed* is built when omitted.
+    fps:
+        Presentation rate — frame ``i``'s ROIs all arrive at ``i / fps``
+        (simultaneous arrivals are legal; traces are non-decreasing).
+    roi_config, patch_size:
+        Detector tuning, as in :class:`~repro.stream.VideoCascade`.
+    normalize:
+        When true (default) payloads are ``[-1, 1]``-normalized crops
+        ready for a BNN front stage; otherwise raw ``[0, 1]`` pixels.
+    """
+
+    def __init__(
+        self,
+        video: SyntheticVideo | None = None,
+        fps: float = 30.0,
+        roi_config: RoiConfig | None = None,
+        patch_size: int = 32,
+        normalize: bool = True,
+        seed: int = 0,
+    ):
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.video = video if video is not None else SyntheticVideo(seed=seed)
+        self.fps = float(fps)
+        self.roi_config = roi_config or RoiConfig()
+        self.patch_size = patch_size
+        self.normalize = normalize
+        self.seed = seed
+
+    def build(self, num_frames: int) -> tuple[ArrivalTrace, list[np.ndarray]]:
+        """Consume *num_frames* and return ``(trace, payloads)``.
+
+        ``payloads[k]`` is the crop event ``k`` refers to (payload refs
+        are unique here — video crops are not reused round-robin the way
+        synthetic banks are).
+        """
+        if num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        events: list[ArrivalEvent] = []
+        payloads: list[np.ndarray] = []
+        for frame in self.video.frames(num_frames):
+            t = frame.index / self.fps
+            boxes = detect_rois(frame.pixels, self.roi_config)
+            patches = extract_patches(frame.pixels, boxes, self.patch_size)
+            if self.normalize and patches.shape[0]:
+                patches = normalize_to_pm1(patches)
+            for patch in patches:
+                events.append(ArrivalEvent(t, len(payloads)))
+                payloads.append(patch)
+        trace = ArrivalTrace(events=tuple(events), name="video", seed=self.seed)
+        return trace, payloads

@@ -180,6 +180,50 @@ class TestFaultContainment:
             pool(make_images(2))
 
 
+class TestResize:
+    def test_bit_identity_across_mid_stream_resize(self):
+        """Growing/shrinking the pool between batches never changes answers.
+
+        The autoscaler calls ``resize`` while traffic is in flight; shard
+        boundaries are per-batch, so every pool size must reproduce the
+        serial scores bit for bit.
+        """
+        net = make_net()
+        x = make_images(37)
+        serial = net.compile_inference().predict_scores(x)
+        with ParallelHostRunner(model=net, n_workers=2) as pool:
+            np.testing.assert_array_equal(pool.predict_scores(x), serial)
+            assert pool.resize(4) == 4 and pool.n_workers == 4
+            np.testing.assert_array_equal(pool.predict_scores(x), serial)
+            assert pool.resize(1) == 1 and pool.n_workers == 1
+            np.testing.assert_array_equal(pool.predict_scores(x), serial)
+            assert pool.ping() == [True]
+
+    def test_resize_is_idempotent_and_validated(self):
+        def host(images):
+            return np.zeros(len(images), dtype=np.int64)
+
+        with ParallelHostRunner(predict_fn=host, n_workers=2) as pool:
+            assert pool.resize(2) == 2  # no-op keeps the same workers
+            with pytest.raises(ValueError):
+                pool.resize(0)
+            assert pool.n_workers == 2
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.resize(3)
+
+    def test_resize_survives_interleaved_worker_crash(self):
+        """A shard-killing batch between resizes leaves a healed, correct pool."""
+        x = make_images(20)
+        x[0, 0] = 1e6  # poison image: worker 0 os._exits mid-batch
+        with ParallelHostRunner(predict_fn=crashy_host, n_workers=2) as pool:
+            pool.resize(3)
+            report = pool.run_sharded(x)
+            assert len(report.errors) == 1
+            pool.resize(2)
+            np.testing.assert_array_equal(pool(make_images(6)), np.full(6, 7))
+            assert pool.n_workers == 2
+
+
 class TestConfig:
     def test_resolve_host_workers_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_HOST_WORKERS", raising=False)

@@ -1,0 +1,152 @@
+"""Replayer: exact submission counts/order on a scaled, non-wall clock."""
+
+from concurrent.futures import Future
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import TRACE_SHAPES, TraceReplayer, make_trace
+
+
+class FakeClock:
+    """Deterministic clock: sleep() advances it, nothing else does."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def sleep(self, seconds):
+        self.t += seconds
+
+
+class MockBackend:
+    """Records submission order; optionally refuses chosen arrivals."""
+
+    def __init__(self, refuse=(), closed_after=None):
+        self.submitted = []
+        self.refuse = set(refuse)
+        self.closed_after = closed_after
+
+    def submit(self, payload):
+        if self.closed_after is not None and len(self.submitted) >= self.closed_after:
+            raise RuntimeError("server is closed")
+        if len(self.submitted) in self.refuse:
+            self.submitted.append(None)
+            raise ValueError("transient refusal")
+        self.submitted.append(payload)
+        future = Future()
+        future.set_result(payload)
+        return future
+
+
+def replayer_for(backend, payloads, **kwargs):
+    clock = FakeClock()
+    return TraceReplayer(
+        backend.submit, payloads, clock=clock, sleep=clock.sleep, **kwargs
+    ), clock
+
+
+# -- hypothesis: the deterministic-replay property over all shapes -----------
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.sampled_from(sorted(TRACE_SHAPES)),
+    rate=st.floats(min_value=5.0, max_value=200.0),
+    duration=st.floats(min_value=0.1, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    num_payloads=st.integers(min_value=1, max_value=16),
+    time_scale=st.floats(min_value=0.5, max_value=1000.0),
+)
+def test_any_generated_trace_replays_exactly(
+    shape, rate, duration, seed, num_payloads, time_scale
+):
+    trace = make_trace(shape, rate=rate, duration=duration, seed=seed,
+                       num_payloads=num_payloads)
+    # structural invariants of every generated trace
+    offsets = [e.t_offset for e in trace]
+    assert offsets == sorted(offsets)
+    assert all(t >= 0.0 for t in offsets)
+    # replay against a mock backend on the fake (non-wall) clock
+    backend = MockBackend()
+    payloads = [f"payload-{i}" for i in range(num_payloads)]
+    replayer, clock = replayer_for(backend, payloads, time_scale=time_scale)
+    result = replayer.replay(trace)
+    assert result.attempted == len(trace)
+    assert result.accepted == len(trace)
+    assert len(backend.submitted) == len(trace)
+    # submission order is the trace order, payloads bound by ref
+    assert backend.submitted == [payloads[e.payload_ref] for e in trace]
+    # the fake clock advanced by (at most) the scaled trace span
+    assert clock.t == pytest.approx(trace.duration_seconds / time_scale)
+
+
+def test_same_seed_identical_submission_order():
+    orders = []
+    for _ in range(2):
+        trace = make_trace("burst", rate=80.0, duration=2.0, seed=42, num_payloads=6)
+        backend = MockBackend()
+        replayer, _ = replayer_for(backend, list(range(6)), time_scale=50.0)
+        replayer.replay(trace)
+        orders.append(list(backend.submitted))
+    assert orders[0] == orders[1]
+
+
+def test_submission_instants_follow_the_scaled_schedule():
+    trace = make_trace("poisson", rate=30.0, duration=2.0, seed=9)
+    backend = MockBackend()
+    replayer, _ = replayer_for(backend, [0], time_scale=4.0)
+    result = replayer.replay(trace)
+    for request, event in zip(result.requests, trace):
+        assert request.scheduled_s == pytest.approx(event.t_offset / 4.0)
+        # the fake clock never runs late: submissions land on schedule
+        assert request.submitted_s == pytest.approx(request.scheduled_s)
+        assert request.lag_seconds == pytest.approx(0.0)
+
+
+def test_transient_refusals_are_recorded_not_raised():
+    trace = make_trace("constant", rate=10.0, duration=1.0, seed=0)
+    backend = MockBackend(refuse={2, 5})
+    replayer, _ = replayer_for(backend, [0], time_scale=100.0)
+    result = replayer.replay(trace)
+    assert result.attempted == len(trace)
+    assert result.refused == 2
+    assert result.accepted == len(trace) - 2
+    results, errors = result.settle(timeout=1.0)
+    assert len(results) == len(trace) - 2
+    assert len(errors) == 2 and all(isinstance(e, ValueError) for e in errors)
+
+
+def test_backend_closed_stops_the_replay():
+    trace = make_trace("constant", rate=10.0, duration=1.0, seed=0)
+    backend = MockBackend(closed_after=4)
+    replayer, _ = replayer_for(backend, [0], time_scale=100.0)
+    result = replayer.replay(trace)
+    assert result.accepted == 4
+    assert result.attempted == 5  # the failed arrival is recorded
+    assert isinstance(result.requests[-1].error, RuntimeError)
+
+
+def test_payload_bank_must_cover_the_trace():
+    trace = make_trace("constant", rate=10.0, duration=1.0, seed=0, num_payloads=4)
+    replayer, _ = replayer_for(MockBackend(), [0, 1])  # bank of 2, refs up to 3
+    with pytest.raises(ValueError, match="bank holds"):
+        replayer.replay(trace)
+
+
+def test_replay_in_thread_joins_with_result():
+    trace = make_trace("poisson", rate=50.0, duration=1.0, seed=7)
+    backend = MockBackend()
+    replayer, _ = replayer_for(backend, [0], time_scale=1000.0)
+    handle = replayer.replay_in_thread(trace)
+    result = handle.join(timeout=10.0)
+    assert not handle.running
+    assert result.accepted == len(trace)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        TraceReplayer(lambda p: None, [], time_scale=1.0)
+    with pytest.raises(ValueError):
+        TraceReplayer(lambda p: None, [0], time_scale=0.0)

@@ -1,0 +1,148 @@
+"""Trace format: determinism, canonical JSON, golden pin, typed errors."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.traffic import (
+    TRACE_FORMAT_VERSION,
+    TRACE_SHAPES,
+    ArrivalEvent,
+    ArrivalTrace,
+    TraceFormatError,
+    load_trace,
+    make_trace,
+    poisson_trace,
+)
+
+GOLDEN = Path(__file__).parent / "golden_trace.json"
+
+
+# -- determinism contract ----------------------------------------------------
+@pytest.mark.parametrize("shape", sorted(TRACE_SHAPES))
+def test_same_seed_byte_identical_json(shape):
+    a = make_trace(shape, rate=40.0, duration=2.0, seed=11, num_payloads=8)
+    b = make_trace(shape, rate=40.0, duration=2.0, seed=11, num_payloads=8)
+    assert a.to_json() == b.to_json()
+
+
+@pytest.mark.parametrize("shape", sorted(TRACE_SHAPES))
+def test_different_seed_different_arrivals(shape):
+    a = make_trace(shape, rate=40.0, duration=2.0, seed=1)
+    b = make_trace(shape, rate=40.0, duration=2.0, seed=2)
+    if shape == "constant":  # deterministic by construction
+        assert a.to_json() != b.to_json()  # seed is still recorded
+        return
+    assert [e.t_offset for e in a] != [e.t_offset for e in b]
+
+
+def test_save_load_round_trip(tmp_path):
+    trace = make_trace("burst", rate=50.0, duration=2.0, seed=5, num_payloads=4)
+    path = trace.save(tmp_path / "t.json")
+    loaded = load_trace(path)
+    assert loaded == trace
+    assert loaded.to_json() == trace.to_json()
+
+
+def test_golden_fixture_pins_serialized_format():
+    """The committed fixture is exactly what today's generator emits."""
+    regenerated = poisson_trace(rate=8.0, duration=2.0, seed=2018, num_payloads=4)
+    assert GOLDEN.read_text() == regenerated.to_json()
+    loaded = load_trace(GOLDEN)
+    assert loaded == regenerated
+    assert loaded.name == "poisson" and loaded.seed == 2018
+
+
+# -- structural properties ---------------------------------------------------
+def test_traces_are_time_sorted_and_non_negative():
+    for shape in TRACE_SHAPES:
+        trace = make_trace(shape, rate=60.0, duration=1.5, seed=3, num_payloads=5)
+        offsets = [e.t_offset for e in trace]
+        assert offsets == sorted(offsets)
+        assert all(t >= 0.0 for t in offsets)
+        assert all(0 <= e.payload_ref < 5 for e in trace)
+
+
+def test_scaled_compresses_time_only():
+    trace = make_trace("poisson", rate=30.0, duration=2.0, seed=0)
+    fast = trace.scaled(4.0)
+    assert len(fast) == len(trace)
+    for a, b in zip(trace, fast):
+        assert b.t_offset == pytest.approx(a.t_offset / 4.0)
+        assert b.payload_ref == a.payload_ref
+
+
+def test_rate_in_window():
+    trace = ArrivalTrace(events=tuple(ArrivalEvent(i * 0.1, 0) for i in range(10)))
+    assert trace.rate_in_window(0.0, 1.0) == pytest.approx(10.0)
+    assert trace.rate_in_window(5.0, 6.0) == 0.0
+    with pytest.raises(ValueError):
+        trace.rate_in_window(1.0, 1.0)
+
+
+def test_unsorted_events_rejected():
+    with pytest.raises(TraceFormatError, match="time-sorted"):
+        ArrivalTrace(events=(ArrivalEvent(1.0, 0), ArrivalEvent(0.5, 0)))
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.5])
+def test_bad_offsets_rejected(bad):
+    with pytest.raises(TraceFormatError):
+        ArrivalEvent(bad, 0)
+
+
+def test_bad_payload_ref_rejected():
+    with pytest.raises(TraceFormatError):
+        ArrivalEvent(0.0, -1)
+    with pytest.raises(TraceFormatError):
+        ArrivalEvent(0.0, 1.5)
+
+
+# -- corrupt/truncated loaders degrade to the typed error --------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",                                        # empty file
+        "{not json",                               # malformed JSON
+        "[1, 2, 3]",                               # wrong top-level type
+        '{"version": 99, "events": []}',           # unknown version
+        '{"events": []}',                          # missing version
+        '{"version": 1, "events": [[0.0]]}',       # truncated event pair
+        '{"version": 1, "events": [[0.0, 0, 9]]}', # oversized event
+        '{"version": 1, "events": [["x", 0]]}',    # non-numeric offset
+        '{"version": 1, "events": [[0.0, 1.5]]}',  # fractional payload_ref
+        '{"version": 1, "events": [[0.0, true]]}', # bool payload_ref
+        '{"version": 1, "events": {}}',            # events not a list
+        '{"version": 1, "events": [], "bogus": 1}',  # unknown key
+        '{"version": 1, "events": [], "name": 7}',   # non-string name
+        '{"version": 1, "events": [], "seed": "x"}', # non-int seed
+    ],
+)
+def test_corrupt_traces_raise_trace_format_error(tmp_path, text):
+    path = tmp_path / "bad.json"
+    path.write_text(text)
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_truncated_golden_raises_typed_error(tmp_path):
+    blob = GOLDEN.read_text()
+    path = tmp_path / "cut.json"
+    path.write_text(blob[: len(blob) // 2])
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_missing_file_raises_typed_error(tmp_path):
+    with pytest.raises(TraceFormatError, match="cannot read"):
+        load_trace(tmp_path / "nope.json")
+
+
+def test_trace_format_error_is_value_error():
+    """Callers may catch the broad class; the CLI relies on this."""
+    assert issubclass(TraceFormatError, ValueError)
+
+
+def test_version_constant_matches_golden():
+    assert json.loads(GOLDEN.read_text())["version"] == TRACE_FORMAT_VERSION

@@ -17,7 +17,10 @@ Fails when the importable surface and the documentation drift apart:
 * ``docs/OBSERVABILITY.md`` must exist and be linked from the README;
 * ``docs/LADDER.md`` must exist and be linked from the README,
   ``docs/API.md`` and ``docs/OBSERVABILITY.md`` (the precision-ladder
-  guide is the map from serving stages to the paper's equations).
+  guide is the map from serving stages to the paper's equations);
+* ``docs/TRAFFIC.md`` must exist and be linked from the README,
+  ``docs/API.md`` and ``docs/OBSERVABILITY.md`` (the open-loop load +
+  SLO-autoscaler guide owns the ``slo.*`` / ``traffic.*`` obs signals).
 
 Pure stdlib + ``ast``: nothing is imported, so the check is immune to
 import-time side effects and runs in milliseconds.
@@ -36,6 +39,7 @@ DOCS = REPO_ROOT / "docs"
 API_MD = DOCS / "API.md"
 OBSERVABILITY_MD = DOCS / "OBSERVABILITY.md"
 LADDER_MD = DOCS / "LADDER.md"
+TRAFFIC_MD = DOCS / "TRAFFIC.md"
 README = REPO_ROOT / "README.md"
 
 # Modules documented only through their package's public surface (their
@@ -210,16 +214,17 @@ def check() -> list[str]:
     elif README.exists() and "docs/OBSERVABILITY.md" not in README.read_text():
         problems.append("README.md does not link docs/OBSERVABILITY.md")
 
-    if not LADDER_MD.exists():
-        problems.append("missing docs/LADDER.md")
-    else:
+    for guide, name in ((LADDER_MD, "LADDER.md"), (TRAFFIC_MD, "TRAFFIC.md")):
+        if not guide.exists():
+            problems.append(f"missing docs/{name}")
+            continue
         for doc, label in (
             (README, "README.md"),
             (API_MD, "docs/API.md"),
             (OBSERVABILITY_MD, "docs/OBSERVABILITY.md"),
         ):
-            if doc.exists() and "LADDER.md" not in doc.read_text():
-                problems.append(f"{label} does not link docs/LADDER.md")
+            if doc.exists() and name not in doc.read_text():
+                problems.append(f"{label} does not link docs/{name}")
 
     return problems
 
