@@ -52,6 +52,15 @@ a p99 latency target (see docs/TRAFFIC.md):
     python -m repro serve-load --trace flash --slo-p99-ms 25
     python -m repro serve-load --trace poisson --time-scale 8
     python -m repro serve-load --trace path/to/trace.json --fault-plan ...
+
+``repro serve-tenants`` serves two tenants (Model A + Model C) from one
+DRR-scheduled shared host pool behind the content-addressed result
+cache, replaying a held video trace twice (cold vs cached), and writes
+``benchmarks/results/BENCH_cache.json`` (see docs/TENANCY.md):
+
+    python -m repro serve-tenants
+    python -m repro serve-tenants --repeat-frames 4 --cache-mb 16
+    python -m repro serve-bench --cache-mb 32 --duplicate-fraction 0.5
 """
 
 from __future__ import annotations
@@ -218,6 +227,21 @@ def serve_bench_main(argv: list[str]) -> int:
             "(default: --target-rerun at every hop)"
         ),
     )
+    parser.add_argument(
+        "--cache-mb", type=float, default=0.0, metavar="MB",
+        help=(
+            "attach a content-addressed repro.cache result cache of this many "
+            "MiB in front of each leg (docs/TENANCY.md); adds the hit-rate "
+            "column and exits nonzero if the cache books don't reconcile"
+        ),
+    )
+    parser.add_argument(
+        "--duplicate-fraction", type=float, default=0.0, metavar="F",
+        help=(
+            "fraction of the request stream that repeats earlier requests' "
+            "exact bytes — the duplicate mass a cache can win back"
+        ),
+    )
     args = parser.parse_args(argv)
 
     ladder_stage_times = None
@@ -260,6 +284,12 @@ def serve_bench_main(argv: list[str]) -> int:
         parser.error("--host-process-workers must be >= 1")
     if args.deadline is not None and args.deadline <= 0:
         parser.error("--deadline must be positive")
+    if args.cache_mb < 0:
+        parser.error("--cache-mb must be >= 0")
+    if not 0.0 <= args.duplicate_fraction < 1.0:
+        parser.error(
+            f"--duplicate-fraction must be in [0, 1), got {args.duplicate_fraction}"
+        )
     if args.fault_plan is not None:
         from pathlib import Path
 
@@ -287,6 +317,8 @@ def serve_bench_main(argv: list[str]) -> int:
         deadline_s=args.deadline,
         ladder_stage_times=ladder_stage_times,
         ladder_target_forward_ratio=args.ladder_target_forward,
+        cache_max_bytes=int(args.cache_mb * 1024 * 1024),
+        duplicate_fraction=args.duplicate_fraction,
     )
     print(
         f"serve-bench: 2 runs x {config.num_requests} requests, "
@@ -301,9 +333,11 @@ def serve_bench_main(argv: list[str]) -> int:
     )
     report = run_serve_bench(config)
     print(format_serve_bench(report))
-    # Nonzero unless every leg's per-stage books balance: the ladder CI
-    # smoke (and any scripted run) hard-fails on lost/duplicated requests.
-    return 0 if report.books_balanced else 1
+    # Nonzero unless every leg's per-stage books balance — and, with a
+    # cache attached, unless the cache's own books reconcile
+    # (hits + misses == lookups): the CI smokes (and any scripted run)
+    # hard-fail on lost/duplicated requests or miscounted lookups.
+    return 0 if report.books_balanced and report.cache_books_balanced else 1
 
 
 def serve_load_main(argv: list[str]) -> int:
@@ -819,10 +853,117 @@ def serve_net_main(argv: list[str]) -> int:
     return 0 if report["ok"] else 1
 
 
+def serve_tenants_main(argv: list[str]) -> int:
+    """``repro serve-tenants``: two-tenant shared-pool + cache benchmark."""
+    from dataclasses import replace
+
+    from .serve.tenant_bench import (
+        TenantBenchConfig,
+        format_tenant_bench,
+        run_tenant_bench,
+        write_tenant_bench,
+    )
+
+    defaults = TenantBenchConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro serve-tenants",
+        description=(
+            "Serve two tenants (Model A + Model C cascades) from one "
+            "DRR-scheduled shared host pool, replay the same video trace at "
+            "both — once cold, once behind the content-addressed result "
+            "cache — and verify hit rate, throughput win, bit-identity and "
+            "books balance (docs/TENANCY.md). Exits nonzero unless every "
+            "check passes."
+        ),
+    )
+    parser.add_argument("--frames", type=int, default=defaults.num_frames,
+                        help="video frames in the trace (default %(default)s)")
+    parser.add_argument(
+        "--repeat-frames", type=int, default=defaults.repeat_frames,
+        help=(
+            "frame hold factor; exact duplicate fraction = (N-1)/N "
+            "(default %(default)s)"
+        ),
+    )
+    parser.add_argument("--fps", type=float, default=defaults.fps)
+    parser.add_argument("--time-scale", type=float, default=defaults.time_scale,
+                        help="replay speed multiplier (default %(default)s)")
+    parser.add_argument("--lanes", type=int, default=defaults.lanes,
+                        help="concurrent pool executions (default %(default)s)")
+    parser.add_argument(
+        "--cache-mb", type=float, default=defaults.cache_max_bytes / (1024 * 1024),
+        help="result-cache byte budget in MiB (default %(default)s)",
+    )
+    parser.add_argument("--quota", type=int, default=defaults.quota,
+                        help="per-tenant in-flight quota (default %(default)s)")
+    parser.add_argument("--threshold", type=float, default=defaults.threshold,
+                        help="static DMU threshold (default %(default)s)")
+    parser.add_argument("--t-bnn", type=float, default=defaults.t_bnn,
+                        help="modeled BNN seconds/image (default %(default)s)")
+    parser.add_argument(
+        "--host-workers", type=int, default=None, metavar="N",
+        help=(
+            "per-tenant ParallelHostRunner process pool size "
+            "(default: REPRO_HOST_WORKERS or serial)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--output", default="benchmarks/results/BENCH_cache.json",
+        help="JSON report path, or '-' to skip writing (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if args.frames < 1:
+        parser.error("--frames must be >= 1")
+    if args.repeat_frames < 1:
+        parser.error("--repeat-frames must be >= 1")
+    if args.fps <= 0 or args.time_scale <= 0:
+        parser.error("--fps and --time-scale must be positive")
+    if args.lanes < 1 or args.quota < 1:
+        parser.error("--lanes and --quota must be >= 1")
+    if args.cache_mb <= 0:
+        parser.error("--cache-mb must be positive (the cached leg needs a cache)")
+    if not 0.0 <= args.threshold <= 1.0:
+        parser.error(f"--threshold must be in [0, 1], got {args.threshold}")
+    if args.t_bnn <= 0:
+        parser.error("--t-bnn must be positive")
+    if args.host_workers is not None and args.host_workers < 0:
+        parser.error("--host-workers must be >= 0 (0 = serial host)")
+
+    config = replace(
+        TenantBenchConfig(),
+        num_frames=args.frames,
+        repeat_frames=args.repeat_frames,
+        fps=args.fps,
+        time_scale=args.time_scale,
+        lanes=args.lanes,
+        cache_max_bytes=int(args.cache_mb * 1024 * 1024),
+        quota=args.quota,
+        threshold=args.threshold,
+        t_bnn=args.t_bnn,
+        host_workers=args.host_workers,
+        seed=args.seed,
+    )
+    print(
+        f"serve-tenants: 2 legs x 2 tenants, {config.num_frames} frames "
+        f"x{config.repeat_frames} hold "
+        f"(duplicate fraction {config.duplicate_fraction:.0%}) ...",
+        file=sys.stderr,
+    )
+    report = run_tenant_bench(config)
+    print(format_tenant_bench(report))
+    if args.output != "-":
+        path = write_tenant_bench(report, args.output)
+        print(f"\nwrote {path}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "serve-tenants":
+        return serve_tenants_main(argv[1:])
     if argv and argv[0] == "serve-net":
         return serve_net_main(argv[1:])
     if argv and argv[0] == "serve-load":

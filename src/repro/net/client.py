@@ -138,12 +138,15 @@ class NetClient:
                 raise WireShutdown("client is closed")
             self._sock.sendall(payload)
 
-    def submit(self, image: np.ndarray) -> Future:
+    def submit(self, image: np.ndarray, tenant: str = "") -> Future:
         """Send one image; the future resolves to a :class:`WireResult`.
 
-        The future fails with :class:`WireRejected` / :class:`WireError`
-        / :class:`WireShutdown` — the wire twins of the server-side
-        terminal exceptions.
+        *tenant* selects the model on a multi-tenant server (protocol
+        minor 2); the empty default keeps the request byte-identical to
+        the pre-tenancy encoding and routes to the server's default
+        tenant.  The future fails with :class:`WireRejected` /
+        :class:`WireError` / :class:`WireShutdown` — the wire twins of
+        the server-side terminal exceptions.
         """
         rid = next(self._rid)
         pending = _Pending()
@@ -152,20 +155,22 @@ class NetClient:
                 raise WireShutdown("client is closed")
             self._pending[rid] = pending
         try:
-            self._send(Request(rid, np.asarray(image)))
+            self._send(Request(rid, np.asarray(image), tenant=tenant))
         except Exception:
             with self._lock:
                 self._pending.pop(rid, None)
             raise
         return pending.future
 
-    def classify(self, image: np.ndarray, timeout: float | None = 30.0) -> WireResult:
-        return self.submit(image).result(timeout=timeout)
+    def classify(
+        self, image: np.ndarray, timeout: float | None = 30.0, tenant: str = ""
+    ) -> WireResult:
+        return self.submit(image, tenant=tenant).result(timeout=timeout)
 
     def classify_many(
-        self, images, timeout: float | None = 30.0
+        self, images, timeout: float | None = 30.0, tenant: str = ""
     ) -> list[WireResult]:
-        futures = [self.submit(image) for image in images]
+        futures = [self.submit(image, tenant=tenant) for image in images]
         return [f.result(timeout=timeout) for f in futures]
 
     def ping(self, timeout: float = 5.0) -> bool:

@@ -45,6 +45,7 @@ import numpy as np
 
 from .. import obs
 from ..serve.resilience import DeadlineExceeded, ServerClosed, StageFailure
+from ..serve.tenancy import TenantQuotaExceeded, UnknownTenant
 from . import protocol
 from .protocol import (
     Accepted,
@@ -421,14 +422,46 @@ class NetFrontend:
                 ),
             )
             return
+        if frame.tenant and getattr(self._backend, "tenant_names", None) is None:
+            # Tenant-addressed frame, single-tenant backend: typed refusal
+            # beats silently answering with the wrong model.
+            self.metrics.record_rejected()
+            obs.count("net.rejected", 1)
+            await self._send(
+                conn,
+                Rejected(
+                    frame.request_id,
+                    protocol.REJECT_TENANT,
+                    f"backend is single-tenant, cannot serve {frame.tenant!r}",
+                ),
+            )
+            return
         self._inflight += 1
         await self._send(conn, Accepted(frame.request_id))
         loop = asyncio.get_running_loop()
+        if frame.tenant:
+            submit = lambda: self._backend.submit(frame.image, tenant=frame.tenant)
+        else:
+            submit = lambda: self._backend.submit(frame.image)
         try:
             # submit() may block on the cascade's backpressure: executor.
-            backend_future = await loop.run_in_executor(
-                None, self._backend.submit, frame.image
+            backend_future = await loop.run_in_executor(None, submit)
+        except UnknownTenant as exc:
+            self._dec_inflight()
+            self.metrics.record_rejected()
+            obs.count("net.rejected", 1)
+            await self._send(
+                conn, Rejected(frame.request_id, protocol.REJECT_TENANT, str(exc))
             )
+            return
+        except TenantQuotaExceeded as exc:
+            self._dec_inflight()
+            self.metrics.record_rejected()
+            obs.count("net.rejected", 1)
+            await self._send(
+                conn, Rejected(frame.request_id, protocol.REJECT_QUEUE_FULL, str(exc))
+            )
+            return
         except NoHealthyReplica as exc:
             self._dec_inflight()
             self.metrics.record_rejected()

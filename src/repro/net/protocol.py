@@ -54,6 +54,7 @@ import numpy as np
 __all__ = [
     "MAGIC",
     "VERSION",
+    "PROTOCOL_MINOR",
     "HEADER_SIZE",
     "MAX_FRAME_BODY",
     "FRAME_TYPES",
@@ -63,6 +64,7 @@ __all__ = [
     "REJECT_QUEUE_FULL",
     "REJECT_CLOSING",
     "REJECT_NO_REPLICA",
+    "REJECT_TENANT",
     "REJECT_NAMES",
     "ERR_PROTOCOL",
     "ERR_STAGE_FAILURE",
@@ -96,6 +98,16 @@ __all__ = [
 MAGIC = b"RN"
 VERSION = 1
 
+#: In-band extension level of this build.  The header version byte stays
+#: 1 — every extension rides *inside* existing frame bodies so old
+#: frames decode byte-identically: minor 1 added :data:`SOURCE_NAMED`
+#: ladder sources, minor 2 adds the optional tenant suffix on
+#: ``REQUEST`` (``docs/TENANCY.md``), the ``"cache"`` decision source
+#: and :data:`REJECT_TENANT`.  A minor-2 feature sent to a minor-1 peer
+#: fails that peer's decode loudly (typed ``CorruptFrame``), never
+#: silently.
+PROTOCOL_MINOR = 2
+
 _HEADER = struct.Struct(">2sBBI")
 HEADER_SIZE = _HEADER.size  # 8 bytes
 
@@ -127,22 +139,26 @@ FRAME_TYPES = {
 }
 
 #: ``ServeResult.source`` on the wire (1 byte).  Codes 0-2 cover the
-#: fixed 2-stage cascade; :data:`SOURCE_NAMED` flags a ladder rung
-#: (``docs/LADDER.md``): the stage name rides as a utf-8 suffix after
-#: the decision's fixed fields.  Frames from 2-stage servers are
-#: byte-identical to protocol version 1 before the extension.
-SOURCE_TO_CODE = {"bnn": 0, "host": 1, "degraded": 2}
+#: fixed 2-stage cascade; code 3 (minor 2) marks an answer re-served by
+#: a :class:`repro.cache.CachingFrontend`; :data:`SOURCE_NAMED` flags a
+#: ladder rung (``docs/LADDER.md``): the stage name rides as a utf-8
+#: suffix after the decision's fixed fields.  Frames from 2-stage
+#: servers are byte-identical to protocol version 1 before the
+#: extensions.
+SOURCE_TO_CODE = {"bnn": 0, "host": 1, "degraded": 2, "cache": 3}
 CODE_TO_SOURCE = {code: name for name, code in SOURCE_TO_CODE.items()}
 SOURCE_NAMED = 255
 
 #: ``REJECTED`` reason codes (admission control; the 503 analogues).
-REJECT_QUEUE_FULL = 1   # frontend at max in-flight
+REJECT_QUEUE_FULL = 1   # frontend at max in-flight (or tenant at quota)
 REJECT_CLOSING = 2      # frontend is shutting down
 REJECT_NO_REPLICA = 3   # router found no healthy replica
+REJECT_TENANT = 4       # request named a tenant the server doesn't run
 REJECT_NAMES = {
     REJECT_QUEUE_FULL: "queue_full",
     REJECT_CLOSING: "closing",
     REJECT_NO_REPLICA: "no_healthy_replica",
+    REJECT_TENANT: "unknown_tenant",
 }
 
 #: ``ERROR`` codes (typed terminal failures).
@@ -261,11 +277,19 @@ def _array_equal(a: np.ndarray, b: np.ndarray) -> bool:
 # -- frames -------------------------------------------------------------------
 @dataclass(frozen=True, eq=False)
 class Request:
-    """Client → server: classify one image (``flags`` is reserved)."""
+    """Client → server: classify one image (``flags`` is reserved).
+
+    ``tenant`` (minor 2) selects the model on a multi-tenant server; it
+    rides as a length-prefixed utf-8 suffix *after* the image array, so
+    a request with no tenant is byte-identical to the pre-tenancy
+    encoding and an old frame decodes with ``tenant == ""`` — the
+    frontend routes those to its sole/default tenant.
+    """
 
     request_id: int
     image: np.ndarray
     flags: int = 0
+    tenant: str = ""
 
     type_name = "request"
 
@@ -274,6 +298,7 @@ class Request:
             isinstance(other, Request)
             and self.request_id == other.request_id
             and self.flags == other.flags
+            and self.tenant == other.tenant
             and _array_equal(np.asarray(self.image), np.asarray(other.image))
         )
 
@@ -394,9 +419,18 @@ def _utf8(detail: str) -> bytes:
 
 def _encode_body(frame) -> tuple[int, bytes]:
     if isinstance(frame, Request):
+        suffix = b""
+        if frame.tenant:
+            tenant = _utf8(frame.tenant)
+            if len(tenant) > 255:
+                raise ProtocolError(
+                    f"tenant name is {len(tenant)} utf-8 bytes (max 255)"
+                )
+            suffix = struct.pack(">B", len(tenant)) + tenant
         return _T_REQUEST, (
             struct.pack(">IB", frame.request_id, frame.flags)
             + _encode_array(np.asarray(frame.image))
+            + suffix
         )
     if isinstance(frame, Ping):
         return _T_PING, struct.pack(">Q", frame.nonce)
@@ -459,9 +493,21 @@ def _decode_request(body: bytes) -> Request:
     _need(body, 5, "request header")
     request_id, flags = struct.unpack_from(">IB", body, 0)
     image, offset = _decode_array(body, 5)
+    tenant = ""
     if offset != len(body):
-        raise CorruptFrame(f"request has {len(body) - offset} trailing bytes")
-    return Request(request_id, image, flags)
+        # Minor-2 tenant suffix: 1-byte utf-8 length + name, nothing after.
+        declared = body[offset]
+        suffix = body[offset + 1:]
+        if len(suffix) != declared:
+            raise CorruptFrame(
+                f"request has {len(body) - offset} trailing bytes that are "
+                f"not a tenant suffix (declares {declared}, has {len(suffix)})"
+            )
+        try:
+            tenant = suffix.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CorruptFrame(f"request tenant is not utf-8: {exc}") from None
+    return Request(request_id, image, flags, tenant)
 
 
 def _decode_fixed(fmt: str, body: bytes, what: str) -> tuple:

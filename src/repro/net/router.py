@@ -44,7 +44,6 @@ is, inside each replica's host pool.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import multiprocessing
 import os
@@ -60,6 +59,7 @@ import numpy as np
 from .. import obs
 from ..serve.resilience import CircuitBreaker
 from ..serve.server import ServeResult
+from ..util.hashing import rendezvous_order
 
 __all__ = [
     "ReplicaFailure",
@@ -213,6 +213,13 @@ def replica_main(conn, factory: Callable[[], dict]) -> None:
     *factory* returns the keyword arguments for
     :class:`~repro.serve.CascadeServer` (it runs in the child, so heavy
     state — trained networks, fault injectors — is built post-fork).
+    Three extra keys are popped before the server is built and, when
+    ``cache_max_bytes`` is truthy, wrap the replica in a per-replica
+    :class:`~repro.cache.CachingFrontend`: ``cache_max_bytes``,
+    ``cache_near_duplicate`` and ``cache_atol``.  Per-replica caches
+    compose with rendezvous placement — the same image bytes that pick
+    a replica also name that replica's cache entry, so repeats of an
+    image always land where its answer is already cached.
     Messages: ``("submit", rid, image)`` → ``("result", rid, ...)`` or
     ``("error", rid, repr)``; ``("ping", token)`` → ``("pong", token)``;
     ``("stop",)`` drains and exits.
@@ -221,7 +228,21 @@ def replica_main(conn, factory: Callable[[], dict]) -> None:
 
     try:
         kwargs = factory()
+        cache_max_bytes = kwargs.pop("cache_max_bytes", 0)
+        cache_near_duplicate = kwargs.pop("cache_near_duplicate", False)
+        cache_atol = kwargs.pop("cache_atol", 0.0)
         server = CascadeServer(**kwargs)
+        if cache_max_bytes:
+            from ..cache import CachingFrontend, ResultCache
+
+            server = CachingFrontend(
+                server,
+                ResultCache(
+                    max_bytes=int(cache_max_bytes),
+                    near_duplicate=bool(cache_near_duplicate),
+                    atol=float(cache_atol),
+                ),
+            )
     except Exception as exc:
         try:
             conn.send(("init_error", repr(exc)))
@@ -521,14 +542,10 @@ class ShardRouter:
                 start = next(self._rr) % n
             return [(start + i) % n for i in range(n)]
         # Rendezvous (highest-random-weight): deterministic per image.
-        payload = np.ascontiguousarray(image).tobytes()
-        scores = []
-        for index in range(n):
-            digest = hashlib.blake2b(
-                payload, digest_size=8, key=index.to_bytes(8, "big")
-            ).digest()
-            scores.append((int.from_bytes(digest, "big"), index))
-        return [index for _, index in sorted(scores, reverse=True)]
+        # The keyed-blake2b construction lives in repro.util.hashing so
+        # the cache keys the same bytes; placement is pinned by a golden
+        # test and must stay byte-identical.
+        return rendezvous_order(image, n)
 
     # -- submission ------------------------------------------------------------
     def submit(self, image: np.ndarray) -> Future:

@@ -16,6 +16,12 @@ The stack is hardened against stage faults (see ``docs/ROBUSTNESS.md``
 and :mod:`repro.faults`): crash-safe workers, per-request deadlines,
 retry with backoff on the host path, and a circuit breaker that flips
 the server into a degraded BNN-only mode while the host stage is down.
+
+Multi-model deployments use :class:`MultiTenantServer`
+(``docs/TENANCY.md``): named tenants — each a full cascade with its own
+metrics, quota and :mod:`repro.cache` namespace — share one
+:class:`SharedHostPool` that schedules host re-inference with weighted
+deficit-round-robin over measured per-model cost.
 """
 
 from .autoscaler import ScalerDecision, SLOAutoscaler
@@ -43,6 +49,16 @@ from .resilience import (
     StageFailure,
 )
 from .server import CascadeServer, ServeResult
+from .tenancy import (
+    MultiTenantServer,
+    MultiTenantSnapshot,
+    PoolTenantStats,
+    SharedHostPool,
+    TenantQuotaExceeded,
+    TenantSnapshot,
+    TenantSpec,
+    UnknownTenant,
+)
 
 __all__ = [
     "MicroBatcher",
@@ -72,4 +88,12 @@ __all__ = [
     "run_books",
     "run_serve_bench",
     "format_serve_bench",
+    "MultiTenantServer",
+    "MultiTenantSnapshot",
+    "PoolTenantStats",
+    "SharedHostPool",
+    "TenantQuotaExceeded",
+    "TenantSnapshot",
+    "TenantSpec",
+    "UnknownTenant",
 ]

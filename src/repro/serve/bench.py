@@ -124,6 +124,15 @@ class ServeBenchConfig:
     #: Per-hop target forward ratio for the ladder's adaptive leg
     #: (None = ``target_rerun_ratio`` at every hop).
     ladder_target_forward_ratio: float | None = None
+    #: When positive, attach a content-addressed
+    #: :class:`repro.cache.CachingFrontend` of this many bytes in front
+    #: of each leg's server; the report gains a cache hit-rate column
+    #: and the cache's own books (``hits + misses == lookups``).
+    cache_max_bytes: int = 0
+    #: Fraction of the request stream that repeats an earlier request's
+    #: exact bytes — the duplicate mass the cache can win back.  0 keeps
+    #: every request unique.
+    duplicate_fraction: float = 0.0
 
     @property
     def host_parallelism(self) -> int:
@@ -275,6 +284,18 @@ def synthetic_serving_stack(config: ServeBenchConfig):
     """
     rng = np.random.default_rng(config.seed)
     scores = rng.normal(0.0, 1.0, size=(config.num_requests, 10))
+    if not 0.0 <= config.duplicate_fraction < 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1)")
+    num_dup = int(round(config.duplicate_fraction * config.num_requests))
+    if num_dup:
+        # Overwrite a random subset of rows with exact copies of earlier
+        # rows, so duplicates (mostly) arrive after their first showing
+        # and a content-addressed cache can win them back.
+        positions = rng.choice(
+            np.arange(1, config.num_requests), size=num_dup, replace=False
+        )
+        for pos in positions:
+            scores[pos] = scores[rng.integers(0, pos)]
     weights = np.zeros(10)
     weights[0], weights[1] = 4.0, -4.0
     dmu = DecisionMakingUnit(weights, bias=0.0, threshold=config.naive_threshold)
@@ -347,6 +368,11 @@ class ServeBenchRun:
     #: failed == submitted`` and ``Σ rerun_stages == rerun``), see
     #: :func:`run_books`.
     books: dict | None = None
+    #: Cache counters when ``cache_max_bytes`` attached a
+    #: :class:`repro.cache.CachingFrontend`: its own books
+    #: (``hits + misses == lookups`` under ``balanced``), single-flight
+    #: coalescing, and the metrics-side ``served_from_cache`` tally.
+    cache: dict | None = None
 
     @property
     def bound_fraction(self) -> float:
@@ -358,17 +384,23 @@ def run_books(total: MetricsSnapshot) -> dict:
     """Per-stage accounting of a fully drained run.
 
     ``balanced`` asserts the ladder invariant: every submitted request is
-    accounted for exactly once (``accepted + rerun + degraded + failed ==
-    submitted``) and the per-rung breakdown re-sums to the top line
-    (``Σ rerun_stages == rerun``).
+    accounted for exactly once (``accepted + rerun + degraded +
+    cache_hits + failed == submitted``) and the per-rung breakdown
+    re-sums to the top line (``Σ rerun_stages == rerun``).
+    ``cache_hits`` stays zero unless a :class:`repro.cache.CachingFrontend`
+    shares the server's metrics.
     """
-    answered = total.accepted + total.rerun + total.degraded + total.failed
+    answered = (
+        total.accepted + total.rerun + total.degraded + total.cache_hits
+        + total.failed
+    )
     return {
         "submitted": total.submitted,
         "accepted": total.accepted,
         "rerun": total.rerun,
         "rerun_stages": dict(total.rerun_stages),
         "degraded": total.degraded,
+        "cache_hits": total.cache_hits,
         "failed": total.failed,
         "balanced": (
             answered == total.submitted
@@ -394,6 +426,16 @@ class ServeBenchReport:
         """True when both legs' per-stage books balance (CI gate)."""
         return all(
             run.books is not None and run.books["balanced"]
+            for run in (self.naive, self.adaptive)
+        )
+
+    @property
+    def cache_books_balanced(self) -> bool:
+        """True when no cache is attached, or both legs' cache books
+        reconcile (``hits + misses == lookups``) — the serve-bench CLI
+        exits nonzero when this fails."""
+        return all(
+            run.cache is None or run.cache["balanced"]
             for run in (self.naive, self.adaptive)
         )
 
@@ -529,6 +571,14 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             deadline_s=config.deadline_s,
             ladder=ladder,
         )
+        front = None
+        if config.cache_max_bytes:
+            from ..cache import CachingFrontend, ResultCache
+
+            front = CachingFrontend(
+                server, ResultCache(max_bytes=config.cache_max_bytes)
+            )
+            server = front  # delegates everything _drive touches
         # Trace only the adaptive leg: one representative timeline, and
         # the naive leg stays a tracer-free control for the overhead claim.
         trace_this = config.trace_path is not None and label == "adaptive"
@@ -547,6 +597,24 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
                 final_thresholds = tuple(
                     server.stage_threshold(h) for h in range(num_hops)
                 )
+        cache_books = None
+        if front is not None:
+            csnap = front.cache_snapshot()
+            sf = front.single_flight_snapshot()
+            cache_books = {
+                "lookups": csnap.lookups,
+                "hits": csnap.hits,
+                "misses": csnap.misses,
+                "near_hits": csnap.near_hits,
+                "near_rejects": csnap.near_rejects,
+                "entries": csnap.entries,
+                "bytes": csnap.bytes,
+                "max_bytes": csnap.max_bytes,
+                "hit_rate": csnap.hit_rate,
+                "single_flight_followers": sf.followers,
+                "served_from_cache": total.cache_hits,
+                "balanced": csnap.balanced,
+            }
         measured = (
             steady.wall_seconds / steady.completed if steady.completed else float("nan")
         )
@@ -577,6 +645,7 @@ def run_serve_bench(config: ServeBenchConfig | None = None) -> ServeBenchReport:
             eq1=eq1,
             final_thresholds=final_thresholds,
             books=run_books(total),
+            cache=cache_books,
         )
         if injector is not None:
             from ..faults import STAGES
@@ -614,29 +683,35 @@ def format_serve_bench(report: ServeBenchReport) -> str:
     rows = []
     for run in (report.naive, report.adaptive):
         host_queue = run.total.queues["host"]
-        rows.append(
-            [
-                run.label,
-                f"{run.final_threshold:.3f}",
-                format_percent(run.steady.rerun_ratio),
-                format_percent(run.steady.degraded_ratio),
-                format_rate(run.steady.images_per_second),
-                format_rate(run.analytic_bound_fps),
-                f"{run.bound_fraction:.2f}x",
-                f"{host_queue.max_depth}/{host_queue.capacity}",
-            ]
-        )
+        row = [
+            run.label,
+            f"{run.final_threshold:.3f}",
+            format_percent(run.steady.rerun_ratio),
+            format_percent(run.steady.degraded_ratio),
+            format_rate(run.steady.images_per_second),
+            format_rate(run.analytic_bound_fps),
+            f"{run.bound_fraction:.2f}x",
+            f"{host_queue.max_depth}/{host_queue.capacity}",
+        ]
+        if cfg.cache_max_bytes:
+            row.append(
+                format_percent(run.cache["hit_rate"]) if run.cache else "-"
+            )
+        rows.append(row)
+    headers = [
+        "policy",
+        "final thr",
+        "R_rerun",
+        "degraded",
+        "img/s (steady)",
+        "Eq.(1) bound",
+        "of bound",
+        "host q max",
+    ]
+    if cfg.cache_max_bytes:
+        headers.append("cache hit")
     table = render_table(
-        [
-            "policy",
-            "final thr",
-            "R_rerun",
-            "degraded",
-            "img/s (steady)",
-            "Eq.(1) bound",
-            "of bound",
-            "host q max",
-        ],
+        headers,
         rows,
         title=(
             "serve-bench: adaptive DMU threshold vs naive static threshold\n"
@@ -748,6 +823,25 @@ def format_serve_bench(report: ServeBenchReport) -> str:
             "\n\nhost stage split (time parked in the host queue vs compute):\n"
             + "\n".join(host_lines)
         )
+    cache_section = ""
+    if cfg.cache_max_bytes:
+        cache_lines = []
+        for run in (report.naive, report.adaptive):
+            c = run.cache
+            if c is None:
+                continue
+            cache_lines.append(
+                f"  {run.label:<9} lookups {c['lookups']} = hits {c['hits']} + "
+                f"misses {c['misses']} "
+                f"({'OK' if c['balanced'] else 'IMBALANCED'}); coalesced "
+                f"{c['single_flight_followers']} in flight, served-from-cache "
+                f"{c['served_from_cache']}, {c['entries']} entries / "
+                f"{c['bytes']}B of {c['max_bytes']}B"
+            )
+        cache_section = (
+            "\n\ncontent-addressed cache books (duplicate fraction "
+            f"{cfg.duplicate_fraction:.0%} offered):\n" + "\n".join(cache_lines)
+        )
     spans = ""
     if report.span_summary is not None:
         spans = "\n\n" + obs.format_span_summaries(
@@ -783,4 +877,7 @@ def format_serve_bench(report: ServeBenchReport) -> str:
         "controller walks the threshold down until the rerun ratio holds the\n"
         "target, keeping the host pool busy but un-saturated (Eq. (1) regime)."
     )
-    return table + chart + residuals + ladder_section + host_split + spans + faults + notes
+    return (
+        table + chart + residuals + ladder_section + host_split + cache_section
+        + spans + faults + notes
+    )

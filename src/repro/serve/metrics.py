@@ -24,7 +24,9 @@ Robustness accounting (``docs/ROBUSTNESS.md``): every injected or
 organic stage fault, host retry, deadline miss and failed request is
 counted, and circuit-breaker transitions are integrated into
 degraded-mode intervals — so a chaos run can assert the books balance:
-``accepted + rerun + degraded + failed == submitted`` once drained.
+``accepted + rerun + degraded + cache_hits + failed == submitted`` once
+drained (``cache_hits`` stays zero unless a
+:class:`repro.cache.CachingFrontend` shares the metrics object).
 For event-level timing (individual spans rather than aggregates) the
 server is instrumented with :mod:`repro.obs`.
 """
@@ -95,6 +97,8 @@ class MetricsSnapshot:
     rerun_stages: dict[str, int] = field(default_factory=dict)   # answering rung -> answers
     stage_arrived: dict[str, int] = field(default_factory=dict)  # rung -> images scored
     stage_forwarded: dict[str, int] = field(default_factory=dict)  # rung -> images sent up
+    cache_hits: int = 0    # answered from the content-addressed result cache
+    cache_bytes: int = 0   # bytes resident in the attached cache (gauge)
 
     @property
     def answered(self) -> int:
@@ -195,6 +199,8 @@ class MetricsSnapshot:
                 name: count - earlier.stage_forwarded.get(name, 0)
                 for name, count in self.stage_forwarded.items()
             },
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_bytes=self.cache_bytes,
         )
 
 
@@ -243,6 +249,8 @@ class ServerMetrics:
         self._rerun_stages: dict[str, int] = {}
         self._stage_arrived: dict[str, int] = {}
         self._stage_forwarded: dict[str, int] = {}
+        self._cache_hits = 0
+        self._cache_bytes = 0
         self._latencies: deque[float] = deque(maxlen=LATENCY_BUFFER_LIMIT)
         self._started = clock()
 
@@ -292,6 +300,22 @@ class ServerMetrics:
             self._degraded += degraded
             if stage is not None and rerun:
                 self._rerun_stages[stage] = self._rerun_stages.get(stage, 0) + rerun
+
+    def record_cache_hit(self, count: int = 1) -> None:
+        """*count* requests were answered from the result cache.
+
+        A cache hit is a terminal answer: it counts toward ``completed``
+        alongside accepted/rerun/degraded, keeping the books invariant
+        ``accepted + rerun + degraded + cache_hits + failed == submitted``
+        once drained.
+        """
+        with self._lock:
+            self._cache_hits += count
+
+    def set_cache_bytes(self, nbytes: int) -> None:
+        """Gauge: bytes currently resident in the attached result cache."""
+        with self._lock:
+            self._cache_bytes = int(nbytes)
 
     def record_stage_traffic(self, name: str, arrived: int = 0, forwarded: int = 0) -> None:
         """Per-rung traffic: *arrived* images scored, *forwarded* sent up."""
@@ -399,7 +423,9 @@ class ServerMetrics:
             return MetricsSnapshot(
                 stages=stages,
                 queues=queues,
-                completed=self._accepted + self._rerun + self._degraded,
+                completed=(
+                    self._accepted + self._rerun + self._degraded + self._cache_hits
+                ),
                 accepted=self._accepted,
                 rerun=self._rerun,
                 degraded=self._degraded,
@@ -420,4 +446,6 @@ class ServerMetrics:
                 rerun_stages=dict(self._rerun_stages),
                 stage_arrived=dict(self._stage_arrived),
                 stage_forwarded=dict(self._stage_forwarded),
+                cache_hits=self._cache_hits,
+                cache_bytes=self._cache_bytes,
             )

@@ -101,18 +101,27 @@ HOST_QUEUE = "host"
 
 @dataclass(frozen=True)
 class ServeResult:
-    """Answer to one serving request."""
+    """Answer to one serving request.
+
+    ``source`` names what produced the answer: ``"bnn"`` (DMU accepted
+    the fast stage), ``"degraded"`` (fell back to the best cheap answer),
+    ``"host"`` or a middle-rung name (re-run above stage 0), or
+    ``"cache"`` — re-served by a :class:`repro.cache.CachingFrontend`
+    without running the cascade at all; ``cold_source`` then preserves
+    the rung that produced the original cold answer.
+    """
 
     prediction: int
     bnn_prediction: int
     confidence: float
-    source: str                # "bnn" | "degraded" | "host" | a middle-rung name
+    source: str                # "bnn" | "degraded" | "host" | "cache" | a rung name
     latency_seconds: float
+    cold_source: str | None = None  # original rung behind a "cache" answer
 
     @property
     def rerun(self) -> bool:
         """True when a rung above stage 0 produced the answer."""
-        return self.source not in ("bnn", "degraded")
+        return self.source not in ("bnn", "degraded", "cache")
 
 
 class _Request:

@@ -43,6 +43,15 @@ class VideoTrafficSource:
     normalize:
         When true (default) payloads are ``[-1, 1]``-normalized crops
         ready for a BNN front stage; otherwise raw ``[0, 1]`` pixels.
+    repeat_frames:
+        Hold factor: each frame's crops are re-emitted this many times
+        at consecutive presentation slots, *referencing the same payload
+        index*.  Synthetic video adds per-frame sensor noise, so without
+        a hold no two crops are byte-identical; ``repeat_frames=3``
+        models a camera whose effective content rate is a third of its
+        frame rate and gives a trace with an exact duplicate fraction of
+        ``(repeat_frames - 1) / repeat_frames`` — the knob the
+        content-addressed cache benchmark (``docs/TENANCY.md``) turns.
     """
 
     def __init__(
@@ -53,35 +62,46 @@ class VideoTrafficSource:
         patch_size: int = 32,
         normalize: bool = True,
         seed: int = 0,
+        repeat_frames: int = 1,
     ):
         if fps <= 0:
             raise ValueError("fps must be positive")
+        if repeat_frames < 1:
+            raise ValueError("repeat_frames must be >= 1")
         self.video = video if video is not None else SyntheticVideo(seed=seed)
         self.fps = float(fps)
         self.roi_config = roi_config or RoiConfig()
         self.patch_size = patch_size
         self.normalize = normalize
         self.seed = seed
+        self.repeat_frames = int(repeat_frames)
 
     def build(self, num_frames: int) -> tuple[ArrivalTrace, list[np.ndarray]]:
         """Consume *num_frames* and return ``(trace, payloads)``.
 
-        ``payloads[k]`` is the crop event ``k`` refers to (payload refs
-        are unique here — video crops are not reused round-robin the way
-        synthetic banks are).
+        ``payloads[k]`` is the crop event ``k`` refers to.  Payload refs
+        are unique unless ``repeat_frames > 1``, in which case each held
+        re-emission points at the *same* payload index — exact duplicate
+        submissions by construction.
         """
         if num_frames <= 0:
             raise ValueError("num_frames must be positive")
         events: list[ArrivalEvent] = []
         payloads: list[np.ndarray] = []
+        slot = 0
         for frame in self.video.frames(num_frames):
-            t = frame.index / self.fps
             boxes = detect_rois(frame.pixels, self.roi_config)
             patches = extract_patches(frame.pixels, boxes, self.patch_size)
             if self.normalize and patches.shape[0]:
                 patches = normalize_to_pm1(patches)
+            refs = []
             for patch in patches:
-                events.append(ArrivalEvent(t, len(payloads)))
+                refs.append(len(payloads))
                 payloads.append(patch)
+            for _ in range(self.repeat_frames):
+                t = slot / self.fps
+                slot += 1
+                for ref in refs:
+                    events.append(ArrivalEvent(t, ref))
         trace = ArrivalTrace(events=tuple(events), name="video", seed=self.seed)
         return trace, payloads

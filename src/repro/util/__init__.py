@@ -1,0 +1,10 @@
+"""Small shared utilities with no repro-internal dependencies.
+
+Currently one module: :mod:`repro.util.hashing`, the blake2b helpers
+shared by rendezvous placement (:mod:`repro.net.router`) and
+content-addressed cache keying (:mod:`repro.cache`).
+"""
+
+from .hashing import content_key, rendezvous_order, rendezvous_score
+
+__all__ = ["content_key", "rendezvous_order", "rendezvous_score"]

@@ -1,0 +1,82 @@
+"""Shared blake2b digests: rendezvous placement and cache keying.
+
+Two subsystems hash raw image bytes and both must be deterministic
+across processes and releases:
+
+* :class:`repro.net.ShardRouter`'s ``rendezvous`` placement ranks
+  replicas by highest-random-weight (HRW) score of the image payload —
+  :func:`rendezvous_score` / :func:`rendezvous_order` here are the
+  exact keyed-blake2b construction the router has always used, so
+  placement stays **byte-identical** after the extraction (pinned by a
+  golden test in ``tests/cache/test_hashing.py``).
+* :class:`repro.cache.ResultCache` keys terminal answers by
+  :func:`content_key`, a blake2b digest over the image's dtype, shape
+  and raw C-order bytes.  Including the geometry means two images whose
+  buffers happen to share bytes but differ in dtype or shape can never
+  collide into one cache entry.
+
+Both paths intentionally share one hash family: the same image bytes
+that pick a replica under rendezvous placement also name that replica's
+cache entry, which is what makes per-replica caches effective (every
+duplicate of an image lands on the shard already holding its answer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["content_key", "rendezvous_order", "rendezvous_score"]
+
+#: Digest width (bytes) of the HRW score hash — the router's historical
+#: choice; 64 bits is plenty for ranking a handful of replicas.
+RENDEZVOUS_DIGEST_SIZE = 8
+
+#: Digest width (bytes) of a cache content key.  128 bits keeps the
+#: collision probability negligible for any realistic cache population.
+CONTENT_DIGEST_SIZE = 16
+
+
+def payload_bytes(image: np.ndarray) -> bytes:
+    """Canonical raw bytes of *image* (C-order, no copy when contiguous)."""
+    return np.ascontiguousarray(image).tobytes()
+
+
+def rendezvous_score(payload: bytes, index: int) -> int:
+    """HRW score of replica *index* for *payload* (higher wins).
+
+    Keyed blake2b with the replica index as an 8-byte big-endian key —
+    byte-for-byte the construction ``repro.net.router`` hand-rolled
+    before this helper existed; do not change it, placement stability
+    across versions depends on it.
+    """
+    digest = hashlib.blake2b(
+        payload, digest_size=RENDEZVOUS_DIGEST_SIZE, key=index.to_bytes(8, "big")
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def rendezvous_order(image: np.ndarray, n: int) -> list[int]:
+    """Replica indices ``0..n-1`` ranked by descending HRW score."""
+    payload = payload_bytes(np.asarray(image))
+    scores = [(rendezvous_score(payload, index), index) for index in range(n)]
+    return [index for _, index in sorted(scores, reverse=True)]
+
+
+def content_key(image: np.ndarray, namespace: str = "") -> bytes:
+    """Content address of *image*: blake2b over geometry + raw bytes.
+
+    *namespace* partitions the key space (e.g. per tenant: the same
+    image classified by Model A and Model C has two different terminal
+    answers, so it must occupy two cache entries).
+    """
+    image = np.asarray(image)
+    h = hashlib.blake2b(digest_size=CONTENT_DIGEST_SIZE)
+    if namespace:
+        h.update(namespace.encode("utf-8"))
+        h.update(b"\x00")
+    h.update(str(image.dtype).encode("ascii"))
+    h.update(np.asarray(image.shape, dtype="<i8").tobytes())
+    h.update(payload_bytes(image))
+    return h.digest()

@@ -1,0 +1,97 @@
+"""The shared digest helpers (``repro.util.hashing``).
+
+The rendezvous construction was extracted verbatim from
+``repro.net.router``; the golden values below pin it byte-for-byte so a
+refactor can never silently re-shuffle replica placement (cached
+answers live on the replica the old hash picked).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import (
+    CONTENT_DIGEST_SIZE,
+    RENDEZVOUS_DIGEST_SIZE,
+    content_key,
+    payload_bytes,
+    rendezvous_order,
+    rendezvous_score,
+)
+
+
+class TestRendezvousGolden:
+    """Pinned placements: these literals must never change."""
+
+    def test_pinned_order_float_image(self):
+        img = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert rendezvous_order(img, 5) == [2, 3, 4, 0, 1]
+        assert rendezvous_order(img, 3) == [2, 0, 1]
+
+    def test_pinned_order_uint8_image(self):
+        img = np.full((2, 2), 7, dtype=np.uint8)
+        assert rendezvous_order(img, 5) == [1, 0, 4, 3, 2]
+
+    def test_pinned_score(self):
+        img = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert rendezvous_score(payload_bytes(img), 0) == 5485043774026656795
+
+    def test_matches_hand_rolled_construction(self):
+        # The exact pre-extraction recipe the router used inline.
+        img = np.linspace(-1, 1, 30).reshape(5, 6)
+        payload = np.ascontiguousarray(img).tobytes()
+        for index in range(4):
+            expected = int.from_bytes(
+                hashlib.blake2b(
+                    payload,
+                    digest_size=RENDEZVOUS_DIGEST_SIZE,
+                    key=index.to_bytes(8, "big"),
+                ).digest(),
+                "big",
+            )
+            assert rendezvous_score(payload, index) == expected
+
+    def test_order_is_a_permutation_and_prefix_stable(self):
+        # HRW's selling point: shrinking the replica set only removes
+        # entries from the ranking, it never reorders the survivors.
+        img = np.arange(48, dtype=np.float32)
+        full = rendezvous_order(img, 6)
+        assert sorted(full) == list(range(6))
+        shrunk = rendezvous_order(img, 4)
+        assert shrunk == [i for i in full if i < 4]
+
+
+class TestContentKey:
+    def test_pinned_digests(self):
+        img = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert content_key(img).hex() == "28cf7592d2cced68f22ec78eab6bacb1"
+        assert (
+            content_key(img, "model-a").hex()
+            == "612df3d719f6338fb80d4550ecb7dabe"
+        )
+
+    def test_digest_size(self):
+        assert len(content_key(np.zeros(3))) == CONTENT_DIGEST_SIZE
+
+    def test_equal_content_equal_key(self):
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        b = a[::-1][::-1]  # non-contiguous view, same content
+        assert content_key(a) == content_key(b)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda a: a.astype(np.float32),           # dtype differs
+            lambda a: a.reshape(3, 2),                # shape differs
+            lambda a: a + 1,                          # bytes differ
+        ],
+    )
+    def test_geometry_and_bytes_feed_the_key(self, mutate):
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        assert content_key(mutate(a.copy())) != content_key(a)
+
+    def test_namespace_partitions_the_key_space(self):
+        img = np.ones((4, 4))
+        keys = {content_key(img, ns) for ns in ("", "model-a", "model-c")}
+        assert len(keys) == 3

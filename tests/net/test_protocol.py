@@ -84,6 +84,16 @@ def _reconstruct(entry: dict):
         ),
         "shutdown": lambda: p.Shutdown("frontend closing"),
         "shutdown_unicode": lambda: p.Shutdown("adiós ☂"),
+        # Protocol minor 2: tenant suffix, cache source, tenant rejection.
+        "request_tenant": lambda: p.Request(
+            21, np.array([1.0, -1.0], dtype=np.float32), tenant="model-a"
+        ),
+        "decision_cache": lambda: p.Decision(
+            22, 4, 4, "cache", 0.875, 0.0001220703125
+        ),
+        "rejected_unknown_tenant": lambda: p.Rejected(
+            23, p.REJECT_TENANT, "backend is single-tenant, cannot serve 'model-x'"
+        ),
     }
     return builders[entry["name"]]()
 

@@ -107,6 +107,43 @@ class TestRobustnessCounters:
         assert snap.in_flight == 0
         assert snap.answered == 9
 
+    def test_cache_hits_balance_the_books(self, clocked):
+        # accepted + rerun + degraded + cache_hits + failed == submitted:
+        # a cache-served answer is a terminal state of its own, counted
+        # toward completed but never toward the stage decisions.
+        _, metrics = clocked
+        metrics.record_submitted(10)
+        metrics.record_decisions(accepted=4, rerun=2, degraded=1)
+        metrics.record_cache_hit(2)
+        metrics.record_failure(1)
+        metrics.set_cache_bytes(4096)
+        snap = metrics.snapshot()
+        assert snap.cache_hits == 2
+        assert snap.cache_bytes == 4096
+        assert snap.completed == 9          # 4 + 2 + 1 + 2
+        assert snap.terminal == 10
+        assert (
+            snap.accepted + snap.rerun + snap.degraded + snap.cache_hits
+            + snap.failed
+            == snap.submitted
+        )
+
+    def test_cache_hits_window_delta(self, clocked):
+        clock, metrics = clocked
+        metrics.record_submitted(4)
+        metrics.record_cache_hit(3)
+        metrics.set_cache_bytes(100)
+        clock.now = 1.0
+        earlier = metrics.snapshot()
+        metrics.record_submitted(2)
+        metrics.record_cache_hit(1)
+        metrics.set_cache_bytes(250)
+        clock.now = 2.0
+        window = metrics.snapshot().since(earlier)
+        assert window.cache_hits == 1
+        assert window.cache_bytes == 250    # a gauge, not a delta
+        assert window.completed == 1
+
     def test_breaker_state_integrates_open_time(self, clocked):
         clock, metrics = clocked
         metrics.record_breaker_state("open")

@@ -57,6 +57,30 @@ def test_video_trace_replays_like_any_other():
     assert len(submitted) == len(payloads)
 
 
+def test_repeat_frames_holds_each_frame():
+    base_trace, base_payloads = VideoTrafficSource(fps=30.0, seed=5).build(3)
+    trace, payloads = VideoTrafficSource(fps=30.0, seed=5, repeat_frames=3).build(3)
+    # The payload bank is untouched: repeats reference, they never copy.
+    assert len(payloads) == len(base_payloads)
+    for a, b in zip(payloads, base_payloads):
+        np.testing.assert_array_equal(a, b)
+    # Each frame's refs are emitted repeat_frames times on consecutive
+    # slots, so the duplicate fraction is exactly (n - 1) / n.
+    assert len(trace) == 3 * len(base_trace)
+    refs = [e.payload_ref for e in trace]
+    assert refs.count(refs[0]) == 3
+    duplicates = len(refs) - len(set(refs))
+    assert duplicates / len(refs) == pytest.approx(2 / 3)
+    # Arrival slots still tick at 1/fps.
+    times = sorted({e.t_offset for e in trace})
+    assert times == pytest.approx([i / 30.0 for i in range(len(times))])
+    # repeat_frames=1 is the identity.
+    same_trace, _ = VideoTrafficSource(fps=30.0, seed=5, repeat_frames=1).build(3)
+    assert same_trace.to_json() == base_trace.to_json()
+    with pytest.raises(ValueError):
+        VideoTrafficSource(fps=30.0, repeat_frames=0)
+
+
 def test_raw_mode_and_validation():
     video = SyntheticVideo(seed=0)
     source = VideoTrafficSource(video=video, fps=10.0, normalize=False)

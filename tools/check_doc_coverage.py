@@ -20,7 +20,11 @@ Fails when the importable surface and the documentation drift apart:
   guide is the map from serving stages to the paper's equations);
 * ``docs/TRAFFIC.md`` must exist and be linked from the README,
   ``docs/API.md`` and ``docs/OBSERVABILITY.md`` (the open-loop load +
-  SLO-autoscaler guide owns the ``slo.*`` / ``traffic.*`` obs signals).
+  SLO-autoscaler guide owns the ``slo.*`` / ``traffic.*`` obs signals);
+* ``docs/TENANCY.md`` must exist and be linked from the README,
+  ``docs/API.md`` and ``docs/OBSERVABILITY.md`` (the content-addressed
+  cache + multi-tenant scheduling guide owns the ``cache.*`` /
+  ``tenant.*`` obs signals and the books-balancing invariant).
 
 Pure stdlib + ``ast``: nothing is imported, so the check is immune to
 import-time side effects and runs in milliseconds.
@@ -40,6 +44,7 @@ API_MD = DOCS / "API.md"
 OBSERVABILITY_MD = DOCS / "OBSERVABILITY.md"
 LADDER_MD = DOCS / "LADDER.md"
 TRAFFIC_MD = DOCS / "TRAFFIC.md"
+TENANCY_MD = DOCS / "TENANCY.md"
 README = REPO_ROOT / "README.md"
 
 # Modules documented only through their package's public surface (their
@@ -214,7 +219,11 @@ def check() -> list[str]:
     elif README.exists() and "docs/OBSERVABILITY.md" not in README.read_text():
         problems.append("README.md does not link docs/OBSERVABILITY.md")
 
-    for guide, name in ((LADDER_MD, "LADDER.md"), (TRAFFIC_MD, "TRAFFIC.md")):
+    for guide, name in (
+        (LADDER_MD, "LADDER.md"),
+        (TRAFFIC_MD, "TRAFFIC.md"),
+        (TENANCY_MD, "TENANCY.md"),
+    ):
         if not guide.exists():
             problems.append(f"missing docs/{name}")
             continue
